@@ -1,0 +1,101 @@
+//! Fig. 10a — Motion estimation, analytically computed points for the
+//! inner (i4-i5-i6) loop nest on the simulated data reuse factor curve:
+//! the §6.3 closed forms (max reuse `A_Max = n(n−1)`,
+//! `F_RMax = 2mn/(2mn − (2m−1)(n−1))`, partial reuse `A(γ) = nγ+1`) and
+//! the bypass triangles (`A'(γ) = nγ`, `F'_R`).
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin fig10a`
+
+use datareuse_bench::{fmt_f, print_table, write_figure};
+use datareuse_codegen::{gnuplot_script, Series};
+use datareuse_core::{max_reuse, partial_sweep, PairGeometry};
+use datareuse_loopir::{parse_program, read_addresses};
+use datareuse_trace::{CurvePolicy, ReuseCurve};
+
+fn main() {
+    let (n, m) = (8i64, 8i64);
+    println!("Fig. 10a: ME inner (i4-i5-i6) nest, n = m = {n}");
+    let src = format!(
+        "array Old[{n}][{cols}];
+         for i4 in 0..{w} {{ for i5 in 0..{n} {{ for i6 in 0..{n} {{
+           read Old[i5][i4 + i6];
+         }} }} }}",
+        cols = 2 * m + n - 1,
+        w = 2 * m
+    );
+    let program = parse_program(&src).expect("kernel parses");
+    let trace = read_addresses(&program, "Old");
+    let geom = PairGeometry::from_access(&program.nests()[0], 0, 0, 2).expect("pair (i4, i6)");
+
+    let maxp = max_reuse(&geom).expect("reuse exists");
+    let partial = partial_sweep(&geom, false);
+    let bypass = partial_sweep(&geom, true);
+
+    let curve = ReuseCurve::simulate_exhaustive(&trace, CurvePolicy::Optimal);
+    let sim_at = |size: u64| {
+        curve
+            .points()
+            .iter()
+            .rev()
+            .find(|p| p.size <= size)
+            .map(|p| p.reuse_factor)
+            .unwrap_or(1.0)
+    };
+
+    println!("\nanalytical points vs Belady simulation at the same size:");
+    let mut rows = Vec::new();
+    for p in partial.iter().chain(std::iter::once(&maxp)) {
+        rows.push(vec![
+            format!("{:?}", p.kind),
+            p.size.to_string(),
+            fmt_f(p.reuse_factor(), 3),
+            fmt_f(sim_at(p.size), 3),
+        ]);
+    }
+    for p in &bypass {
+        rows.push(vec![
+            format!("{:?}", p.kind),
+            p.size.to_string(),
+            fmt_f(p.reuse_factor(), 3),
+            fmt_f(sim_at(p.size), 3),
+        ]);
+    }
+    print_table(&["point", "size A", "analytic F_R", "simulated F_R"], &rows);
+
+    println!(
+        "\nF_RMax = {:.3} (paper closed form: 2mn/(2mn-(2m-1)(n-1)) = {:.3}), A_Max = {} (= n(n-1) = {})",
+        maxp.reuse_factor(),
+        (2 * m * n) as f64 / ((2 * m * n) - (2 * m - 1) * (n - 1)) as f64,
+        maxp.size,
+        n * (n - 1)
+    );
+
+    let sim: Vec<(f64, f64)> = curve
+        .points()
+        .iter()
+        .map(|p| (p.size as f64, p.reuse_factor))
+        .collect();
+    let ana: Vec<(f64, f64)> = partial
+        .iter()
+        .chain(std::iter::once(&maxp))
+        .map(|p| (p.size as f64, p.reuse_factor()))
+        .collect();
+    let byp: Vec<(f64, f64)> = bypass
+        .iter()
+        .map(|p| (p.size as f64, p.reuse_factor()))
+        .collect();
+    write_figure(
+        "fig10a.gp",
+        &gnuplot_script(
+            "Fig 10a: ME inner nest reuse factor curve",
+            "copy-candidate size [elements]",
+            "data reuse factor",
+            false,
+            &[
+                Series::new("Belady simulation", sim),
+                Series::new("analytical (no bypass)", ana).with_style("points pt 7 ps 1.5"),
+                Series::new("analytical (bypass)", byp).with_style("points pt 9 ps 1.5"),
+            ],
+        ),
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 11b — SUSAN principle: combined power–memory-size Pareto curve.
+//! The paper reports "a factor of 1,6 to 6 decrease in power consumption"
+//! for the non-bypass analytical candidates, with "even more power gain
+//! for the smaller copy-candidate sizes" once the bypass is introduced.
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin fig11b [-- --small]`
+
+use datareuse_bench::{fmt_f, print_table, write_figure};
+use datareuse_codegen::{gnuplot_script, Series};
+use datareuse_core::{explore_signal, ExploreOptions};
+use datareuse_kernels::Susan;
+use datareuse_memmodel::{BitCount, MemoryTechnology};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let susan = if small { Susan::SMALL } else { Susan::QCIF };
+    println!(
+        "Fig. 11b: SUSAN combined power-memory size Pareto curve ({}x{})",
+        susan.height, susan.width
+    );
+    let folded = susan.program();
+    let tech = MemoryTechnology::new();
+
+    let mut tables = Vec::new();
+    let mut series = Vec::new();
+    for (bypass, label) in [(false, "no bypass"), (true, "with bypass")] {
+        let opts = ExploreOptions {
+            include_partial: true,
+            include_bypass: bypass,
+            max_chain_depth: 2,
+        };
+        let ex = explore_signal(&folded, Susan::IMAGE, &opts).expect("SUSAN explores");
+        let front = ex.pareto(&opts, &tech, &BitCount);
+        let pts: Vec<(f64, f64)> = front
+            .iter()
+            .filter(|p| p.size > 0.0)
+            .map(|p| (p.size, p.power))
+            .collect();
+        let reductions: Vec<f64> = pts.iter().map(|(_, p)| 1.0 / p).collect();
+        println!(
+            "\n{label}: {} Pareto points, power reduction {:.1}x .. {:.1}x",
+            pts.len(),
+            reductions.iter().copied().fold(f64::INFINITY, f64::min),
+            reductions.iter().copied().fold(0.0, f64::max),
+        );
+        for p in &front {
+            tables.push(vec![
+                label.to_string(),
+                (p.size as u64).to_string(),
+                fmt_f(p.power, 4),
+                fmt_f(1.0 / p.power, 2),
+            ]);
+        }
+        series.push(Series::new(label, pts).with_style(if bypass {
+            "points pt 9 ps 1.5"
+        } else {
+            "linespoints pt 7"
+        }));
+    }
+    println!("\nPareto fronts:");
+    print_table(&["variant", "onchip size", "norm power", "reduction"], &tables);
+    println!("\n(paper band for the non-bypass bullets: 1.6x .. 6x)");
+
+    write_figure(
+        "fig11b.gp",
+        &gnuplot_script(
+            "Fig 11b: SUSAN combined power vs memory size Pareto curve",
+            "combined copy-candidate size [elements]",
+            "normalized power",
+            true,
+            &series,
+        ),
+    );
+}

@@ -1,0 +1,105 @@
+//! Fig. 4a — Data reuse factor for array `Old[][]` of the motion
+//! estimation kernel as a function of the copy-candidate size, under
+//! Belady-optimal replacement, with the analytical footprint levels
+//! (`A_1 … A_4`) overlaid.
+//!
+//! Paper reference points (QCIF, n = m = 8): maximum average reuse factor
+//! ≈ 209.5 at size 2745 (≈ 16 lines of the Old frame); discontinuities at
+//! the sizes where maximum reuse is reached for a sub-nest.
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin fig4a [-- --small]`
+
+use datareuse_bench::{fmt_f, log_sizes, print_table, write_figure};
+use datareuse_codegen::{gnuplot_script, Series};
+use datareuse_core::footprint_levels;
+use datareuse_kernels::MotionEstimation;
+use datareuse_loopir::read_addresses;
+use datareuse_trace::{CurvePolicy, ReuseCurve, TraceStats};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let me = if small {
+        MotionEstimation::SMALL
+    } else {
+        MotionEstimation::QCIF
+    };
+    println!(
+        "Fig. 4a: ME data reuse factor curve (H={}, W={}, n={}, m={})",
+        me.height, me.width, me.block, me.search
+    );
+    let program = me.program();
+    let trace = read_addresses(&program, MotionEstimation::OLD);
+    let stats = TraceStats::compute(&trace);
+    println!(
+        "trace: C_tot = {}, footprint = {}, saturation reuse = {:.1}",
+        stats.accesses,
+        stats.footprint,
+        stats.average_reuse()
+    );
+
+    let levels = footprint_levels(&program.nests()[0], 1).expect("Old access");
+    println!("\nanalytical footprint levels (paper's A_j discontinuities):");
+    let rows: Vec<Vec<String>> = levels
+        .iter()
+        .map(|l| {
+            vec![
+                format!("A_{}", l.depth),
+                l.size.to_string(),
+                l.fills.to_string(),
+                fmt_f(l.reuse_factor(), 2),
+            ]
+        })
+        .collect();
+    print_table(&["level", "size", "fills", "F_R"], &rows);
+
+    // Simulated curve at log-spaced sizes plus the analytical knees.
+    let mut sizes = log_sizes(stats.footprint, 6);
+    sizes.extend(levels.iter().map(|l| l.size));
+    let curve = ReuseCurve::simulate(&trace, sizes, CurvePolicy::Optimal);
+    println!("\nBelady-optimal simulated curve:");
+    let rows: Vec<Vec<String>> = curve
+        .points()
+        .iter()
+        .map(|p| {
+            vec![
+                p.size.to_string(),
+                p.fills.to_string(),
+                fmt_f(p.reuse_factor, 2),
+            ]
+        })
+        .collect();
+    print_table(&["size", "fills", "F_R"], &rows);
+
+    println!(
+        "\nmax simulated reuse factor: {:.1} (paper: 209.5 at size 2745 on the clamped frame)",
+        curve.max_reuse_factor()
+    );
+    let knees = curve.knees();
+    println!(
+        "simulated knee sizes: {:?}",
+        knees.iter().map(|p| p.size).collect::<Vec<_>>()
+    );
+
+    let sim: Vec<(f64, f64)> = curve
+        .points()
+        .iter()
+        .map(|p| (p.size as f64, p.reuse_factor))
+        .collect();
+    let ana: Vec<(f64, f64)> = levels
+        .iter()
+        .map(|l| (l.size as f64, l.reuse_factor()))
+        .collect();
+    write_figure(
+        "fig4a.gp",
+        &gnuplot_script(
+            "Fig 4a: ME data reuse factor for Old[][]",
+            "copy-candidate size [elements]",
+            "data reuse factor F_R",
+            true,
+            &[
+                Series::new("Belady simulation", sim),
+                Series::new("analytical levels", ana).with_style("points pt 7 ps 2"),
+            ],
+        ),
+    );
+}

@@ -1,0 +1,106 @@
+//! Fig. 4b — Power–memory-size Pareto curve for array `Old[][]` of the
+//! motion estimation kernel, "obtained by considering all possible
+//! hierarchies combining points on the data reuse factor curve" (eq. 3),
+//! normalized to the all-external-accesses baseline.
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin fig4b [-- --small]`
+
+use datareuse_bench::{fmt_f, log_sizes, print_table, write_figure};
+use datareuse_codegen::{gnuplot_script, Series};
+use datareuse_core::{enumerate_chains, CandidatePoint, CandidateSource};
+use datareuse_kernels::MotionEstimation;
+use datareuse_loopir::read_addresses;
+use datareuse_memmodel::{evaluate_chain, pareto_front, BitCount, MemoryTechnology, ParetoPoint};
+use datareuse_trace::{opt_simulate, TraceStats};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let me = if small {
+        MotionEstimation::SMALL
+    } else {
+        MotionEstimation::QCIF
+    };
+    println!(
+        "Fig. 4b: ME power-memory size Pareto curve (H={}, W={}, n={}, m={})",
+        me.height, me.width, me.block, me.search
+    );
+    let program = me.program();
+    let trace = read_addresses(&program, MotionEstimation::OLD);
+    let stats = TraceStats::compute(&trace);
+
+    // Candidate points from the simulated reuse-factor curve, as in the
+    // paper's Section 4 (simulation-based exploration).
+    let sizes = log_sizes(stats.footprint, if small { 8 } else { 4 });
+    let candidates: Vec<CandidatePoint> = sizes
+        .iter()
+        .map(|&s| {
+            let r = opt_simulate(&trace, s);
+            CandidatePoint {
+                size: s,
+                fills: r.fills,
+                bypasses: 0,
+                c_tot: r.accesses,
+                source: CandidateSource::Simulated,
+                exact: true,
+            }
+        })
+        .collect();
+    let chains = enumerate_chains(&candidates, stats.accesses, stats.footprint, 8, 2);
+    println!("evaluating {} candidate hierarchies...", chains.len());
+
+    let tech = MemoryTechnology::new();
+    let points: Vec<ParetoPoint<(Vec<u64>, f64)>> = chains
+        .iter()
+        .map(|chain| {
+            let cost = evaluate_chain(chain, &tech, &BitCount);
+            let levels: Vec<u64> = chain.levels.iter().map(|l| l.words).collect();
+            ParetoPoint::new(
+                cost.onchip_words as f64,
+                cost.normalized_energy,
+                (levels, cost.normalized_energy),
+            )
+        })
+        .collect();
+    let front = pareto_front(points);
+
+    println!("\nPareto front (normalized to all-background accesses):");
+    let rows: Vec<Vec<String>> = front
+        .iter()
+        .map(|p| {
+            vec![
+                (p.size as u64).to_string(),
+                fmt_f(p.power, 4),
+                format!(
+                    "[{}]",
+                    p.payload
+                        .0
+                        .iter()
+                        .map(|w| w.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" > ")
+                ),
+            ]
+        })
+        .collect();
+    print_table(&["onchip size", "norm power", "hierarchy"], &rows);
+
+    let best = front.last().expect("non-empty front");
+    println!(
+        "\nbest power: {:.4} of baseline ({}x reduction) at {} on-chip elements",
+        best.power,
+        fmt_f(1.0 / best.power, 1),
+        best.size
+    );
+
+    let series: Vec<(f64, f64)> = front.iter().map(|p| (p.size.max(1.0), p.power)).collect();
+    write_figure(
+        "fig4b.gp",
+        &gnuplot_script(
+            "Fig 4b: ME power vs memory size Pareto curve (Old[][])",
+            "on-chip copy-candidate size [elements]",
+            "normalized power",
+            true,
+            &[Series::new("Pareto front", series)],
+        ),
+    );
+}

@@ -1,0 +1,70 @@
+//! Runtime comparison: the analytical model vs trace simulation.
+//!
+//! The paper's motivation for the analytical model: "Simulation is very
+//! time-consuming when large applications and signal sizes are
+//! considered." This harness times, on the full QCIF motion-estimation
+//! kernel, (a) the complete analytical exploration, (b) trace generation,
+//! (c) one Belady point, and (d) a whole simulated curve — the cost the
+//! model eliminates.
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin timing`
+
+use std::time::Instant;
+
+use datareuse_bench::{fmt_f, log_sizes, print_table};
+use datareuse_core::{explore_signal, ExploreOptions};
+use datareuse_kernels::MotionEstimation;
+use datareuse_loopir::read_addresses;
+use datareuse_trace::{opt_simulate, opt_simulate_many, sampled_reuse_curve, CurvePolicy};
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let me = MotionEstimation::QCIF;
+    let program = me.program();
+    println!(
+        "timing on QCIF motion estimation ({} reads of Old)\n",
+        me.old_reads()
+    );
+
+    let (ex, t_analytic) = time(|| {
+        explore_signal(&program, MotionEstimation::OLD, &ExploreOptions::default())
+            .expect("explores")
+    });
+    let (trace, t_trace) = time(|| read_addresses(&program, MotionEstimation::OLD));
+    let (_, t_one_point) = time(|| opt_simulate(&trace, 2745));
+    let sizes = log_sizes(30_369, 4);
+    let n_sizes = sizes.len();
+    let (_, t_curve) = time(|| opt_simulate_many(&trace, &sizes));
+    let (_, t_sampled) = time(|| {
+        sampled_reuse_curve(&trace, sizes.iter().copied(), 0.05, CurvePolicy::Optimal)
+    });
+
+    let rows = vec![
+        vec![
+            "analytical exploration (all candidates + Pareto input)".into(),
+            fmt_f(t_analytic * 1e3, 2),
+        ],
+        vec!["trace generation (6.5M accesses)".into(), fmt_f(t_trace * 1e3, 2)],
+        vec!["one Belady point (size 2745)".into(), fmt_f(t_one_point * 1e3, 2)],
+        vec![
+            format!("Belady curve, {n_sizes} sizes (shared table)"),
+            fmt_f(t_curve * 1e3, 2),
+        ],
+        vec![
+            format!("sampled curve, {n_sizes} sizes @ 5%"),
+            fmt_f(t_sampled * 1e3, 2),
+        ],
+    ];
+    print_table(&["stage", "ms"], &rows);
+    println!(
+        "\nanalytical speedup over the simulated curve: {:.0}x \
+         ({} analytical candidates produced)",
+        t_curve / t_analytic.max(1e-9),
+        ex.candidates.len()
+    );
+}

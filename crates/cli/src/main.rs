@@ -1,0 +1,428 @@
+//! `datareuse` — the prototype exploration tool of the paper, as a CLI.
+//!
+//! ```text
+//! datareuse kernels
+//! datareuse emit    <kernel>
+//! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--gnuplot FILE]
+//! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
+//! datareuse orders  <kernel> --array NAME [--limit N]
+//! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
+//!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
+//! datareuse report  <kernel>            # all signals at once
+//! ```
+//!
+//! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
+//! `.dr` DSL file.
+
+use std::process::ExitCode;
+
+use datareuse_codegen::{
+    emit_band_copy, emit_program, emit_selfcheck, emit_selfcheck_adopt, emit_selfcheck_band,
+    emit_transformed, emit_transformed_adopt, gnuplot_script, Series, Strategy, TemplateOptions,
+};
+use datareuse_core::{
+    explore_orders, explore_program, explore_signal, ExplorationReport, ExploreOptions,
+};
+use datareuse_kernels::{Conv2d, Downsample, Fir, MatMul, MotionEstimation, Sobel, Susan};
+use datareuse_loopir::{parse_program, read_addresses, AccessKind, Program};
+use datareuse_memmodel::{BitCount, MemoryTechnology};
+use datareuse_trace::{CurvePolicy, ReuseCurve, TraceStats};
+
+const BUILTINS: &[(&str, &str)] = &[
+    ("me", "full-search motion estimation, QCIF, n=m=8 (paper Fig. 3)"),
+    ("me-small", "motion estimation, 32x32 frame, n=m=4"),
+    ("susan", "SUSAN 37-pixel circular mask, QCIF (paper Sec. 6.4)"),
+    ("susan-small", "SUSAN on a 24x32 image"),
+    ("susan-unfolded", "SUSAN pre-processed to a series of loops"),
+    ("conv2d", "3x3 convolution over a 64x64 image"),
+    ("matmul", "32x32x32 matrix multiply"),
+    ("sobel", "Sobel operator over a 64x64 image"),
+    ("downsample", "4:1 box downsampler over a 64x64 image"),
+    ("fir", "64-tap FIR filter over 1024 samples"),
+];
+
+fn load_kernel(name: &str) -> Result<Program, String> {
+    match name {
+        "me" => Ok(MotionEstimation::QCIF.program()),
+        "me-small" => Ok(MotionEstimation::SMALL.program()),
+        "susan" => Ok(Susan::QCIF.program()),
+        "susan-small" => Ok(Susan::SMALL.program()),
+        "susan-unfolded" => Ok(Susan::QCIF.unfolded_program()),
+        "conv2d" => Ok(Conv2d {
+            height: 64,
+            width: 64,
+            tap_rows: 3,
+            tap_cols: 3,
+        }
+        .program()),
+        "matmul" => Ok(MatMul::square(32).program()),
+        "sobel" => Ok(Sobel {
+            height: 64,
+            width: 64,
+        }
+        .program()),
+        "downsample" => Ok(Downsample {
+            height: 64,
+            width: 64,
+            factor: 4,
+        }
+        .program()),
+        "fir" => Ok(Fir::AUDIO.program()),
+        path => {
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_program(&src).map_err(|e| format!("{path}:{e}"))
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn default_array(program: &Program) -> Option<String> {
+    // The most-read array is the interesting signal by default.
+    let mut best: Option<(String, u64)> = None;
+    for decl in program.arrays() {
+        let reads = datareuse_loopir::trace_len(
+            program,
+            decl.name(),
+            datareuse_loopir::TraceFilter::READS,
+        );
+        if reads > 0 && best.as_ref().is_none_or(|(_, r)| reads > *r) {
+            best = Some((decl.name().to_string(), reads));
+        }
+    }
+    best.map(|(n, _)| n)
+}
+
+fn pick_array(args: &Args, program: &Program) -> Result<String, String> {
+    match args.flag("array") {
+        Some(a) => Ok(a.to_string()),
+        None => default_array(program).ok_or_else(|| "program has no read accesses".to_string()),
+    }
+}
+
+fn cmd_kernels() {
+    println!("built-in kernels:");
+    for (name, desc) in BUILTINS {
+        println!("  {name:<16} {desc}");
+    }
+}
+
+fn cmd_emit(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    print!("{}", emit_program(&program));
+    Ok(())
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    let array = pick_array(args, &program)?;
+    let mut opts = ExploreOptions::default();
+    if let Some(d) = args.flag("depth") {
+        opts.max_chain_depth = d.parse().map_err(|_| "bad --depth")?;
+    }
+    let ex = explore_signal(&program, &array, &opts).map_err(|e| e.to_string())?;
+    let tech = MemoryTechnology::new();
+    let report = ExplorationReport::build(&ex, &opts, &tech, &BitCount);
+    print!("{report}");
+    let front = ex.pareto(&opts, &tech, &BitCount);
+    if args.has("workingset") {
+        let trace = read_addresses(&program, &array);
+        println!("\nworking-set profile (window, avg, peak):");
+        for w in [64u64, 256, 1024, 4096] {
+            let ws = datareuse_trace::working_set_profile(&trace, w);
+            println!("  {:>6}  {:>10.1}  {:>8}", ws.window, ws.average, ws.peak);
+        }
+    }
+    if args.has("simulate") {
+        let trace = read_addresses(&program, &array);
+        let stats = TraceStats::compute(&trace);
+        println!(
+            "\nsimulation: {} accesses, footprint {}, average reuse {:.1}",
+            stats.accesses,
+            stats.footprint,
+            stats.average_reuse()
+        );
+        let sizes: Vec<u64> = ex.candidates.iter().map(|c| c.size).collect();
+        let curve = ReuseCurve::simulate(&trace, sizes, CurvePolicy::Optimal);
+        println!("Belady-optimal reuse factors at the analytical sizes:");
+        for p in curve.points() {
+            println!("  {:>8}  {:>8.2}", p.size, p.reuse_factor);
+        }
+    }
+    if let Some(path) = args.flag("gnuplot") {
+        let analytic: Vec<(f64, f64)> = ex
+            .reuse_factor_points()
+            .into_iter()
+            .map(|(s, f)| (s as f64, f))
+            .collect();
+        let pareto: Vec<(f64, f64)> = front.iter().map(|p| (p.size.max(1.0), p.power)).collect();
+        let script = gnuplot_script(
+            &format!("Data reuse exploration: {array}"),
+            "copy-candidate size [elements]",
+            "F_R / normalized power",
+            true,
+            &[
+                Series::new("analytical F_R", analytic).with_style("points pt 7"),
+                Series::new("Pareto power", pareto).with_style("linespoints"),
+            ],
+        );
+        std::fs::write(path, script).map_err(|e| e.to_string())?;
+        println!("\ngnuplot script written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    let opts = ExploreOptions::default();
+    let tech = MemoryTechnology::new();
+    let explorations = explore_program(&program, &opts).map_err(|e| e.to_string())?;
+    for (i, ex) in explorations.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let report = ExplorationReport::build(ex, &opts, &tech, &BitCount);
+        print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_orders(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    let array = pick_array(args, &program)?;
+    let limit: usize = args
+        .flag("limit")
+        .map(|v| v.parse().map_err(|_| "bad --limit"))
+        .transpose()?
+        .unwrap_or(24);
+    let tech = MemoryTechnology::new();
+    let orders = explore_orders(
+        &program,
+        &array,
+        &ExploreOptions::default(),
+        &tech,
+        &BitCount,
+        limit,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("loop orderings for `{array}` ranked by best normalized power:");
+    for o in &orders {
+        println!(
+            "  [{}]  power {:.4} at {} on-chip elements",
+            o.loop_names.join(", "),
+            o.best_power,
+            o.best_words
+        );
+    }
+    Ok(())
+}
+
+fn cmd_curve(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    let array = pick_array(args, &program)?;
+    let sizes: Vec<u64> = args
+        .flag("sizes")
+        .ok_or("missing --sizes")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad size `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let policy = match args.flag("policy") {
+        None | Some("opt") => CurvePolicy::Optimal,
+        Some("opt-bypass") => CurvePolicy::OptimalBypass,
+        Some(other) => return Err(format!("unknown policy `{other}`")),
+    };
+    let trace = read_addresses(&program, &array);
+    let curve = ReuseCurve::simulate(&trace, sizes, policy);
+    print!("{}", curve.to_gnuplot());
+    Ok(())
+}
+
+fn cmd_codegen(args: &Args) -> Result<(), String> {
+    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+    let array = pick_array(args, &program)?;
+    let (nest_idx, access_idx) = program
+        .nests()
+        .iter()
+        .enumerate()
+        .find_map(|(ni, nest)| {
+            nest.accesses()
+                .iter()
+                .position(|a| a.array() == array && a.kind() == AccessKind::Read)
+                .map(|ai| (ni, ai))
+        })
+        .ok_or_else(|| format!("no read access to `{array}`"))?;
+    let depth = program.nests()[nest_idx].depth();
+    let (outer, inner) = match args.flag("pair") {
+        Some(p) => {
+            let parts: Vec<&str> = p.split(',').collect();
+            if parts.len() != 2 {
+                return Err("--pair expects O,I".into());
+            }
+            (
+                parts[0].trim().parse().map_err(|_| "bad --pair")?,
+                parts[1].trim().parse().map_err(|_| "bad --pair")?,
+            )
+        }
+        None => (depth.saturating_sub(2), depth.saturating_sub(1)),
+    };
+    let strategy = match args.flag("strategy") {
+        None | Some("max") => Strategy::MaxReuse,
+        Some(s) => {
+            if let Some(g) = s.strip_prefix("partial:") {
+                Strategy::Partial {
+                    gamma: g.parse().map_err(|_| "bad gamma")?,
+                }
+            } else if let Some(g) = s.strip_prefix("bypass:") {
+                Strategy::PartialBypass {
+                    gamma: g.parse().map_err(|_| "bad gamma")?,
+                }
+            } else {
+                return Err(format!("unknown strategy `{s}`"));
+            }
+        }
+    };
+    let opts = TemplateOptions {
+        strategy,
+        single_assignment: args.has("single-assignment"),
+    };
+    if let Some(depth) = args.flag("band") {
+        let depth: usize = depth.parse().map_err(|_| "bad --band depth")?;
+        let code = if args.has("selfcheck") {
+            emit_selfcheck_band(&program, nest_idx, access_idx, depth)
+        } else {
+            emit_band_copy(&program, nest_idx, access_idx, depth)
+        }
+        .map_err(|e| e.to_string())?;
+        print!("{code}");
+        return Ok(());
+    }
+    let code = match (args.has("selfcheck"), args.has("adopt")) {
+        (true, false) => emit_selfcheck(&program, nest_idx, access_idx, outer, inner, opts),
+        (true, true) => emit_selfcheck_adopt(&program, nest_idx, access_idx, outer, inner, opts),
+        (false, true) => emit_transformed_adopt(&program, nest_idx, access_idx, outer, inner, opts),
+        (false, false) => emit_transformed(&program, nest_idx, access_idx, outer, inner, opts),
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{code}");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(
+            "usage: datareuse <kernels|emit|explore|report|orders|curve|codegen> ...".into(),
+        );
+    };
+    let args = Args::parse(&argv[1..]);
+    match cmd.as_str() {
+        "kernels" => {
+            cmd_kernels();
+            Ok(())
+        }
+        "emit" => cmd_emit(&args),
+        "explore" => cmd_explore(&args),
+        "orders" => cmd_orders(&args),
+        "report" => cmd_report(&args),
+        "curve" => cmd_curve(&args),
+        "codegen" => cmd_codegen(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("datareuse: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_separate_positionals_and_flags() {
+        let a = Args::parse(&argv(&["me", "--array", "Old", "--simulate", "--depth", "3"]));
+        assert_eq!(a.positional, vec!["me"]);
+        assert_eq!(a.flag("array"), Some("Old"));
+        assert_eq!(a.flag("depth"), Some("3"));
+        assert!(a.has("simulate"));
+        assert!(!a.has("array-x"));
+        assert_eq!(a.flag("simulate"), None);
+    }
+
+    #[test]
+    fn flags_do_not_swallow_following_flags() {
+        let a = Args::parse(&argv(&["--simulate", "--array", "Old"]));
+        assert!(a.has("simulate"));
+        assert_eq!(a.flag("array"), Some("Old"));
+    }
+
+    #[test]
+    fn builtin_kernels_all_load() {
+        for (name, _) in BUILTINS {
+            let p = load_kernel(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!p.nests().is_empty(), "{name} has nests");
+        }
+    }
+
+    #[test]
+    fn default_array_prefers_most_read_signal() {
+        let p = load_kernel("conv2d").unwrap();
+        // image: 9 reads/iteration vs coef: 9 (same count) vs out: writes.
+        let pick = default_array(&p).unwrap();
+        assert!(pick == "image" || pick == "coef");
+    }
+
+    #[test]
+    fn unknown_kernel_reports_path_error() {
+        let e = load_kernel("/no/such/file.dr").unwrap_err();
+        assert!(e.contains("cannot read"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Black-box tests of the `datareuse` binary.
+
+use std::process::Command;
+
+fn datareuse(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn kernels_lists_builtins() {
+    let (ok, stdout, _) = datareuse(&["kernels"]);
+    assert!(ok);
+    for name in ["me", "susan", "conv2d", "matmul", "sobel", "downsample"] {
+        assert!(stdout.contains(name), "missing `{name}` in:\n{stdout}");
+    }
+}
+
+#[test]
+fn emit_prints_c_for_builtin() {
+    let (ok, stdout, _) = datareuse(&["emit", "me-small"]);
+    assert!(ok);
+    assert!(stdout.contains("uint8_t Old[39][39];"));
+    assert!(stdout.contains("for (int i1 = 0; i1 <= 7; i1++) {"));
+}
+
+#[test]
+fn explore_defaults_to_a_read_array_and_accepts_explicit_one() {
+    // Old and New tie on read count; the default picks one of them.
+    let (ok, stdout, _) = datareuse(&["explore", "me-small"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("signal `New`") || stdout.contains("signal `Old`"));
+    assert!(stdout.contains("Pareto front"));
+    let (ok, stdout, _) = datareuse(&["explore", "me-small", "--array", "Old"]);
+    assert!(ok);
+    assert!(stdout.contains("signal `Old`"));
+}
+
+#[test]
+fn explore_accepts_dsl_files() {
+    let dir = std::env::temp_dir().join(format!("datareuse_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("window.dr");
+    std::fs::write(
+        &path,
+        "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = datareuse(&["explore", path.to_str().unwrap(), "--simulate"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("signal `A`: 128 reads"));
+    assert!(stdout.contains("Belady-optimal reuse factors"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn curve_prints_gnuplot_rows() {
+    let (ok, stdout, _) = datareuse(&["curve", "me-small", "--sizes", "8,64", "--policy", "opt"]);
+    assert!(ok);
+    assert!(stdout.starts_with("# size"));
+    assert_eq!(stdout.lines().count(), 3);
+}
+
+#[test]
+fn codegen_emits_template() {
+    let (ok, stdout, _) = datareuse(&[
+        "codegen",
+        "me-small",
+        "--array",
+        "Old",
+        "--pair",
+        "3,5",
+        "--strategy",
+        "bypass:2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Old_sub"));
+    assert!(stdout.contains("bypass"));
+}
+
+#[test]
+fn orders_ranks_loop_permutations() {
+    let (ok, stdout, _) = datareuse(&["orders", "matmul", "--array", "B", "--limit", "6"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("loop orderings for `B`"));
+    assert!(stdout.lines().count() >= 7);
+}
+
+#[test]
+fn report_covers_all_signals() {
+    let (ok, stdout, _) = datareuse(&["report", "me-small"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("signal `New`"));
+    assert!(stdout.contains("signal `Old`"));
+}
+
+#[test]
+fn codegen_selfcheck_emits_main() {
+    let (ok, stdout, _) = datareuse(&[
+        "codegen",
+        "fir",
+        "--array",
+        "x",
+        "--pair",
+        "0,1",
+        "--selfcheck",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("int main(void)"));
+    assert!(stdout.contains("run_transformed"));
+}
+
+#[test]
+fn explore_workingset_flag_prints_profile() {
+    let (ok, stdout, _) = datareuse(&["explore", "me-small", "--array", "Old", "--workingset"]);
+    assert!(ok);
+    assert!(stdout.contains("working-set profile"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (ok, _, stderr) = datareuse(&["explode"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = datareuse(&["explore", "/nonexistent.dr"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+    let (ok, _, stderr) = datareuse(&["curve", "me-small"]);
+    assert!(!ok);
+    assert!(stderr.contains("--sizes"));
+}

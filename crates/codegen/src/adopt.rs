@@ -1,0 +1,264 @@
+//! ADOPT-style address optimization of the generated templates.
+//!
+//! The paper hands its Fig. 8 output to the next stage: "The addressing
+//! looks rather complicated, but can be linearized and greatly simplified
+//! by the ADOPT tools for address optimization". This module is that
+//! stage for the copy-buffer addressing: the `(j % c')` row and
+//! `((k + (j/c')·b') % span)` column computations — a divide, a multiply
+//! and two modulos per access — are strength-reduced into induction
+//! variables maintained by increment-and-wrap updates, one comparison per
+//! loop iteration and no multiplicative operators at all.
+
+use datareuse_loopir::Program;
+
+use crate::ctext::{c_type, CWriter};
+use crate::schedule::ScheduleError;
+use crate::template::{resolve_geometry, TemplateOptions};
+
+/// Emits the transformed code with ADOPT-style strength-reduced copy
+/// addressing.
+///
+/// Semantically identical to [`crate::emit_transformed`] (the integration
+/// tests compile both against the original stream and compare checksums);
+/// the single-assignment variant is not applicable here — its whole point
+/// is to *avoid* address folding — and is rejected.
+///
+/// # Errors
+///
+/// Fails like [`crate::emit_transformed`], plus `BadGamma` is reused to
+/// reject `single_assignment: true` options.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::{emit_transformed_adopt, TemplateOptions};
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+/// let c = emit_transformed_adopt(&p, 0, 0, 0, 1, TemplateOptions::default())?;
+/// assert!(c.contains("col++;")); // induction variable instead of `%`
+/// assert!(c.contains("A_sub[row][col]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit_transformed_adopt(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    opts: TemplateOptions,
+) -> Result<String, ScheduleError> {
+    if opts.single_assignment {
+        return Err(ScheduleError::NoReuse);
+    }
+    let (pair, tg) = resolve_geometry(program, nest, access, outer, inner, opts.strategy)?;
+    let norm = program.nests()[nest].normalized();
+    let loops = norm.loops();
+    let acc = &norm.accesses()[access];
+    let decl = program.array(acc.array()).expect("validated program");
+    let bits = decl.elem_bits();
+
+    let span = if tg.k_invariant {
+        1
+    } else {
+        match tg.gamma {
+            None => pair.k_range - tg.bp,
+            Some(g) => g + i64::from(!tg.bypass),
+        }
+        .max(1)
+    };
+    let slice_loops: Vec<usize> = (0..loops.len())
+        .filter(|&d| {
+            d > tg.j_depth
+                && d != tg.k_depth
+                && acc.indices().iter().any(|e| e.coeff(loops[d].name()) != 0)
+        })
+        .collect();
+
+    let j = loops[tg.j_depth].name();
+    let k = loops[tg.k_depth].name();
+    let sub = format!("{}_sub", acc.array());
+    let mut dims = format!("[{}]", tg.cp);
+    for &d in &slice_loops {
+        dims.push_str(&format!("[{}]", loops[d].trip_count()));
+    }
+    dims.push_str(&format!("[{span}]"));
+
+    // `row`/`colb` replace (j % c') and ((j / c') * b') % span; `col` walks
+    // the k loop from colb with wrap-around — re-entering the k loop (next
+    // slice iteration) restarts the walk.
+    let mut w = CWriter::new();
+    w.line(format!(
+        "/* ADOPT-optimized copy-candidate for {} over pair ({j}, {k}) */",
+        acc.array()
+    ));
+    w.line(format!("{} {sub}{dims};", c_type(bits)));
+    if tg.gamma.is_some() && !tg.bypass {
+        w.line(format!("{} {sub}_stream;", c_type(bits)));
+    }
+    w.line("int row = 0;  /* j % c' */");
+    w.line("int colb = 0; /* ((j / c') * b') % span */");
+    w.line("");
+    for (d, l) in loops.iter().enumerate() {
+        if d == tg.k_depth {
+            w.line("int col = colb;");
+        }
+        w.open(format!(
+            "for (int {n} = {lo}; {n} <= {hi}; {n}++) {{",
+            n = l.name(),
+            lo = l.lower(),
+            hi = l.upper()
+        ));
+    }
+    let mut slot = format!("{sub}[row]");
+    for &d in &slice_loops {
+        slot.push_str(&format!("[{}]", loops[d].name()));
+    }
+    slot.push_str("[col]");
+    let orig = {
+        let subs: String = acc.indices().iter().map(|e| format!("[{e}]")).collect();
+        format!("{}{subs}", acc.array())
+    };
+    let first = if tg.k_invariant {
+        format!("({k} == 0)")
+    } else {
+        format!(
+            "({j} < {cp} || {k} > {kfirst})",
+            cp = tg.cp,
+            kfirst = pair.k_range - 1 - tg.bp
+        )
+    };
+    let body = |w: &mut CWriter| {
+        w.open(format!("if ({first}) {{"));
+        w.line(format!("{slot} = {orig}; /* copy from next level */"));
+        w.close();
+        w.line(format!("sink = {slot};"));
+    };
+    if let Some(g) = tg.gamma {
+        let region = format!("{k} > {}", pair.k_range - 1 - g - tg.bp);
+        w.open(format!("if ({region}) {{"));
+        body(&mut w);
+        w.open_else();
+        if tg.bypass {
+            w.line(format!("sink = {orig}; /* bypass */"));
+        } else {
+            w.line(format!("{sub}_stream = {orig};"));
+            w.line(format!("sink = {sub}_stream;"));
+        }
+        w.close();
+    } else {
+        body(&mut w);
+    }
+    // Close loops innermost-out, emitting induction updates as the last
+    // statements of their owning loop bodies.
+    for d in (0..loops.len()).rev() {
+        if d == tg.k_depth {
+            // Per k iteration: advance the column with wrap.
+            w.line("col++;");
+            w.open(format!("if (col == {span}) {{"));
+            w.line("col = 0;");
+            w.close();
+        }
+        if d == tg.j_depth {
+            // Per j iteration: advance row; every c' rows shift colb by b'.
+            w.line("row++;");
+            w.open(format!("if (row == {}) {{", tg.cp));
+            w.line("row = 0;");
+            w.line(format!("colb += {};", tg.bp));
+            w.open(format!("if (colb >= {span}) {{"));
+            w.line(format!("colb -= {span};"));
+            w.close();
+            w.close();
+        }
+        w.close();
+    }
+    Ok(w.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Strategy;
+    use datareuse_loopir::parse_program;
+
+    fn window() -> Program {
+        parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }").unwrap()
+    }
+
+    /// Strips `/* … */` comments so operator checks see only code.
+    fn strip_comments(c: &str) -> String {
+        let mut out = String::new();
+        let mut rest = c;
+        while let Some(start) = rest.find("/*") {
+            out.push_str(&rest[..start]);
+            match rest[start..].find("*/") {
+                Some(end) => rest = &rest[start + end + 2..],
+                None => return out,
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
+    fn no_divides_multiplies_or_modulos_remain() {
+        let c = emit_transformed_adopt(&window(), 0, 0, 0, 1, TemplateOptions::default()).unwrap();
+        let code = strip_comments(&c);
+        assert!(!code.contains('%'), "{c}");
+        assert!(!code.contains('*'), "{c}");
+        assert!(!code.contains('/'), "{c}");
+        assert!(code.contains("col++;"));
+        assert!(code.contains("row++;"));
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+        // The induction updates sit inside their loops.
+        let row_pos = c.find("row++;").unwrap();
+        let last_close = c.rfind('}').unwrap();
+        assert!(row_pos < last_close);
+    }
+
+    #[test]
+    fn partial_variants_keep_their_region_conditionals() {
+        for strategy in [
+            Strategy::Partial { gamma: 3 },
+            Strategy::PartialBypass { gamma: 3 },
+        ] {
+            let c = emit_transformed_adopt(
+                &window(),
+                0,
+                0,
+                0,
+                1,
+                TemplateOptions {
+                    strategy,
+                    single_assignment: false,
+                },
+            )
+            .unwrap();
+            assert!(c.contains("if (k > 3) {"));
+            assert_eq!(c.matches('{').count(), c.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn slice_dimensions_survive() {
+        let p = parse_program(
+            "array Old[8][23];
+             for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[i5][i4 + i6]; } } }",
+        )
+        .unwrap();
+        let c = emit_transformed_adopt(&p, 0, 0, 0, 2, TemplateOptions::default()).unwrap();
+        assert!(c.contains("Old_sub[1][8][7];"));
+        assert!(c.contains("Old_sub[row][i5][col]"));
+    }
+
+    #[test]
+    fn single_assignment_is_rejected() {
+        let opts = TemplateOptions {
+            strategy: Strategy::MaxReuse,
+            single_assignment: true,
+        };
+        assert!(emit_transformed_adopt(&window(), 0, 0, 0, 1, opts).is_err());
+    }
+}

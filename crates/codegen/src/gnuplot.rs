@@ -1,0 +1,111 @@
+//! Gnuplot output, matching the paper's prototype tool ("with graphical
+//! output using gnuplot").
+
+use std::fmt::Write as _;
+
+/// One data series for a gnuplot figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend title.
+    pub title: String,
+    /// `(x, y)` samples.
+    pub points: Vec<(f64, f64)>,
+    /// Gnuplot style, e.g. `"linespoints"` or `"points pt 7"`.
+    pub style: String,
+}
+
+impl Series {
+    /// Creates a series with the default `linespoints` style.
+    pub fn new(title: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            title: title.into(),
+            points,
+            style: "linespoints".into(),
+        }
+    }
+
+    /// Sets the gnuplot style.
+    pub fn with_style(mut self, style: impl Into<String>) -> Self {
+        self.style = style.into();
+        self
+    }
+}
+
+/// Renders a self-contained gnuplot script with inline data blocks.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::{gnuplot_script, Series};
+///
+/// let s = gnuplot_script(
+///     "Data reuse factor",
+///     "copy-candidate size",
+///     "F_R",
+///     true,
+///     &[Series::new("simulated", vec![(1.0, 1.0), (8.0, 5.6)])],
+/// );
+/// assert!(s.contains("set logscale x"));
+/// assert!(s.contains("$data0"));
+/// ```
+pub fn gnuplot_script(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    logx: bool,
+    series: &[Series],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "set title \"{title}\"");
+    let _ = writeln!(s, "set xlabel \"{xlabel}\"");
+    let _ = writeln!(s, "set ylabel \"{ylabel}\"");
+    if logx {
+        let _ = writeln!(s, "set logscale x");
+    }
+    let _ = writeln!(s, "set grid");
+    for (i, ser) in series.iter().enumerate() {
+        let _ = writeln!(s, "$data{i} << EOD");
+        for (x, y) in &ser.points {
+            let _ = writeln!(s, "{x} {y}");
+        }
+        let _ = writeln!(s, "EOD");
+    }
+    s.push_str("plot ");
+    for (i, ser) in series.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", \\\n     ");
+        }
+        let _ = write!(s, "$data{i} with {} title \"{}\"", ser.style, ser.title);
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_contains_all_series() {
+        let s = gnuplot_script(
+            "t",
+            "x",
+            "y",
+            false,
+            &[
+                Series::new("a", vec![(0.0, 1.0)]),
+                Series::new("b", vec![(2.0, 3.0)]).with_style("points pt 9"),
+            ],
+        );
+        assert!(s.contains("$data0") && s.contains("$data1"));
+        assert!(s.contains("points pt 9"));
+        assert!(!s.contains("logscale"));
+        assert!(s.contains("2 3"));
+    }
+
+    #[test]
+    fn empty_series_is_still_valid() {
+        let s = gnuplot_script("t", "x", "y", true, &[Series::new("e", Vec::new())]);
+        assert!(s.contains("EOD"));
+    }
+}

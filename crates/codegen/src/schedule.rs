@@ -1,0 +1,524 @@
+//! Executable transfer schedules — the semantics of the Fig. 8 template.
+//!
+//! Emitting C text is not a proof of correctness. This module *executes*
+//! the copy-candidate discipline the template encodes — fill on first
+//! access, retain along the reuse dependency, bypass or stream not-reused
+//! data, free at last use — against a reference array, checking that every
+//! buffered read returns the right element and counting the per-level
+//! traffic. The tests then assert the counts coincide exactly with the
+//! closed forms of `datareuse-core`, which is how this project validates
+//! that the paper's generated code achieves the paper's predicted
+//! `F_R`/`A` numbers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_core::{AnalyzeError, PairGeometry, ReuseClass};
+use datareuse_loopir::{AccessKind, IterSpace, Program};
+
+/// The copy strategy to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Maximum reuse in the pair iteration space (Section 6.1).
+    MaxReuse,
+    /// Partial reuse without bypass (eq. 16–18).
+    Partial {
+        /// The γ split parameter.
+        gamma: i64,
+    },
+    /// Partial reuse with bypass (eq. 19–22).
+    PartialBypass {
+        /// The γ split parameter.
+        gamma: i64,
+    },
+}
+
+/// Outcome of executing a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Total accesses executed.
+    pub accesses: u64,
+    /// Reads served by the copy-candidate.
+    pub hits: u64,
+    /// Elements written into the copy-candidate.
+    pub fills: u64,
+    /// Accesses served directly from the level above.
+    pub bypasses: u64,
+    /// Peak number of simultaneously live elements — must stay within the
+    /// analytical copy-candidate size `A`.
+    pub max_occupancy: u64,
+    /// Buffered reads returning the wrong element (0 for a correct
+    /// template).
+    pub value_errors: u64,
+    /// Largest number of fills issued within a single innermost iteration
+    /// (burst width the memory ports must sustain without buffering).
+    pub max_fills_per_iteration: u64,
+    /// Largest number of fills issued within one iteration of the pair's
+    /// outer loop `j` — the burst the single-assignment variant may spread
+    /// over the whole `j`-iteration (SCBD freedom, Section 6.1).
+    pub max_fills_per_outer_iteration: u64,
+}
+
+impl ScheduleReport {
+    /// The reuse factor realized by the executed schedule.
+    pub fn reuse_factor(&self) -> f64 {
+        let copied = self.accesses - self.bypasses;
+        if self.fills == 0 {
+            copied as f64
+        } else {
+            copied as f64 / self.fills as f64
+        }
+    }
+}
+
+/// Errors from schedule construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// Geometry extraction failed.
+    Analyze(AnalyzeError),
+    /// The pair carries no reuse; there is nothing to copy.
+    NoReuse,
+    /// The γ parameter is outside the validity interval.
+    BadGamma {
+        /// The offending γ.
+        gamma: i64,
+    },
+    /// The program does not contain the requested nest.
+    NoSuchNest {
+        /// The offending nest index.
+        nest: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Analyze(e) => write!(f, "analysis failed: {e}"),
+            Self::NoReuse => write!(f, "the loop pair carries no reuse"),
+            Self::BadGamma { gamma } => write!(f, "γ = {gamma} outside the validity interval"),
+            Self::NoSuchNest { nest } => write!(f, "nest index {nest} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Analyze(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalyzeError> for ScheduleError {
+    fn from(e: AnalyzeError) -> Self {
+        Self::Analyze(e)
+    }
+}
+
+/// Reference value stored at an address — a non-trivial mixing so slot
+/// confusion in the schedule cannot return accidentally-right data.
+fn reference_value(addr: u64) -> u64 {
+    addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (addr >> 7)
+}
+
+struct PairFlags {
+    bp: i64,
+    cp: i64,
+    anti: bool,
+    same_element: bool,
+    j_range: i64,
+    k_range: i64,
+    gamma: Option<i64>,
+}
+
+impl PairFlags {
+    /// True when iteration `(j, k)` (0-based) lies in the reuse region.
+    fn in_region(&self, k: i64) -> bool {
+        match self.gamma {
+            None => true,
+            Some(g) => {
+                if self.anti {
+                    k < g + self.bp
+                } else {
+                    k > self.k_range - 1 - g - self.bp
+                }
+            }
+        }
+    }
+
+    /// True when the element accessed at `(j, k)` has a future access
+    /// inside the (region-restricted) pair space.
+    fn keep_after(&self, j: i64, k: i64) -> bool {
+        if self.same_element {
+            // rank(B) = 0: the single element is live until the very last
+            // iteration of the pair space.
+            return j < self.j_range - 1 || k < self.k_range - 1;
+        }
+        if self.cp == 0 {
+            // c' = 0: the index is independent of k — the element repeats
+            // for every k of the current j-iteration and dies with it.
+            return k < self.k_range - 1;
+        }
+        if j >= self.j_range - self.cp {
+            return false;
+        }
+        match (self.gamma, self.anti) {
+            (None, false) => k >= self.bp,
+            (None, true) => k <= self.k_range - 1 - self.bp,
+            (Some(g), false) => k > self.k_range - 1 - g,
+            (Some(g), true) => k < g,
+        }
+    }
+}
+
+/// Executes the copy-candidate schedule for `program.nests()[nest]`,
+/// access `access`, over the loop pair `(outer, inner)` with `strategy`.
+///
+/// # Errors
+///
+/// Fails when the geometry cannot be extracted, when the pair carries no
+/// reuse, or when a partial strategy uses an invalid γ.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::{run_schedule, Strategy};
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+/// let report = run_schedule(&p, 0, 0, 0, 1, Strategy::MaxReuse)?;
+/// assert_eq!(report.value_errors, 0);
+/// assert_eq!(report.fills, 23);       // one fill per distinct element
+/// assert!(report.max_occupancy <= 7); // A_Max = c'(kRANGE − b') = 7
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_schedule(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    strategy: Strategy,
+) -> Result<ScheduleReport, ScheduleError> {
+    let raw_nest = program
+        .nests()
+        .get(nest)
+        .ok_or(ScheduleError::NoSuchNest { nest })?;
+    let geom = PairGeometry::from_access(raw_nest, access, outer, inner)?;
+    let (bp, cp, anti) = match geom.class {
+        ReuseClass::NoReuse => return Err(ScheduleError::NoReuse),
+        ReuseClass::SameElement => (0, 0, false),
+        ReuseClass::Vector { bp, cp, anti } => (bp, cp, anti),
+    };
+    let gamma = match strategy {
+        Strategy::MaxReuse => None,
+        Strategy::Partial { gamma } | Strategy::PartialBypass { gamma } => {
+            if gamma < bp || gamma >= geom.k_range - bp || cp == 0 {
+                return Err(ScheduleError::BadGamma { gamma });
+            }
+            Some(gamma)
+        }
+    };
+    let bypassing = matches!(strategy, Strategy::PartialBypass { .. });
+    let flags = PairFlags {
+        bp,
+        cp,
+        anti,
+        same_element: matches!(geom.class, ReuseClass::SameElement),
+        j_range: geom.j_range,
+        k_range: geom.k_range,
+        gamma,
+    };
+
+    let norm = raw_nest.normalized();
+    let loops = norm.loops();
+    let decl = program
+        .array(norm.accesses()[access].array())
+        .expect("validated program");
+    // All accesses merged into the group execute through the buffer.
+    let signature = norm.accesses()[access].indices();
+    let member_ids: Vec<usize> = norm
+        .accesses()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.indices() == signature && a.kind() == AccessKind::Read)
+        .map(|(i, _)| i)
+        .collect();
+    // Iterators that repeat the same data (repeat_same loops): freeing is
+    // deferred until they sit at their upper bound.
+    let rs_loops: Vec<usize> = (0..loops.len())
+        .filter(|&d| {
+            d > outer
+                && d != inner
+                && signature.iter().all(|e| e.coeff(loops[d].name()) == 0)
+        })
+        .collect();
+
+    let mut buffer: HashMap<u64, u64> = HashMap::new();
+    let mut report = ScheduleReport {
+        accesses: 0,
+        hits: 0,
+        fills: 0,
+        bypasses: 0,
+        max_occupancy: 0,
+        value_errors: 0,
+        max_fills_per_iteration: 0,
+        max_fills_per_outer_iteration: 0,
+    };
+    let mut fills_this_j = 0u64;
+    let mut last_j = i64::MIN;
+
+    let members = member_ids.len() as u64;
+    for point in IterSpace::over(loops) {
+        let j = point[outer];
+        let k = point[inner];
+        if j != last_j {
+            report.max_fills_per_outer_iteration =
+                report.max_fills_per_outer_iteration.max(fills_this_j);
+            fills_this_j = 0;
+            last_j = j;
+        }
+        let rs_at_max = rs_loops.iter().all(|&d| point[d] == loops[d].upper());
+        // All group members share the index expression, hence the address.
+        let acc = &norm.accesses()[access];
+        let idx: Vec<i64> = acc
+            .indices()
+            .iter()
+            .map(|e| e.eval(|n| norm.loop_index(n).map(|d| point[d])))
+            .collect();
+        let addr = decl.linearize(&idx);
+        let expected = reference_value(addr);
+        report.accesses += members;
+        if bypassing && !flags.in_region(k) {
+            report.bypasses += members;
+            continue;
+        }
+        match buffer.get(&addr) {
+            Some(&stored) => {
+                report.hits += members;
+                if stored != expected {
+                    report.value_errors += 1;
+                }
+            }
+            None => {
+                // First member fills; the rest hit the fresh copy.
+                report.fills += 1;
+                report.hits += members - 1;
+                fills_this_j += 1;
+                report.max_fills_per_iteration = report.max_fills_per_iteration.max(1);
+                buffer.insert(addr, expected);
+            }
+        }
+        report.max_occupancy = report.max_occupancy.max(buffer.len() as u64);
+        let keep = if flags.in_region(k) {
+            !rs_at_max || flags.keep_after(j, k)
+        } else {
+            false // streamed-through, freed immediately
+        };
+        if !keep {
+            buffer.remove(&addr);
+        }
+    }
+    report.max_fills_per_outer_iteration =
+        report.max_fills_per_outer_iteration.max(fills_this_j);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_core::{max_reuse, partial_reuse};
+    use datareuse_loopir::parse_program;
+
+    fn check_max(src: &str, outer: usize, inner: usize) -> ScheduleReport {
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, outer, inner).unwrap();
+        let point = max_reuse(&geom).expect("reuse exists");
+        let report = run_schedule(&p, 0, 0, outer, inner, Strategy::MaxReuse).unwrap();
+        assert_eq!(report.value_errors, 0, "wrong data read");
+        assert_eq!(report.fills, point.fills, "fills != closed form");
+        assert_eq!(report.accesses, point.c_tot);
+        assert!(
+            report.max_occupancy <= point.size,
+            "occupancy {} exceeds A = {} ({src})",
+            report.max_occupancy,
+            point.size
+        );
+        report
+    }
+
+    #[test]
+    fn max_reuse_canonical_window() {
+        let r = check_max(
+            "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+            0,
+            1,
+        );
+        assert_eq!(r.max_occupancy, 7); // A_Max is tight
+    }
+
+    #[test]
+    fn max_reuse_motion_estimation_inner_nest() {
+        let r = check_max(
+            "array Old[8][23];
+             for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[i5][i4 + i6];
+             } } }",
+            0,
+            2,
+        );
+        assert_eq!(r.max_occupancy, 56); // n·(n−1), §6.3
+    }
+
+    #[test]
+    fn max_reuse_coprime_and_gcd_patterns() {
+        check_max(
+            "array A[60]; for j in 0..12 { for k in 0..10 { read A[2*j + 3*k]; } }",
+            0,
+            1,
+        );
+        check_max(
+            "array A[70]; for j in 0..12 { for k in 0..10 { read A[2*j + 4*k]; } }",
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    fn max_reuse_anti_diagonal_occupancy() {
+        let r = check_max(
+            "array A[30]; for j in 0..12 { for k in 0..10 { read A[12 + k - j]; } }",
+            0,
+            1,
+        );
+        // A_Max(anti) = c'(kR − b') + b' = 10, and it is tight.
+        assert_eq!(r.max_occupancy, 10);
+    }
+
+    #[test]
+    fn max_reuse_same_element() {
+        let p = parse_program("array A[4]; for j in 0..5 { for k in 0..6 { read A[2]; } }")
+            .unwrap();
+        let r = run_schedule(&p, 0, 0, 0, 1, Strategy::MaxReuse).unwrap();
+        assert_eq!(r.fills, 1);
+        assert_eq!(r.hits, 29);
+        assert_eq!(r.max_occupancy, 1);
+        assert_eq!(r.value_errors, 0);
+    }
+
+    #[test]
+    fn max_reuse_repeat_same_sweeps() {
+        let src = "array A[23]; for j in 0..16 { for m in 0..4 { for k in 0..8 {
+                     read A[j + k]; } } }";
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 2).unwrap();
+        let point = max_reuse(&geom).unwrap();
+        let r = run_schedule(&p, 0, 0, 0, 2, Strategy::MaxReuse).unwrap();
+        assert_eq!(r.value_errors, 0);
+        assert_eq!(r.fills, point.fills);
+        assert!(r.max_occupancy <= point.size);
+    }
+
+    #[test]
+    fn partial_matches_closed_forms() {
+        let src = "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }";
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        for gamma in 1..7i64 {
+            let point = partial_reuse(&geom, gamma, false).unwrap();
+            let r = run_schedule(&p, 0, 0, 0, 1, Strategy::Partial { gamma }).unwrap();
+            assert_eq!(r.value_errors, 0);
+            assert_eq!(r.fills, point.fills, "γ={gamma}");
+            assert!(
+                r.max_occupancy <= point.size,
+                "γ={gamma}: occupancy {} > A(γ) {}",
+                r.max_occupancy,
+                point.size
+            );
+        }
+    }
+
+    #[test]
+    fn partial_bypass_matches_closed_forms() {
+        let src = "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }";
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        for gamma in 1..7i64 {
+            let point = partial_reuse(&geom, gamma, true).unwrap();
+            let r = run_schedule(&p, 0, 0, 0, 1, Strategy::PartialBypass { gamma }).unwrap();
+            assert_eq!(r.value_errors, 0);
+            assert_eq!(r.fills, point.fills, "γ={gamma}");
+            assert_eq!(r.bypasses, point.bypasses, "γ={gamma}");
+            assert!(r.max_occupancy <= point.size, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn partial_bypass_me_inner_nest() {
+        let src = "array Old[8][23];
+                   for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+                     read Old[i5][i4 + i6]; } } }";
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 2).unwrap();
+        for gamma in [1i64, 3, 6] {
+            let point = partial_reuse(&geom, gamma, true).unwrap();
+            let r = run_schedule(&p, 0, 0, 0, 2, Strategy::PartialBypass { gamma }).unwrap();
+            assert_eq!(r.value_errors, 0);
+            assert_eq!(r.fills, point.fills, "γ={gamma}");
+            assert_eq!(r.bypasses, point.bypasses, "γ={gamma}");
+            assert!(r.max_occupancy <= point.size, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn errors_on_no_reuse_and_bad_gamma() {
+        let p = parse_program(
+            "array A[8][8]; for j in 0..8 { for k in 0..8 { read A[j][k]; } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_schedule(&p, 0, 0, 0, 1, Strategy::MaxReuse),
+            Err(ScheduleError::NoReuse)
+        ));
+        let q = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        assert!(matches!(
+            run_schedule(&q, 0, 0, 0, 1, Strategy::Partial { gamma: 0 }),
+            Err(ScheduleError::BadGamma { gamma: 0 })
+        ));
+        assert!(matches!(
+            run_schedule(&q, 0, 0, 0, 1, Strategy::Partial { gamma: 9 }),
+            Err(ScheduleError::BadGamma { .. })
+        ));
+        assert!(matches!(
+            run_schedule(&q, 3, 0, 0, 1, Strategy::MaxReuse),
+            Err(ScheduleError::NoSuchNest { nest: 3 })
+        ));
+    }
+
+    #[test]
+    fn merged_group_members_hit_after_first() {
+        let src = "array A[23]; for j in 0..16 { for k in 0..8 {
+                     read A[j + k]; read A[j + k]; } }";
+        let p = parse_program(src).unwrap();
+        let r = run_schedule(&p, 0, 0, 0, 1, Strategy::MaxReuse).unwrap();
+        assert_eq!(r.accesses, 256);
+        assert_eq!(r.fills, 23);
+        assert_eq!(r.value_errors, 0);
+    }
+
+    #[test]
+    fn realized_reuse_factor_matches_point() {
+        let src = "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }";
+        let p = parse_program(src).unwrap();
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        let point = max_reuse(&geom).unwrap();
+        let r = run_schedule(&p, 0, 0, 0, 1, Strategy::MaxReuse).unwrap();
+        assert!((r.reuse_factor() - point.reuse_factor()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,477 @@
+//! The Fig. 8 code template and its variants.
+//!
+//! The paper's generic code introduces a copy `A_sub` of size
+//! `c' × (kRANGE − b')` with a modulo replacement policy: the elements of
+//! the previous `(c'−1)` j-iterations are kept, and within the current
+//! j-iteration "the first b' elements … can be overwritten by the last b'
+//! elements which are accessed for the first time". [`emit_transformed`]
+//! renders that template (plus the partial/bypass and single-assignment
+//! variants of Sections 6.2/6.1), and [`verify_fig8_addressing`] executes
+//! the modulo addressing to prove no live element is ever overwritten.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+use datareuse_core::{PairGeometry, ReuseClass};
+use datareuse_loopir::{IterSpace, Program};
+
+use crate::ctext::{c_type, CWriter};
+use crate::schedule::{ScheduleError, Strategy};
+
+/// Options for the transformed-code emitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateOptions {
+    /// Copy strategy to implement.
+    pub strategy: Strategy,
+    /// Emit the single-assignment variant: the copy dimensions are
+    /// enlarged to `A_sub[c'][((jU−jL)/c')·b' + kU + 1]` and the modulo on
+    /// the column index disappears, giving the SCBD step "the full freedom
+    /// to schedule the updates at earlier time instances" (Section 6.1).
+    pub single_assignment: bool,
+}
+
+impl Default for TemplateOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::MaxReuse,
+            single_assignment: false,
+        }
+    }
+}
+
+pub(crate) struct TemplateGeom {
+    pub(crate) bp: i64,
+    pub(crate) cp: i64,
+    /// True for `c' = 0`: the index does not depend on `k`, so the copy is
+    /// a scalar refreshed at the first `k` iteration of every `j` (the
+    /// paper's template assumes `c > 0`; this is its natural degenerate
+    /// form).
+    pub(crate) k_invariant: bool,
+    pub(crate) j_depth: usize,
+    pub(crate) k_depth: usize,
+    pub(crate) gamma: Option<i64>,
+    pub(crate) bypass: bool,
+}
+
+pub(crate) fn resolve_geometry(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    strategy: Strategy,
+) -> Result<(PairGeometry, TemplateGeom), ScheduleError> {
+    let raw_nest = program
+        .nests()
+        .get(nest)
+        .ok_or(ScheduleError::NoSuchNest { nest })?;
+    let geom = PairGeometry::from_access(raw_nest, access, outer, inner)?;
+    let (bp, cp, k_invariant) = match geom.class {
+        ReuseClass::NoReuse => return Err(ScheduleError::NoReuse),
+        ReuseClass::SameElement => (0, 1, false),
+        ReuseClass::Vector { bp, cp, .. } => (bp, cp.max(1), cp == 0),
+    };
+    let (gamma, bypass) = match strategy {
+        Strategy::MaxReuse => (None, false),
+        Strategy::Partial { gamma } => (Some(gamma), false),
+        Strategy::PartialBypass { gamma } => (Some(gamma), true),
+    };
+    if let Some(g) = gamma {
+        if k_invariant || g < bp || g >= geom.k_range - bp {
+            return Err(ScheduleError::BadGamma { gamma: g });
+        }
+    }
+    Ok((
+        geom,
+        TemplateGeom {
+            bp,
+            cp,
+            k_invariant,
+            j_depth: outer,
+            k_depth: inner,
+            gamma,
+            bypass,
+        },
+    ))
+}
+
+/// Emits the transformed C code for one access following the paper's
+/// template, with the copy-candidate introduced over the loop pair
+/// `(outer, inner)`.
+///
+/// The emitted addressing "looks rather complicated, but can be linearized
+/// and greatly simplified by the ADOPT tools for address optimization"
+/// (the paper's own caveat) — it is meant as the input to those subsequent
+/// steps, not as hand-polished code.
+///
+/// # Errors
+///
+/// Fails for missing nests/accesses, reuse-free pairs, or invalid γ.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::{emit_transformed, TemplateOptions};
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+/// let c = emit_transformed(&p, 0, 0, 0, 1, TemplateOptions::default())?;
+/// assert!(c.contains("A_sub"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn emit_transformed(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    opts: TemplateOptions,
+) -> Result<String, ScheduleError> {
+    let (pair, tg) = resolve_geometry(program, nest, access, outer, inner, opts.strategy)?;
+    let norm = program.nests()[nest].normalized();
+    let loops = norm.loops();
+    let acc = &norm.accesses()[access];
+    let decl = program.array(acc.array()).expect("validated program");
+    let bits = decl.elem_bits();
+
+    let k_span = if tg.k_invariant {
+        1
+    } else {
+        match tg.gamma {
+            None => pair.k_range - tg.bp,
+            Some(g) => g + i64::from(!tg.bypass),
+        }
+        .max(1)
+    };
+    let col_span = if opts.single_assignment {
+        ((pair.j_range - 1) / tg.cp) * tg.bp + pair.k_range
+    } else {
+        k_span
+    };
+    // One buffer dimension per repeat-distinct loop inside the sub-nest.
+    let slice_loops: Vec<usize> = (0..loops.len())
+        .filter(|&d| {
+            d > tg.j_depth
+                && d != tg.k_depth
+                && acc.indices().iter().any(|e| e.coeff(loops[d].name()) != 0)
+        })
+        .collect();
+
+    let j = loops[tg.j_depth].name();
+    let k = loops[tg.k_depth].name();
+    let sub = format!("{}_sub", acc.array());
+    let mut w = CWriter::new();
+    w.line(format!(
+        "/* copy-candidate for {} over pair ({j}, {k}): b'={}, c'={}, {} */",
+        acc.array(),
+        tg.bp,
+        tg.cp,
+        match tg.gamma {
+            None => "maximum reuse".to_string(),
+            Some(g) if tg.bypass => format!("partial reuse with bypass, gamma={g}"),
+            Some(g) => format!("partial reuse, gamma={g}"),
+        }
+    ));
+    let mut dims = format!("[{}]", tg.cp);
+    for &d in &slice_loops {
+        dims.push_str(&format!("[{}]", loops[d].trip_count()));
+    }
+    dims.push_str(&format!("[{col_span}]"));
+    w.line(format!("{} {sub}{dims};", c_type(bits)));
+    if tg.gamma.is_some() && !tg.bypass {
+        // The +1 transient element of A(γ) = c'·γ + 1 (eq. 18).
+        w.line(format!("{} {sub}_stream;", c_type(bits)));
+    }
+    w.line("");
+    for l in loops {
+        w.open(format!(
+            "for (int {n} = {lo}; {n} <= {hi}; {n}++) {{",
+            n = l.name(),
+            lo = l.lower(),
+            hi = l.upper()
+        ));
+    }
+    let row = format!("({j} % {})", tg.cp);
+    let col_base = format!("({k} + ({j} / {}) * {})", tg.cp, tg.bp);
+    let col = if opts.single_assignment {
+        col_base
+    } else {
+        format!("({col_base} % {col_span})")
+    };
+    let mut slot = format!("{sub}[{row}]");
+    for &d in &slice_loops {
+        slot.push_str(&format!("[{}]", loops[d].name()));
+    }
+    slot.push_str(&format!("[{col}]"));
+    let orig = {
+        let subs: String = acc
+            .indices()
+            .iter()
+            .map(|e| format!("[{e}]"))
+            .collect();
+        format!("{}{subs}", acc.array())
+    };
+    let first = if tg.k_invariant {
+        format!("({k} == 0)")
+    } else {
+        format!(
+            "({j} < {cp} || {k} > {ku} - {bp})",
+            cp = tg.cp,
+            ku = pair.k_range - 1,
+            bp = tg.bp
+        )
+    };
+    if let Some(g) = tg.gamma {
+        let region = format!("{k} > {}", pair.k_range - 1 - g - tg.bp);
+        w.open(format!("if ({region}) {{"));
+        w.open(format!("if ({first}) {{"));
+        w.line(format!("{slot} = {orig}; /* copy from next level */"));
+        w.close();
+        w.line(format!("sink = {slot};"));
+        w.open_else();
+        if tg.bypass {
+            w.line(format!("sink = {orig}; /* bypass: no reuse here */"));
+        } else {
+            w.line(format!("{sub}_stream = {orig}; /* streamed through */"));
+            w.line(format!("sink = {sub}_stream;"));
+        }
+        w.close();
+    } else {
+        w.open(format!("if ({first}) {{"));
+        w.line(format!("{slot} = {orig}; /* copy from next level */"));
+        w.close();
+        w.line(format!("sink = {slot};"));
+    }
+    for _ in loops {
+        w.close();
+    }
+    Ok(w.into_string())
+}
+
+/// Result of executing the Fig. 8 modulo addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fig8Report {
+    /// Buffered reads whose slot held the expected element.
+    pub reads_checked: u64,
+    /// Fills that overwrote a still-live different element — 0 proves the
+    /// addressing sound.
+    pub collisions: u64,
+}
+
+/// Executes the maximum-reuse modulo addressing of Fig. 8 (canonical
+/// orientation, single sweep) and verifies no live element is overwritten
+/// and every read finds its element in the computed slot.
+///
+/// # Errors
+///
+/// Fails like [`emit_transformed`]; additionally refuses anti-diagonal
+/// and re-swept geometries, which the Fig. 8 template does not cover.
+pub fn verify_fig8_addressing(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+) -> Result<Fig8Report, ScheduleError> {
+    let (pair, tg) = resolve_geometry(program, nest, access, outer, inner, Strategy::MaxReuse)?;
+    if matches!(pair.class, ReuseClass::Vector { anti: true, .. }) || pair.repeat_same != 1 {
+        return Err(ScheduleError::NoReuse);
+    }
+    let norm = program.nests()[nest].normalized();
+    let loops = norm.loops();
+    let acc = &norm.accesses()[access];
+    let decl = program.array(acc.array()).expect("validated program");
+    let col_span = if tg.k_invariant {
+        1
+    } else {
+        (pair.k_range - tg.bp).max(1)
+    };
+    let slice_loops: Vec<usize> = (0..loops.len())
+        .filter(|&d| {
+            d > tg.j_depth
+                && d != tg.k_depth
+                && acc.indices().iter().any(|e| e.coeff(loops[d].name()) != 0)
+        })
+        .collect();
+
+    let mut slots: HashMap<(i64, Vec<i64>, i64), u64> = HashMap::new();
+    let mut live: HashSet<u64> = HashSet::new();
+    let mut report = Fig8Report {
+        reads_checked: 0,
+        collisions: 0,
+    };
+    for point in IterSpace::over(loops) {
+        let j = point[tg.j_depth];
+        let k = point[tg.k_depth];
+        let idx: Vec<i64> = acc
+            .indices()
+            .iter()
+            .map(|e| e.eval(|n| norm.loop_index(n).map(|d| point[d])))
+            .collect();
+        let addr = decl.linearize(&idx);
+        let slice: Vec<i64> = slice_loops.iter().map(|&d| point[d]).collect();
+        let row = j % tg.cp;
+        let col = if tg.k_invariant {
+            0
+        } else {
+            (k + (j / tg.cp) * tg.bp) % col_span
+        };
+        let key = (row, slice, col);
+        let first = if tg.k_invariant {
+            k == 0
+        } else {
+            j < tg.cp || k > pair.k_range - 1 - tg.bp
+        };
+        if first {
+            if let Some(&old) = slots.get(&key) {
+                if old != addr && live.contains(&old) {
+                    report.collisions += 1;
+                }
+            }
+            slots.insert(key, addr);
+            live.insert(addr);
+        } else {
+            match slots.get(&key) {
+                Some(&stored) if stored == addr => report.reads_checked += 1,
+                _ => report.collisions += 1,
+            }
+        }
+        // Liveness: drop after the last use in the pair space.
+        let keep = if tg.k_invariant {
+            k < pair.k_range - 1
+        } else {
+            j < pair.j_range - tg.cp && k >= tg.bp
+        };
+        if !keep {
+            live.remove(&addr);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::parse_program;
+
+    fn window() -> Program {
+        parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }").unwrap()
+    }
+
+    #[test]
+    fn max_template_structure() {
+        let c = emit_transformed(&window(), 0, 0, 0, 1, TemplateOptions::default()).unwrap();
+        assert!(c.contains("uint8_t A_sub[1][7];"));
+        assert!(c.contains("if ((j < 1 || k > 7 - 1)) {"));
+        assert!(c.contains("A_sub[(j % 1)][((k + (j / 1) * 1) % 7)] = A[j + k];"));
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+    }
+
+    #[test]
+    fn partial_template_has_region_conditional() {
+        let opts = TemplateOptions {
+            strategy: Strategy::Partial { gamma: 3 },
+            single_assignment: false,
+        };
+        let c = emit_transformed(&window(), 0, 0, 0, 1, opts).unwrap();
+        assert!(c.contains("if (k > 3) {")); // kU − γ − b' = 7 − 3 − 1
+        assert!(c.contains("A_sub[1][4];")); // γ + 1 columns
+        assert!(c.contains("streamed through"));
+    }
+
+    #[test]
+    fn bypass_template_reads_origin_directly() {
+        let opts = TemplateOptions {
+            strategy: Strategy::PartialBypass { gamma: 3 },
+            single_assignment: false,
+        };
+        let c = emit_transformed(&window(), 0, 0, 0, 1, opts).unwrap();
+        assert!(c.contains("A_sub[1][3];")); // γ columns, no +1
+        assert!(c.contains("sink = A[j + k]; /* bypass: no reuse here */"));
+    }
+
+    #[test]
+    fn single_assignment_variant_drops_modulo() {
+        let opts = TemplateOptions {
+            strategy: Strategy::MaxReuse,
+            single_assignment: true,
+        };
+        let c = emit_transformed(&window(), 0, 0, 0, 1, opts).unwrap();
+        // ((jU−jL)/c')·b' + kU + 1 = 15·1 + 8 = 23 columns.
+        assert!(c.contains("A_sub[1][23];"));
+        assert!(!c.contains("% 23"));
+    }
+
+    #[test]
+    fn me_inner_nest_gets_slice_dimension() {
+        let p = parse_program(
+            "array Old[8][23];
+             for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[i5][i4 + i6]; } } }",
+        )
+        .unwrap();
+        let c = emit_transformed(&p, 0, 0, 0, 2, TemplateOptions::default()).unwrap();
+        // c' × n × (kRANGE − b') = 1 × 8 × 7 — the §6.3 A_Max = 56.
+        assert!(c.contains("Old_sub[1][8][7];"), "{c}");
+        assert!(c.contains("[i5]"));
+    }
+
+    #[test]
+    fn fig8_addressing_is_collision_free() {
+        for src in [
+            "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+            "array A[60]; for j in 0..12 { for k in 0..10 { read A[2*j + 3*k]; } }",
+            "array A[70]; for j in 0..12 { for k in 0..10 { read A[2*j + 4*k]; } }",
+            "array A[95]; for j in 0..30 { for k in 0..8 { read A[3*j + 1*k]; } }",
+        ] {
+            let p = parse_program(src).unwrap();
+            let r = verify_fig8_addressing(&p, 0, 0, 0, 1).unwrap();
+            assert_eq!(r.collisions, 0, "collisions in {src}");
+            assert!(r.reads_checked > 0);
+        }
+    }
+
+    #[test]
+    fn fig8_addressing_covers_me_inner_nest() {
+        let p = parse_program(
+            "array Old[8][23];
+             for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[i5][i4 + i6]; } } }",
+        )
+        .unwrap();
+        let r = verify_fig8_addressing(&p, 0, 0, 0, 2).unwrap();
+        assert_eq!(r.collisions, 0);
+        // Every non-first access reads from the copy: C_tot − fills.
+        assert_eq!(r.reads_checked, 1024 - 184);
+    }
+
+    #[test]
+    fn fig8_rejects_uncovered_geometries() {
+        let anti =
+            parse_program("array A[30]; for j in 0..12 { for k in 0..10 { read A[12 + k - j]; } }")
+                .unwrap();
+        assert!(verify_fig8_addressing(&anti, 0, 0, 0, 1).is_err());
+        let norense =
+            parse_program("array A[8][8]; for j in 0..8 { for k in 0..8 { read A[j][k]; } }")
+                .unwrap();
+        assert!(verify_fig8_addressing(&norense, 0, 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let p = window();
+        assert!(matches!(
+            emit_transformed(&p, 2, 0, 0, 1, TemplateOptions::default()),
+            Err(ScheduleError::NoSuchNest { .. })
+        ));
+        let opts = TemplateOptions {
+            strategy: Strategy::Partial { gamma: 0 },
+            single_assignment: false,
+        };
+        assert!(matches!(
+            emit_transformed(&p, 0, 0, 0, 1, opts),
+            Err(ScheduleError::BadGamma { .. })
+        ));
+    }
+}

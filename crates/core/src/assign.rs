@@ -1,0 +1,284 @@
+//! Global hierarchy layer assignment across signals (DTSE step 3's
+//! follow-up: "a global decision optimizing the total memory hierarchy
+//! including all signals, will then be taken in a subsequent *global
+//! hierarchy layer assignment* step").
+//!
+//! Each signal brings the Pareto set of its own copy-candidate chains; the
+//! assignment picks one option per signal minimizing the combined eq. 2
+//! cost `α·ΣP + β·ΣA`, optionally under a total on-chip capacity budget.
+//! Exhaustive search is used while the product of option counts is small,
+//! falling back to a marginal-gain greedy otherwise.
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_memmodel::{ChainCost, CopyChain};
+
+/// One signal's menu of evaluated hierarchy options. Option 0 should be
+/// the baseline (no hierarchy) so the assignment can always fall back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalOptions {
+    /// Signal name.
+    pub array: String,
+    /// Evaluated chains: `(chain, cost)`.
+    pub options: Vec<(CopyChain, ChainCost)>,
+}
+
+/// The chosen option index per signal, plus aggregate numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// `choice[i]` indexes `signals[i].options`.
+    pub choice: Vec<usize>,
+    /// Combined weighted cost of the selection.
+    pub total_cost: f64,
+    /// Combined on-chip capacity of the selection, in elements.
+    pub total_words: u64,
+}
+
+/// Search limit under which the assignment is solved exhaustively.
+const EXHAUSTIVE_LIMIT: u128 = 200_000;
+
+/// Picks one chain per signal minimizing `Σ (α·energy + β·size)` subject
+/// to `Σ on-chip words ≤ budget_words` (when given).
+///
+/// Returns `None` only when some signal has an empty option list or no
+/// feasible combination exists under the budget (always include a
+/// baseline option to avoid this).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::{assign_layers, SignalOptions};
+/// use datareuse_memmodel::{evaluate_chain, BitCount, ChainLevel, CopyChain, MemoryTechnology};
+///
+/// let tech = MemoryTechnology::new();
+/// let mut options = Vec::new();
+/// for fills in [50u64, 200] {
+///     let mut menu = Vec::new();
+///     for chain in [
+///         CopyChain::baseline(1000, 4096, 8),
+///         {
+///             let mut c = CopyChain::baseline(1000, 4096, 8);
+///             c.push_level(ChainLevel::new(128, fills));
+///             c
+///         },
+///     ] {
+///         let cost = evaluate_chain(&chain, &tech, &BitCount);
+///         menu.push((chain, cost));
+///     }
+///     options.push(SignalOptions { array: format!("S{fills}"), options: menu });
+/// }
+/// let a = assign_layers(&options, 1.0, 0.0, None).expect("feasible");
+/// assert_eq!(a.choice, vec![1, 1]); // hierarchy wins for both signals
+/// ```
+pub fn assign_layers(
+    signals: &[SignalOptions],
+    alpha: f64,
+    beta: f64,
+    budget_words: Option<u64>,
+) -> Option<Assignment> {
+    if signals.iter().any(|s| s.options.is_empty()) {
+        return None;
+    }
+    let combos: u128 = signals.iter().map(|s| s.options.len() as u128).product();
+    if combos <= EXHAUSTIVE_LIMIT {
+        assign_exhaustive(signals, alpha, beta, budget_words)
+    } else {
+        assign_greedy(signals, alpha, beta, budget_words)
+    }
+}
+
+fn selection_stats(
+    signals: &[SignalOptions],
+    choice: &[usize],
+    alpha: f64,
+    beta: f64,
+) -> (f64, u64) {
+    let mut cost = 0.0;
+    let mut words = 0u64;
+    for (s, &c) in signals.iter().zip(choice) {
+        let (_, opt_cost) = &s.options[c];
+        cost += opt_cost.weighted(alpha, beta);
+        words += opt_cost.onchip_words;
+    }
+    (cost, words)
+}
+
+fn assign_exhaustive(
+    signals: &[SignalOptions],
+    alpha: f64,
+    beta: f64,
+    budget_words: Option<u64>,
+) -> Option<Assignment> {
+    let mut choice = vec![0usize; signals.len()];
+    let mut best: Option<Assignment> = None;
+    loop {
+        let (cost, words) = selection_stats(signals, &choice, alpha, beta);
+        let feasible = budget_words.is_none_or(|b| words <= b);
+        if feasible && best.as_ref().is_none_or(|b| cost < b.total_cost) {
+            best = Some(Assignment {
+                choice: choice.clone(),
+                total_cost: cost,
+                total_words: words,
+            });
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == signals.len() {
+                return best;
+            }
+            choice[i] += 1;
+            if choice[i] < signals[i].options.len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn assign_greedy(
+    signals: &[SignalOptions],
+    alpha: f64,
+    beta: f64,
+    budget_words: Option<u64>,
+) -> Option<Assignment> {
+    // Start from the per-signal minimum-size option (baselines), then take
+    // the single-option swap with the best cost improvement until no swap
+    // fits the budget or improves.
+    let mut choice: Vec<usize> = signals
+        .iter()
+        .map(|s| {
+            (0..s.options.len())
+                .min_by_key(|&i| s.options[i].1.onchip_words)
+                .unwrap_or(0)
+        })
+        .collect();
+    loop {
+        let (cost, words) = selection_stats(signals, &choice, alpha, beta);
+        let mut best_delta = 0.0f64;
+        let mut best_swap: Option<(usize, usize)> = None;
+        for (si, s) in signals.iter().enumerate() {
+            for oi in 0..s.options.len() {
+                if oi == choice[si] {
+                    continue;
+                }
+                let cur = &s.options[choice[si]].1;
+                let alt = &s.options[oi].1;
+                let new_words = words - cur.onchip_words + alt.onchip_words;
+                if budget_words.is_some_and(|b| new_words > b) {
+                    continue;
+                }
+                let delta = alt.weighted(alpha, beta) - cur.weighted(alpha, beta);
+                if delta < best_delta {
+                    best_delta = delta;
+                    best_swap = Some((si, oi));
+                }
+            }
+        }
+        match best_swap {
+            Some((si, oi)) => choice[si] = oi,
+            None => {
+                let feasible = budget_words.is_none_or(|b| words <= b);
+                return feasible.then_some(Assignment {
+                    choice,
+                    total_cost: cost,
+                    total_words: words,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_memmodel::{evaluate_chain, BitCount, ChainLevel, MemoryTechnology};
+
+    fn menu(c_tot: u64, level: Option<(u64, u64)>) -> (CopyChain, ChainCost) {
+        let tech = MemoryTechnology::new();
+        let mut chain = CopyChain::baseline(c_tot, 4096, 8);
+        if let Some((words, fills)) = level {
+            chain.push_level(ChainLevel::new(words, fills));
+        }
+        let cost = evaluate_chain(&chain, &tech, &BitCount);
+        (chain, cost)
+    }
+
+    fn signal(name: &str, options: Vec<(CopyChain, ChainCost)>) -> SignalOptions {
+        SignalOptions {
+            array: name.into(),
+            options,
+        }
+    }
+
+    #[test]
+    fn budget_forces_baseline_for_one_signal() {
+        // Both signals want a 256-word level but only one fits in 300.
+        let a = signal(
+            "A",
+            vec![menu(10_000, None), menu(10_000, Some((256, 100)))],
+        );
+        let b = signal("B", vec![menu(1_000, None), menu(1_000, Some((256, 100)))]);
+        let asg = assign_layers(&[a, b], 1.0, 0.0, Some(300)).unwrap();
+        // The hotter signal (A, 10k accesses) gets the buffer.
+        assert_eq!(asg.choice, vec![1, 0]);
+        assert!(asg.total_words <= 300);
+    }
+
+    #[test]
+    fn no_budget_picks_global_minimum() {
+        let a = signal("A", vec![menu(10_000, None), menu(10_000, Some((256, 100)))]);
+        let b = signal("B", vec![menu(10_000, None), menu(10_000, Some((128, 50)))]);
+        let asg = assign_layers(&[a, b], 1.0, 0.0, None).unwrap();
+        assert_eq!(asg.choice, vec![1, 1]);
+    }
+
+    #[test]
+    fn beta_penalizes_size() {
+        let a = signal(
+            "A",
+            vec![menu(1_000, None), menu(1_000, Some((2048, 900)))],
+        );
+        // With a heavy size weight, the marginal power gain cannot pay for
+        // 2048 words.
+        let asg = assign_layers(&[a], 1.0, 1e6, None).unwrap();
+        assert_eq!(asg.choice, vec![0]);
+    }
+
+    #[test]
+    fn empty_options_yield_none() {
+        let s = SignalOptions {
+            array: "X".into(),
+            options: Vec::new(),
+        };
+        assert!(assign_layers(&[s], 1.0, 1.0, None).is_none());
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_separable_instances() {
+        // Budget-free, independent signals: greedy must find the same
+        // optimum as exhaustive.
+        let signals: Vec<SignalOptions> = (0..4)
+            .map(|i| {
+                signal(
+                    &format!("S{i}"),
+                    vec![
+                        menu(1_000 * (i + 1), None),
+                        menu(1_000 * (i + 1), Some((64 << i, 100))),
+                        menu(1_000 * (i + 1), Some((16 << i, 400))),
+                    ],
+                )
+            })
+            .collect();
+        let ex = assign_exhaustive(&signals, 1.0, 0.1, None).unwrap();
+        let gr = assign_greedy(&signals, 1.0, 0.1, None).unwrap();
+        assert!((ex.total_cost - gr.total_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none_or_baselines() {
+        let a = signal("A", vec![menu(1_000, Some((256, 100)))]); // no baseline!
+        assert!(assign_layers(&[a], 1.0, 0.0, Some(10)).is_none());
+    }
+}

@@ -1,0 +1,564 @@
+//! Per-signal exploration driver (DTSE step 3, "data reuse").
+//!
+//! For one array signal, the driver gathers every analytical
+//! copy-candidate point the model can derive — footprint levels for all
+//! loop depths, and pairwise max/partial/bypass points for all inner loop
+//! pairs — merges candidates across the access groups of the program (as
+//! the paper does for the SUSAN test-vehicle), enumerates copy-candidate
+//! chains, and evaluates them into the power–memory-size Pareto curve.
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_loopir::{AccessKind, Program};
+use datareuse_memmodel::{
+    evaluate_chain, pareto_front, AreaModel, ChainCost, CopyChain, MemoryTechnology, ParetoPoint,
+};
+
+use crate::error::AnalyzeError;
+use crate::footprint::{footprint_levels, footprint_levels_merged, guarded_count};
+use crate::levels::{dedupe_candidates, enumerate_chains, CandidatePoint};
+use crate::pairwise::{max_reuse, PairGeometry};
+use crate::partial::partial_sweep;
+
+/// Options steering [`explore_signal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreOptions {
+    /// Generate partial-reuse points (Section 6.2).
+    pub include_partial: bool,
+    /// Generate bypass variants of the partial points.
+    pub include_bypass: bool,
+    /// Maximum number of sub-levels per enumerated chain.
+    pub max_chain_depth: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        Self {
+            include_partial: true,
+            include_bypass: true,
+            max_chain_depth: 2,
+        }
+    }
+}
+
+/// One group of accesses sharing an index expression within one nest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessGroup {
+    /// Nest index within the program.
+    pub nest: usize,
+    /// Representative access index within the nest.
+    pub access: usize,
+    /// Accesses merged into the group.
+    pub group_size: u64,
+    /// Reads the group issues over the whole execution.
+    pub c_tot: u64,
+    /// Candidate points derived for this group.
+    pub candidates: Vec<CandidatePoint>,
+}
+
+/// The exploration result for one signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalExploration {
+    /// The explored array.
+    pub array: String,
+    /// Element bit width.
+    pub bits: u32,
+    /// Background memory footprint (declared array size, elements).
+    pub background_words: u64,
+    /// Total reads of the signal (`C_tot` over all groups).
+    pub c_tot: u64,
+    /// Per-group detail.
+    pub groups: Vec<AccessGroup>,
+    /// Signal-level candidates (combined across groups, deduplicated).
+    pub candidates: Vec<CandidatePoint>,
+}
+
+fn pair_candidates(
+    nest: &datareuse_loopir::LoopNest,
+    access: usize,
+    opts: &ExploreOptions,
+) -> Vec<CandidatePoint> {
+    let mut out = Vec::new();
+    let depth = nest.depth();
+    for outer in 0..depth.saturating_sub(1) {
+        for inner in outer + 1..depth {
+            let Ok(geom) = PairGeometry::from_access(nest, access, outer, inner) else {
+                continue;
+            };
+            let exact = !geom.approximate;
+            if let Some(point) = max_reuse(&geom) {
+                out.push(tag_pair(
+                    CandidatePoint::from_reuse_point(&point, exact),
+                    outer,
+                    inner,
+                ));
+            }
+            if opts.include_partial {
+                for point in partial_sweep(&geom, false) {
+                    out.push(tag_pair(
+                        CandidatePoint::from_reuse_point(&point, exact),
+                        outer,
+                        inner,
+                    ));
+                }
+            }
+            if opts.include_bypass {
+                for point in partial_sweep(&geom, true) {
+                    out.push(tag_pair(
+                        CandidatePoint::from_reuse_point(&point, exact),
+                        outer,
+                        inner,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// Candidate sources from the pairwise model do not record the pair; for
+// cross-group alignment we only rely on source equality, which is
+// sufficient because structurally identical nests produce identical
+// source streams in identical order. `tag_pair` is the seam where a pair
+// id could be added if finer alignment is ever needed.
+fn tag_pair(candidate: CandidatePoint, _outer: usize, _inner: usize) -> CandidatePoint {
+    candidate
+}
+
+/// Explores all read accesses to `array` in `program`.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::UnknownArray`] when the array is not declared
+/// and [`AnalyzeError::NoAccesses`] when nothing reads it.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::{explore_signal, ExploreOptions};
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "array A[23];
+///      for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+/// )?;
+/// let ex = explore_signal(&p, "A", &ExploreOptions::default())?;
+/// assert_eq!(ex.c_tot, 128);
+/// assert!(!ex.candidates.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_signal(
+    program: &Program,
+    array: &str,
+    opts: &ExploreOptions,
+) -> Result<SignalExploration, AnalyzeError> {
+    let decl = program
+        .array(array)
+        .ok_or_else(|| AnalyzeError::UnknownArray(array.to_string()))?;
+    let mut groups = Vec::new();
+    for (nest_idx, nest) in program.nests().iter().enumerate() {
+        let mut seen: Vec<&[datareuse_loopir::AffineExpr]> = Vec::new();
+        for (access_idx, acc) in nest.accesses().iter().enumerate() {
+            if acc.array() != array || acc.kind() != AccessKind::Read {
+                continue;
+            }
+            if seen.contains(&acc.indices()) {
+                continue; // merged into an earlier group
+            }
+            seen.push(acc.indices());
+            let members: Vec<&datareuse_loopir::Access> = nest
+                .accesses()
+                .iter()
+                .filter(|a| a.indices() == acc.indices() && a.kind() == AccessKind::Read)
+                .collect();
+            // Guard-aware C_tot: guarded accesses (the SUSAN circular
+            // mask) execute on a subset of the iteration space.
+            let c_tot: u64 = members.iter().map(|a| guarded_count(nest, a).0).sum();
+            let mut candidates = Vec::new();
+            for level in footprint_levels(nest, access_idx)? {
+                candidates.push(CandidatePoint::from_footprint(&level, nest.depth()));
+            }
+            candidates.extend(pair_candidates(nest, access_idx, opts));
+            groups.push(AccessGroup {
+                nest: nest_idx,
+                access: access_idx,
+                group_size: members.len() as u64,
+                c_tot,
+                candidates,
+            });
+        }
+    }
+    if groups.is_empty() {
+        return Err(AnalyzeError::NoAccesses(array.to_string()));
+    }
+    let c_tot: u64 = groups.iter().map(|g| g.c_tot).sum();
+    let mut candidates = combine_groups(&groups, c_tot);
+    // Shared candidates over translated accesses within one nest — the
+    // paper's merged copy-candidates (Section 6.4). A single buffer
+    // holding the union footprint serves all mask rows at once, turning
+    // seven single-sweep accesses into one high-reuse rolling buffer.
+    for nest in program.nests() {
+        let members: Vec<usize> = nest
+            .accesses()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.array() == array && a.kind() == AccessKind::Read)
+            .map(|(i, _)| i)
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        if let Ok(levels) = footprint_levels_merged(nest, &members) {
+            for level in levels {
+                candidates.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
+            }
+        }
+    }
+    let candidates = crate::levels::dedupe_candidates(candidates);
+    Ok(SignalExploration {
+        array: array.to_string(),
+        bits: decl.elem_bits(),
+        background_words: decl.len(),
+        c_tot,
+        groups,
+        candidates,
+    })
+}
+
+/// Combines per-group candidates into signal-level candidates.
+///
+/// With a single group, its candidates pass through. With several (the
+/// SUSAN shape: one nest per mask row), candidates whose
+/// [`CandidateSource`] appears in *every* group are summed — each group
+/// keeps its own buffer partition, so sizes and traffic add.
+fn combine_groups(groups: &[AccessGroup], c_tot: u64) -> Vec<CandidatePoint> {
+    if groups.len() == 1 {
+        return dedupe_candidates(groups[0].candidates.clone());
+    }
+    let mut combined = Vec::new();
+    for seed in &groups[0].candidates {
+        let mut size = 0u64;
+        let mut fills = 0u64;
+        let mut bypasses = 0u64;
+        let mut exact = true;
+        let mut complete = true;
+        for g in groups {
+            match g.candidates.iter().find(|c| c.source == seed.source) {
+                Some(c) => {
+                    size += c.size;
+                    fills += c.fills;
+                    bypasses += c.bypasses;
+                    exact &= c.exact;
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            combined.push(CandidatePoint {
+                size,
+                fills,
+                bypasses,
+                c_tot,
+                source: seed.source,
+                exact,
+            });
+        }
+    }
+    dedupe_candidates(combined)
+}
+
+impl SignalExploration {
+    /// Enumerates every copy-candidate chain over the signal candidates.
+    pub fn chains(&self, opts: &ExploreOptions) -> Vec<CopyChain> {
+        enumerate_chains(
+            &self.candidates,
+            self.c_tot,
+            self.background_words,
+            self.bits,
+            opts.max_chain_depth,
+        )
+    }
+
+    /// Evaluates all chains and returns the power–memory-size Pareto front
+    /// (Fig. 4b / 10b / 11b), pairs of the chain and its cost, sorted by
+    /// increasing on-chip size.
+    pub fn pareto(
+        &self,
+        opts: &ExploreOptions,
+        tech: &MemoryTechnology,
+        area: &impl AreaModel,
+    ) -> Vec<ParetoPoint<(CopyChain, ChainCost)>> {
+        let points = self
+            .chains(opts)
+            .into_iter()
+            .map(|chain| {
+                let cost = evaluate_chain(&chain, tech, area);
+                ParetoPoint::new(cost.onchip_words as f64, cost.normalized_energy, (chain, cost))
+            })
+            .collect();
+        pareto_front(points)
+    }
+
+    /// The hierarchy minimizing the eq. 2 weighted cost
+    /// `F_c = α·power + β·size` over all enumerated chains.
+    ///
+    /// Returns the chain and its cost (the baseline when nothing beats
+    /// it).
+    pub fn best_chain(
+        &self,
+        opts: &ExploreOptions,
+        tech: &MemoryTechnology,
+        area: &impl AreaModel,
+        alpha: f64,
+        beta: f64,
+    ) -> (CopyChain, ChainCost) {
+        self.chains(opts)
+            .into_iter()
+            .map(|chain| {
+                let cost = evaluate_chain(&chain, tech, area);
+                (chain, cost)
+            })
+            .min_by(|a, b| {
+                a.1.weighted(alpha, beta)
+                    .total_cmp(&b.1.weighted(alpha, beta))
+            })
+            .expect("enumeration always includes the baseline")
+    }
+
+    /// The `(size, F_R)` pairs of all signal candidates, sorted by size —
+    /// the analytical overlay of Fig. 10a/11a.
+    pub fn reuse_factor_points(&self) -> Vec<(u64, f64)> {
+        let mut pts: Vec<(u64, f64)> = self
+            .candidates
+            .iter()
+            .map(|c| (c.size, c.reuse_factor()))
+            .collect();
+        pts.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        pts
+    }
+}
+
+/// Explores every array read anywhere in the program, in declaration
+/// order. Arrays without read accesses are skipped.
+///
+/// # Errors
+///
+/// Propagates the first per-signal [`AnalyzeError`].
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::{explore_program, ExploreOptions};
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "array A[23]; array B[16];
+///      for j in 0..16 { for k in 0..8 { read A[j + k]; read B[k]; } }",
+/// )?;
+/// let all = explore_program(&p, &ExploreOptions::default())?;
+/// assert_eq!(all.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_program(
+    program: &Program,
+    opts: &ExploreOptions,
+) -> Result<Vec<SignalExploration>, AnalyzeError> {
+    let mut out = Vec::new();
+    for decl in program.arrays() {
+        let read = program.nests().iter().any(|n| {
+            n.accesses()
+                .iter()
+                .any(|a| a.array() == decl.name() && a.kind() == AccessKind::Read)
+        });
+        if !read {
+            continue;
+        }
+        out.push(explore_signal(program, decl.name(), opts)?);
+    }
+    Ok(out)
+}
+
+/// Builds the per-signal option menus for [`crate::assign_layers`] from a
+/// whole-program exploration: each signal's Pareto-front hierarchies
+/// (baseline included) evaluated under the given technology.
+///
+/// # Errors
+///
+/// Propagates the first per-signal [`AnalyzeError`].
+pub fn assignment_menu(
+    program: &Program,
+    opts: &ExploreOptions,
+    tech: &MemoryTechnology,
+    area: &impl AreaModel,
+) -> Result<Vec<crate::assign::SignalOptions>, AnalyzeError> {
+    Ok(explore_program(program, opts)?
+        .into_iter()
+        .map(|ex| crate::assign::SignalOptions {
+            array: ex.array.clone(),
+            options: ex
+                .pareto(opts, tech, area)
+                .into_iter()
+                .map(|p| p.payload)
+                .collect(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::CandidateSource;
+    use datareuse_loopir::parse_program;
+    use datareuse_memmodel::BitCount;
+
+    fn simple() -> Program {
+        parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }").unwrap()
+    }
+
+    #[test]
+    fn explores_simple_window() {
+        let ex = explore_signal(&simple(), "A", &ExploreOptions::default()).unwrap();
+        assert_eq!(ex.c_tot, 128);
+        assert_eq!(ex.background_words, 23);
+        assert_eq!(ex.groups.len(), 1);
+        // Candidates include the max-reuse point (size 7 or 8) and the
+        // partial family.
+        assert!(ex.candidates.len() >= 5);
+        let pts = ex.reuse_factor_points();
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn pareto_contains_baseline_and_improves() {
+        let ex = explore_signal(&simple(), "A", &ExploreOptions::default()).unwrap();
+        let tech = MemoryTechnology::new();
+        let front = ex.pareto(&ExploreOptions::default(), &tech, &BitCount);
+        assert!(!front.is_empty());
+        // Baseline (size 0, energy 1) is always on the front.
+        assert_eq!(front[0].size, 0.0);
+        assert!((front[0].power - 1.0).abs() < 1e-12);
+        // And something beats the baseline.
+        assert!(front.last().unwrap().power < 0.8);
+        for w in front.windows(2) {
+            assert!(w[1].size > w[0].size);
+            assert!(w[1].power < w[0].power);
+        }
+    }
+
+    #[test]
+    fn unknown_array_and_no_access_errors() {
+        let p = simple();
+        assert!(matches!(
+            explore_signal(&p, "Nope", &ExploreOptions::default()),
+            Err(AnalyzeError::UnknownArray(_))
+        ));
+        let q = parse_program("array A[4]; array B[4]; for i in 0..4 { read A[i]; }").unwrap();
+        assert!(matches!(
+            explore_signal(&q, "B", &ExploreOptions::default()),
+            Err(AnalyzeError::NoAccesses(_))
+        ));
+    }
+
+    #[test]
+    fn multi_nest_groups_combine() {
+        // Two structurally identical nests reading different rows — the
+        // SUSAN shape in miniature.
+        let p = parse_program(
+            "array I[2][30];
+             for x in 0..16 { for d in 0..8 { read I[0][x + d]; } }
+             for x in 0..16 { for d in 0..8 { read I[1][x + d]; } }",
+        )
+        .unwrap();
+        let ex = explore_signal(&p, "I", &ExploreOptions::default()).unwrap();
+        assert_eq!(ex.groups.len(), 2);
+        assert_eq!(ex.c_tot, 256);
+        assert!(!ex.candidates.is_empty());
+        // Combined candidates sum the two groups' buffers.
+        for c in &ex.candidates {
+            assert_eq!(c.c_tot, 256);
+        }
+    }
+
+    #[test]
+    fn best_chain_respects_the_weights() {
+        let ex = explore_signal(&simple(), "A", &ExploreOptions::default()).unwrap();
+        let tech = MemoryTechnology::new();
+        // Energy-only: a hierarchy wins.
+        let (chain, _) = ex.best_chain(&ExploreOptions::default(), &tech, &BitCount, 1.0, 0.0);
+        assert!(!chain.levels.is_empty());
+        // Size-dominated: the baseline wins.
+        let (chain, cost) =
+            ex.best_chain(&ExploreOptions::default(), &tech, &BitCount, 0.0, 1.0);
+        assert!(chain.levels.is_empty());
+        assert_eq!(cost.onchip_words, 0);
+    }
+
+    #[test]
+    fn options_control_candidate_families() {
+        let none = ExploreOptions {
+            include_partial: false,
+            include_bypass: false,
+            max_chain_depth: 2,
+        };
+        let all = ExploreOptions::default();
+        let p = simple();
+        let ex_none = explore_signal(&p, "A", &none).unwrap();
+        let ex_all = explore_signal(&p, "A", &all).unwrap();
+        assert!(ex_all.candidates.len() > ex_none.candidates.len());
+        assert!(ex_none
+            .candidates
+            .iter()
+            .all(|c| !matches!(c.source, CandidateSource::PairPartial { .. })));
+    }
+
+    #[test]
+    fn explore_program_covers_all_read_arrays() {
+        let p = parse_program(
+            "array A[23]; array B[16]; array C[4];
+             for j in 0..16 { for k in 0..8 { read A[j + k]; read B[k]; write C[0]; } }",
+        )
+        .unwrap();
+        let all = explore_program(&p, &ExploreOptions::default()).unwrap();
+        let names: Vec<&str> = all.iter().map(|e| e.array.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]); // C is write-only
+        assert!(all.iter().all(|e| e.c_tot == 128));
+    }
+
+    #[test]
+    fn assignment_menu_feeds_the_global_step() {
+        let p = parse_program(
+            "array A[23]; array B[16];
+             for j in 0..16 { for k in 0..8 { read A[j + k]; read B[k]; } }",
+        )
+        .unwrap();
+        let tech = MemoryTechnology::new();
+        let menu =
+            assignment_menu(&p, &ExploreOptions::default(), &tech, &BitCount).unwrap();
+        assert_eq!(menu.len(), 2);
+        // Every menu opens with the baseline (size-0) option.
+        for m in &menu {
+            assert_eq!(m.options[0].1.onchip_words, 0);
+            assert!(m.options.len() >= 2);
+        }
+        let asg = crate::assign::assign_layers(&menu, 1.0, 0.0, None).unwrap();
+        assert!(asg.total_words > 0, "hierarchies should win unconstrained");
+    }
+
+    #[test]
+    fn write_accesses_are_ignored() {
+        let p = parse_program(
+            "array A[23];
+             for j in 0..16 { for k in 0..8 { read A[j + k]; write A[j + k]; } }",
+        )
+        .unwrap();
+        let ex = explore_signal(&p, "A", &ExploreOptions::default()).unwrap();
+        assert_eq!(ex.c_tot, 128); // the write does not count
+    }
+}

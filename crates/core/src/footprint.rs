@@ -1,0 +1,482 @@
+//! Multi-level copy-candidate generation by footprint analysis.
+//!
+//! The paper's Fig. 4a shows "several discontinuities … for smaller
+//! copy-candidate sizes (A₂ − A₄). These are the sizes where maximum reuse
+//! is obtained for a subset of inner loops in the total loop nest." This
+//! module computes those candidate levels analytically, one per loop depth:
+//! the candidate at depth `d` holds the footprint of the sub-nest below
+//! depth `d`, is refreshed incrementally as the loop at depth `d−1` steps
+//! (exploiting the overlap between consecutive footprints), and is reloaded
+//! for every iteration of the loops above.
+//!
+//! The fill counts are *exact* for the hold-current-footprint schedule
+//! whenever the index dimensions depend on disjoint iterator sets (true for
+//! all kernels in the paper); otherwise the candidate is flagged
+//! approximate and uses a product upper bound.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_loopir::{AffineExpr, Loop, LoopNest};
+
+use crate::error::AnalyzeError;
+
+/// Enumeration budget for per-dimension value sets; beyond this the
+/// analysis falls back to dense-interval approximation.
+const ENUM_BUDGET: u64 = 1 << 22;
+
+/// One footprint-derived copy-candidate level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCandidate {
+    /// Number of outer loops fixed: the candidate holds the footprint of
+    /// `loops[depth..]` and exploits reuse carried by `loops[depth-1]`.
+    pub depth: usize,
+    /// Candidate capacity in elements.
+    pub size: u64,
+    /// Total writes into the candidate over the whole nest execution.
+    pub fills: u64,
+    /// Total reads of the access group (`C_tot`).
+    pub c_tot: u64,
+    /// False when the counts are upper bounds rather than exact (index
+    /// dimensions sharing iterators, or enumeration budget exceeded).
+    pub exact: bool,
+}
+
+impl LevelCandidate {
+    /// The reuse factor `F_R = C_tot / C_j` this level achieves.
+    pub fn reuse_factor(&self) -> f64 {
+        if self.fills == 0 {
+            self.c_tot as f64
+        } else {
+            self.c_tot as f64 / self.fills as f64
+        }
+    }
+
+    /// A level is useful only when its reuse factor exceeds 1 — otherwise
+    /// "this sub-level is useless and would even lead to an increase of
+    /// memory size and power" (paper Section 3) and is pruned.
+    pub fn is_useful(&self) -> bool {
+        self.fills < self.c_tot
+    }
+}
+
+/// The distinct values of `expr` over the box spanned by `loops`,
+/// *including the constant offset* (iterators of `expr` absent from
+/// `loops` contribute 0), or `None` when the enumeration budget is
+/// exceeded. The offset matters when unioning sets of several translated
+/// accesses sharing one copy-candidate.
+fn value_set(expr: &AffineExpr, loops: &[&Loop]) -> Option<BTreeSet<i64>> {
+    let contributing: Vec<&Loop> = loops
+        .iter()
+        .copied()
+        .filter(|l| expr.coeff(l.name()) != 0)
+        .collect();
+    let combos: u64 = contributing.iter().map(|l| l.trip_count()).product();
+    if combos > ENUM_BUDGET {
+        return None;
+    }
+    let mut values = BTreeSet::new();
+    let mut stack = vec![(0usize, expr.constant_part())];
+    while let Some((dim, acc)) = stack.pop() {
+        if dim == contributing.len() {
+            values.insert(acc);
+            continue;
+        }
+        let l = contributing[dim];
+        let coeff = expr.coeff(l.name());
+        for v in l.values() {
+            stack.push((dim + 1, acc + coeff * v));
+        }
+    }
+    Some(values)
+}
+
+fn shifted_overlap(set: &BTreeSet<i64>, shift: i64) -> u64 {
+    if shift == 0 {
+        return set.len() as u64;
+    }
+    set.iter().filter(|&&v| set.contains(&(v - shift))).count() as u64
+}
+
+/// Iteration budget for exact guard-aware access counting.
+const COUNT_BUDGET: u64 = 1 << 24;
+
+/// Exact number of executions of an access, honouring its guards, plus an
+/// exactness flag (false when the guard space is too large to enumerate).
+pub(crate) fn guarded_count(nest: &LoopNest, access: &datareuse_loopir::Access) -> (u64, bool) {
+    if access.guards().is_empty() {
+        return (nest.iteration_count(), true);
+    }
+    if nest.iteration_count() > COUNT_BUDGET {
+        return (nest.iteration_count(), false);
+    }
+    let loops = nest.loops();
+    let count = datareuse_loopir::IterSpace::over(loops)
+        .filter(|point| {
+            access.guards().iter().all(|g| {
+                g.holds(|n| {
+                    loops
+                        .iter()
+                        .position(|l| l.name() == n)
+                        .map(|d| point[d])
+                })
+            })
+        })
+        .count() as u64;
+    (count, true)
+}
+
+/// Computes the footprint-level candidates of `nest.accesses()[access]`
+/// for every depth `1..=nest.depth()`, pruning useless levels
+/// (`F_R = 1`). Accesses in the body sharing the exact index expression
+/// are merged into the candidate (their reads all hit the same copy).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NoSuchAccess`] for a bad index.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::footprint_levels;
+/// use datareuse_loopir::parse_program;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "array A[23];
+///      for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+/// )?;
+/// let levels = footprint_levels(&p.nests()[0], 0)?;
+/// // Depth 1: hold the 8-element window, refresh 1 element per j step.
+/// assert_eq!(levels[0].size, 8);
+/// assert_eq!(levels[0].fills, 8 + 15);
+/// # Ok(())
+/// # }
+/// ```
+pub fn footprint_levels(
+    nest: &LoopNest,
+    access: usize,
+) -> Result<Vec<LevelCandidate>, AnalyzeError> {
+    let raw = nest
+        .accesses()
+        .get(access)
+        .ok_or(AnalyzeError::NoSuchAccess { index: access })?;
+    let members: Vec<usize> = nest
+        .accesses()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.indices() == raw.indices() && a.kind() == raw.kind())
+        .map(|(i, _)| i)
+        .collect();
+    footprint_levels_merged(nest, &members)
+}
+
+/// Computes footprint-level candidates for a *shared* copy serving several
+/// accesses at once — the paper's merging of copy-candidates, extended to
+/// accesses that are translations of each other (identical iterator
+/// coefficients, different constant offsets), like the seven mask-row
+/// accesses of the SUSAN test-vehicle sharing one row-band buffer.
+///
+/// The shared candidate at depth `d` holds the *union* of the accesses'
+/// sub-nest footprints; consecutive-iteration overlap of the union is what
+/// turns seven single-use row sweeps into a high-reuse rolling row buffer.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::NoSuchAccess`] for a bad index and
+/// [`AnalyzeError::NotTranslated`] when the accesses are not translations
+/// of one another (or target different arrays).
+pub fn footprint_levels_merged(
+    nest: &LoopNest,
+    accesses: &[usize],
+) -> Result<Vec<LevelCandidate>, AnalyzeError> {
+    if accesses.is_empty() {
+        return Err(AnalyzeError::NoSuchAccess { index: 0 });
+    }
+    for &a in accesses {
+        if a >= nest.accesses().len() {
+            return Err(AnalyzeError::NoSuchAccess { index: a });
+        }
+    }
+    let nest = nest.normalized();
+    let loops = nest.loops();
+    let reps: Vec<&datareuse_loopir::Access> =
+        accesses.iter().map(|&a| &nest.accesses()[a]).collect();
+    // Translation check: same array, same rank, same coefficients.
+    let base = reps[0];
+    for acc in &reps {
+        let same_shape = acc.array() == base.array()
+            && acc.indices().len() == base.indices().len()
+            && acc
+                .indices()
+                .iter()
+                .zip(base.indices())
+                .all(|(a, b)| {
+                    loops
+                        .iter()
+                        .all(|l| a.coeff(l.name()) == b.coeff(l.name()))
+                });
+        if !same_shape {
+            return Err(AnalyzeError::NotTranslated);
+        }
+    }
+
+    let mut c_tot = 0u64;
+    let mut counts_exact = true;
+    for acc in &reps {
+        let (count, exact) = guarded_count(&nest, acc);
+        c_tot += count;
+        counts_exact &= exact;
+    }
+    let mut out = Vec::new();
+
+    for depth in 1..=loops.len() {
+        let inner: Vec<&Loop> = loops[depth..].iter().collect();
+        let carrier = &loops[depth - 1];
+        let invocations: u64 = loops[..depth - 1].iter().map(Loop::trip_count).product();
+        let carrier_trips = carrier.trip_count();
+
+        // Cross-dimension iterator disjointness among inner loops (the
+        // coefficients are shared, so checking the base access suffices).
+        let mut seen: Vec<&str> = Vec::new();
+        let mut disjoint = true;
+        for e in base.indices() {
+            for l in &inner {
+                if e.coeff(l.name()) != 0 {
+                    if seen.contains(&l.name()) {
+                        disjoint = false;
+                    }
+                    seen.push(l.name());
+                }
+            }
+        }
+
+        let mut footprint: u64 = 1;
+        let mut overlap: u64 = 1;
+        let mut exact = disjoint && counts_exact;
+        for dim in 0..base.indices().len() {
+            let shift = base.indices()[dim].coeff(carrier.name());
+            let mut union: Option<BTreeSet<i64>> = Some(BTreeSet::new());
+            for acc in &reps {
+                match (value_set(&acc.indices()[dim], &inner), union.as_mut()) {
+                    (Some(set), Some(u)) => u.extend(set),
+                    _ => union = None,
+                }
+            }
+            match union {
+                Some(set) => {
+                    footprint *= set.len() as u64;
+                    overlap *= shifted_overlap(&set, shift);
+                }
+                None => {
+                    // Dense-interval fallback over the union of ranges.
+                    exact = false;
+                    let mut lo = i64::MAX;
+                    let mut hi = i64::MIN;
+                    for acc in &reps {
+                        let (l, h) = acc.indices()[dim].value_range(|n| {
+                            inner
+                                .iter()
+                                .find(|lp| lp.name() == n)
+                                .map(|lp| (lp.lower(), lp.upper()))
+                        });
+                        lo = lo.min(l);
+                        hi = hi.max(h);
+                    }
+                    let width = (hi - lo + 1).max(1) as u64;
+                    footprint *= width;
+                    overlap *= width.saturating_sub(shift.unsigned_abs());
+                }
+            }
+        }
+        let new_per_step = footprint - overlap.min(footprint);
+        let fills = invocations * (footprint + (carrier_trips - 1) * new_per_step);
+        let candidate = LevelCandidate {
+            depth,
+            size: footprint,
+            fills,
+            c_tot,
+            exact,
+        };
+        if candidate.is_useful() {
+            out.push(candidate);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{parse_program, read_addresses, Program};
+    use datareuse_trace::opt_simulate;
+
+    fn program(src: &str) -> Program {
+        parse_program(src).expect("valid program")
+    }
+
+    /// For exact candidates, OPT at the candidate size must fill at most
+    /// as much (the candidate schedule is feasible), and the element-load
+    /// minimum (distinct count) bounds from below.
+    fn check_against_sim(src: &str) {
+        let p = program(src);
+        let trace = read_addresses(&p, p.arrays()[0].name());
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert!(!levels.is_empty());
+        for lv in &levels {
+            assert!(lv.exact, "expected exact analysis for {src}");
+            let sim = opt_simulate(&trace, lv.size);
+            assert!(
+                sim.fills <= lv.fills,
+                "OPT fills {} > candidate fills {} at size {} ({src})",
+                sim.fills,
+                lv.fills,
+                lv.size
+            );
+        }
+    }
+
+    #[test]
+    fn sliding_window_levels() {
+        let p = program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }");
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert_eq!(levels.len(), 1); // depth 2 (inner k only) is useless
+        let l = &levels[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.size, 8);
+        assert_eq!(l.fills, 23); // 8 initial + 15 new
+        assert_eq!(l.c_tot, 128);
+        // Matches the OPT optimum exactly here.
+        let trace = read_addresses(&p, "A");
+        assert_eq!(opt_simulate(&trace, 8).fills, 23);
+    }
+
+    #[test]
+    fn deep_nest_produces_multiple_levels() {
+        let p = program(
+            "array Old[30][30];
+             for i1 in 0..4 { for i3 in 0..8 { for i4 in 0..8 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[3*i1 + i3 + i5][i4 + i6];
+             } } } } }",
+        );
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert!(levels.len() >= 3);
+        // Sizes strictly decrease with depth; reuse factors decrease too.
+        for w in levels.windows(2) {
+            assert!(w[1].size < w[0].size);
+            assert!(w[1].reuse_factor() <= w[0].reuse_factor() + 1e-9);
+        }
+        check_against_sim(
+            "array Old[30][30];
+             for i1 in 0..4 { for i3 in 0..8 { for i4 in 0..8 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[3*i1 + i3 + i5][i4 + i6];
+             } } } } }",
+        );
+    }
+
+    #[test]
+    fn carrier_not_in_index_gives_full_reuse_across_it() {
+        let p = program(
+            "array A[8]; for r in 0..10 { for k in 0..8 { read A[k]; } }",
+        );
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        let l = &levels[0];
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.size, 8);
+        assert_eq!(l.fills, 8); // loaded once, reused for all r
+        assert_eq!(l.reuse_factor(), 10.0);
+    }
+
+    #[test]
+    fn gapped_coefficients_count_distinct_values_exactly() {
+        // 2*k over k in 0..6: 6 distinct values, not a dense 11-interval.
+        let src = "array A[30]; for j in 0..8 { for k in 0..6 { read A[2*j + 2*k]; } }";
+        let p = program(src);
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert_eq!(levels[0].size, 6);
+        check_against_sim(src);
+    }
+
+    #[test]
+    fn lagged_reuse_is_invisible_to_footprint_levels() {
+        // 2*j + 4*k: reuse exists (j+2, k−1) but skips adjacent j
+        // iterations, so the depth-1 hold-current-footprint candidate sees
+        // no overlap and is pruned as useless. The pairwise model
+        // (b'=1, c'=2) covers this case instead.
+        let p = program("array A[50]; for j in 0..8 { for k in 0..6 { read A[2*j + 4*k]; } }");
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn useless_levels_are_pruned() {
+        // Innermost loop alone carries no reuse: every candidate with
+        // F_R = 1 must be absent.
+        let p = program("array A[8][8]; for j in 0..8 { for k in 0..8 { read A[j][k]; } }");
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert!(levels.iter().all(LevelCandidate::is_useful));
+        assert!(levels.is_empty()); // streaming access: no reuse at all
+    }
+
+    #[test]
+    fn merged_identical_accesses_double_c_tot() {
+        let p = program(
+            "array A[23]; for j in 0..16 { for k in 0..8 {
+               read A[j + k]; read A[j + k];
+             } }",
+        );
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        assert_eq!(levels[0].c_tot, 256);
+        assert_eq!(levels[0].fills, 23);
+    }
+
+    #[test]
+    fn shared_iterator_dims_are_flagged_approximate() {
+        let p = program(
+            "array A[16][16]; for j in 0..8 { for k in 0..8 { read A[k][k]; } }",
+        );
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        // Diagonal access: dims share k; counts are upper bounds.
+        assert!(levels.iter().all(|l| !l.exact));
+    }
+
+    #[test]
+    fn bad_access_index_errors() {
+        let p = program("array A[4]; for i in 0..4 { read A[i]; }");
+        assert!(matches!(
+            footprint_levels(&p.nests()[0], 3),
+            Err(AnalyzeError::NoSuchAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn motion_estimation_level_sizes() {
+        // Full ME at reduced size to keep the test fast: H=W=32, n=m=4.
+        let p = program(
+            "array Old[39][39];
+             for i1 in 0..8 { for i2 in 0..8 { for i3 in 0..8 { for i4 in 0..8 {
+               for i5 in 0..4 { for i6 in 0..4 {
+                 read Old[4*i1 + i3 + i5][4*i2 + i4 + i6];
+             } } } } } }",
+        );
+        let levels = footprint_levels(&p.nests()[0], 0).unwrap();
+        let sizes: Vec<u64> = levels.iter().map(|l| l.size).collect();
+        // depth 1: rows {i3,i5}=11 × cols {i2,i4,i6}=39; depth 2: 11×11;
+        // depth 3: rows {i5}=4 × cols {i4,i6}=11; depth 4: 4×4;
+        // depth 5 (inner i6 only) carries no reuse and is pruned.
+        assert_eq!(sizes, vec![11 * 39, 11 * 11, 4 * 11, 4 * 4]);
+        let trace = read_addresses(&p, "Old");
+        for lv in &levels {
+            let sim = opt_simulate(&trace, lv.size);
+            assert!(sim.fills <= lv.fills);
+            // The analytical candidate is close to the optimum.
+            assert!(
+                (lv.fills as f64) < 1.6 * sim.fills as f64,
+                "depth {}: {} vs OPT {}",
+                lv.depth,
+                lv.fills,
+                sim.fills
+            );
+        }
+    }
+}

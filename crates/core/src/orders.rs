@@ -1,0 +1,207 @@
+//! Loop-order exploration.
+//!
+//! DTSE step 3 determines "the optimal memory hierarchy cost for each of
+//! the signals *and each loop nest ordering* separately" — the loop
+//! transformation step before it deliberately leaves ordering freedom on
+//! the table. This module sweeps loop permutations of the nest holding a
+//! signal's accesses, runs the analytical exploration per ordering, and
+//! ranks the orderings by the best achievable hierarchy cost.
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_loopir::Program;
+use datareuse_memmodel::{AreaModel, MemoryTechnology};
+
+use crate::error::AnalyzeError;
+use crate::explore::{explore_signal, ExploreOptions, SignalExploration};
+
+/// One explored loop ordering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderChoice {
+    /// `permutation[new_depth] = old_depth` applied to the original nest.
+    pub permutation: Vec<usize>,
+    /// Iterator names in the new order, outermost first.
+    pub loop_names: Vec<String>,
+    /// The per-signal exploration under this ordering.
+    pub exploration: SignalExploration,
+    /// The lowest normalized power on this ordering's Pareto front.
+    pub best_power: f64,
+    /// On-chip size (elements) of the best-power hierarchy.
+    pub best_words: u64,
+}
+
+fn permutations(n: usize, cap: usize) -> Vec<Vec<usize>> {
+    // Lexicographic enumeration, capped; n! can explode for deep nests.
+    let mut current: Vec<usize> = (0..n).collect();
+    let mut out = vec![current.clone()];
+    while out.len() < cap {
+        // Next lexicographic permutation.
+        let Some(i) = (0..n.saturating_sub(1)).rev().find(|&i| current[i] < current[i + 1])
+        else {
+            break;
+        };
+        let j = (i + 1..n).rev().find(|&j| current[j] > current[i]).expect("exists");
+        current.swap(i, j);
+        current[i + 1..].reverse();
+        out.push(current.clone());
+    }
+    out
+}
+
+/// Explores up to `max_orders` loop permutations of the (single) nest
+/// accessing `array`, ranking orderings by the best achievable normalized
+/// power (ties broken toward smaller on-chip size).
+///
+/// Only programs where all accesses to the signal live in one nest are
+/// supported — re-ordering one nest of a multi-nest series would not be a
+/// whole-signal ordering choice.
+///
+/// # Errors
+///
+/// Propagates [`AnalyzeError`] from the per-ordering exploration; returns
+/// [`AnalyzeError::NoAccesses`] when the array is never read and
+/// [`AnalyzeError::NotTranslated`] when accesses span several nests.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::{explore_orders, ExploreOptions};
+/// use datareuse_loopir::parse_program;
+/// use datareuse_memmodel::{BitCount, MemoryTechnology};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program(
+///     "array B[8][8] bits 16;
+///      for i in 0..8 { for j in 0..8 { for k in 0..8 { read B[k][j]; } } }",
+/// )?;
+/// let tech = MemoryTechnology::new();
+/// let orders = explore_orders(&p, "B", &ExploreOptions::default(), &tech, &BitCount, 6)?;
+/// assert_eq!(orders.len(), 6);
+/// // The ranking is sorted best-first.
+/// assert!(orders[0].best_power <= orders.last().unwrap().best_power);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore_orders(
+    program: &Program,
+    array: &str,
+    opts: &ExploreOptions,
+    tech: &MemoryTechnology,
+    area: &impl AreaModel,
+    max_orders: usize,
+) -> Result<Vec<OrderChoice>, AnalyzeError> {
+    let reading: Vec<usize> = program
+        .nests()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.accesses().iter().any(|a| a.array() == array && a.is_read()))
+        .map(|(i, _)| i)
+        .collect();
+    let &nest_idx = match reading.as_slice() {
+        [] => return Err(AnalyzeError::NoAccesses(array.to_string())),
+        [one] => one,
+        _ => return Err(AnalyzeError::NotTranslated),
+    };
+    let nest = &program.nests()[nest_idx];
+    let mut out = Vec::new();
+    for perm in permutations(nest.depth(), max_orders.max(1)) {
+        let reordered = nest.with_loop_order(&perm);
+        let mut variant = Program::new();
+        for decl in program.arrays() {
+            variant.declare(decl.clone()).expect("fresh program");
+        }
+        for (i, n) in program.nests().iter().enumerate() {
+            let n = if i == nest_idx { reordered.clone() } else { n.clone() };
+            variant.push_nest(n).expect("permutation keeps bounds");
+        }
+        let exploration = explore_signal(&variant, array, opts)?;
+        let front = exploration.pareto(opts, tech, area);
+        let best = front.last().expect("front includes the baseline");
+        out.push(OrderChoice {
+            loop_names: reordered.loops().iter().map(|l| l.name().to_string()).collect(),
+            permutation: perm,
+            exploration,
+            best_power: best.power,
+            best_words: best.size as u64,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.best_power
+            .total_cmp(&b.best_power)
+            .then(a.best_words.cmp(&b.best_words))
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::parse_program;
+    use datareuse_memmodel::BitCount;
+
+    #[test]
+    fn permutation_enumeration_is_lexicographic_and_capped() {
+        let p = permutations(3, 100);
+        assert_eq!(
+            p,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 2, 1],
+                vec![1, 0, 2],
+                vec![1, 2, 0],
+                vec![2, 0, 1],
+                vec![2, 1, 0]
+            ]
+        );
+        assert_eq!(permutations(4, 5).len(), 5);
+        assert_eq!(permutations(1, 10), vec![vec![0]]);
+    }
+
+    #[test]
+    fn ordering_changes_the_reachable_hierarchy() {
+        // B[k][j] in an (i, j, k) nest: with i outermost the whole B is
+        // re-swept per i (great reuse); with i innermost the reuse carried
+        // by i needs only one element. The sweep must find both regimes.
+        let p = parse_program(
+            "array B[6][6] bits 16;
+             for i in 0..6 { for j in 0..6 { for k in 0..6 { read B[k][j]; } } }",
+        )
+        .unwrap();
+        let tech = MemoryTechnology::new();
+        let orders =
+            explore_orders(&p, "B", &ExploreOptions::default(), &tech, &BitCount, 6).unwrap();
+        assert_eq!(orders.len(), 6);
+        let best = &orders[0];
+        let worst = orders.last().unwrap();
+        assert!(best.best_power < worst.best_power);
+        // Results stay internally consistent.
+        for o in &orders {
+            assert_eq!(o.loop_names.len(), 3);
+            assert_eq!(o.exploration.c_tot, 216);
+        }
+    }
+
+    #[test]
+    fn multi_nest_signals_are_rejected() {
+        let p = parse_program(
+            "array A[8];
+             for i in 0..4 { read A[i]; }
+             for i in 0..4 { read A[i + 4]; }",
+        )
+        .unwrap();
+        let tech = MemoryTechnology::new();
+        assert!(matches!(
+            explore_orders(&p, "A", &ExploreOptions::default(), &tech, &BitCount, 2),
+            Err(AnalyzeError::NotTranslated)
+        ));
+    }
+
+    #[test]
+    fn unknown_signal_is_rejected() {
+        let p = parse_program("array A[8]; for i in 0..4 { read A[i]; }").unwrap();
+        let tech = MemoryTechnology::new();
+        assert!(matches!(
+            explore_orders(&p, "Z", &ExploreOptions::default(), &tech, &BitCount, 2),
+            Err(AnalyzeError::NoAccesses(_))
+        ));
+    }
+}

@@ -1,0 +1,208 @@
+//! Human-readable exploration reports.
+//!
+//! The paper's prototype tool prints curves and templates for the
+//! designer; [`ExplorationReport`] is the equivalent structured summary,
+//! rendered by `Display` as an aligned text report.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_memmodel::{chain_breakdown, AreaModel, MemoryTechnology};
+
+use crate::explore::{ExploreOptions, SignalExploration};
+use crate::levels::CandidateSource;
+
+/// One rendered hierarchy row of the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyRow {
+    /// Level sizes, outermost first.
+    pub level_sizes: Vec<u64>,
+    /// Total on-chip elements.
+    pub onchip_words: u64,
+    /// Normalized power.
+    pub normalized_power: f64,
+    /// Fraction of the energy still burned in the background memory.
+    pub background_share: f64,
+}
+
+/// A structured exploration summary for one signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationReport {
+    /// The signal.
+    pub array: String,
+    /// Total reads per execution.
+    pub c_tot: u64,
+    /// Background footprint in elements.
+    pub background_words: u64,
+    /// `(label, size, reuse factor, exact)` per candidate.
+    pub candidates: Vec<(String, u64, f64, bool)>,
+    /// The Pareto-front hierarchies, smallest first.
+    pub pareto: Vec<HierarchyRow>,
+}
+
+/// Describes a candidate source with the paper's vocabulary.
+pub fn describe_source(source: CandidateSource) -> String {
+    match source {
+        CandidateSource::Footprint { depth_from_inner } => {
+            format!("footprint level (+{depth_from_inner} loops)")
+        }
+        CandidateSource::MergedFootprint { depth_from_inner } => {
+            format!("merged footprint (+{depth_from_inner} loops)")
+        }
+        CandidateSource::PairMax => "pairwise maximum reuse".into(),
+        CandidateSource::PairPartial { gamma, bypass: false } => {
+            format!("partial reuse γ={gamma}")
+        }
+        CandidateSource::PairPartial { gamma, bypass: true } => {
+            format!("partial reuse γ={gamma} + bypass")
+        }
+        CandidateSource::Simulated => "simulated".into(),
+    }
+}
+
+impl ExplorationReport {
+    /// Builds the report from an exploration under a memory technology.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_core::{explore_signal, ExplorationReport, ExploreOptions};
+    /// use datareuse_loopir::parse_program;
+    /// use datareuse_memmodel::{BitCount, MemoryTechnology};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+    /// let ex = explore_signal(&p, "A", &ExploreOptions::default())?;
+    /// let report = ExplorationReport::build(
+    ///     &ex,
+    ///     &ExploreOptions::default(),
+    ///     &MemoryTechnology::new(),
+    ///     &BitCount,
+    /// );
+    /// assert!(report.to_string().contains("Pareto front"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build(
+        exploration: &SignalExploration,
+        opts: &ExploreOptions,
+        tech: &MemoryTechnology,
+        area: &impl AreaModel,
+    ) -> Self {
+        let candidates = exploration
+            .candidates
+            .iter()
+            .map(|c| {
+                (
+                    describe_source(c.source),
+                    c.size,
+                    c.reuse_factor(),
+                    c.exact,
+                )
+            })
+            .collect();
+        let pareto = exploration
+            .pareto(opts, tech, area)
+            .into_iter()
+            .map(|p| {
+                let (chain, cost) = p.payload;
+                let breakdown = chain_breakdown(&chain, tech);
+                HierarchyRow {
+                    level_sizes: chain.levels.iter().map(|l| l.words).collect(),
+                    onchip_words: cost.onchip_words,
+                    normalized_power: cost.normalized_energy,
+                    background_share: breakdown.background_share(),
+                }
+            })
+            .collect();
+        Self {
+            array: exploration.array.clone(),
+            c_tot: exploration.c_tot,
+            background_words: exploration.background_words,
+            candidates,
+            pareto,
+        }
+    }
+}
+
+impl fmt::Display for ExplorationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "signal `{}`: {} reads, {} background elements",
+            self.array, self.c_tot, self.background_words
+        )?;
+        writeln!(f, "\ncopy-candidates:")?;
+        for (label, size, fr, exact) in &self.candidates {
+            writeln!(
+                f,
+                "  {size:>8} elements  F_R = {fr:>8.2}  {label}{}",
+                if *exact { "" } else { "  (approximate)" }
+            )?;
+        }
+        writeln!(f, "\nPareto front (size, normalized power, background share):")?;
+        for row in &self.pareto {
+            let levels: Vec<String> = row.level_sizes.iter().map(u64::to_string).collect();
+            writeln!(
+                f,
+                "  {:>8}  {:>8.4}  {:>5.1}%  [{}]",
+                row.onchip_words,
+                row.normalized_power,
+                100.0 * row.background_share,
+                levels.join(" > ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore_signal;
+    use datareuse_loopir::parse_program;
+    use datareuse_memmodel::BitCount;
+
+    #[test]
+    fn report_renders_candidates_and_front() {
+        let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        let ex = explore_signal(&p, "A", &ExploreOptions::default()).unwrap();
+        let r = ExplorationReport::build(
+            &ex,
+            &ExploreOptions::default(),
+            &MemoryTechnology::new(),
+            &BitCount,
+        );
+        let text = r.to_string();
+        assert!(text.contains("signal `A`: 128 reads"));
+        assert!(text.contains("pairwise maximum reuse"));
+        assert!(text.contains("Pareto front"));
+        // The baseline row burns 100% in the background.
+        assert!((r.pareto[0].background_share - 1.0).abs() < 1e-12);
+        // The best row shifts a substantial part of the energy on-chip
+        // (F_RMax ≈ 5.6 here, so the background still serves 1/5.6 of the
+        // reads at ~36x the on-chip energy).
+        assert!(r.pareto.last().unwrap().background_share < 0.95);
+        assert!(
+            r.pareto.last().unwrap().normalized_power
+                < r.pareto[0].normalized_power
+        );
+    }
+
+    #[test]
+    fn source_descriptions_are_distinct() {
+        let all = [
+            CandidateSource::Footprint { depth_from_inner: 1 },
+            CandidateSource::MergedFootprint { depth_from_inner: 2 },
+            CandidateSource::PairMax,
+            CandidateSource::PairPartial { gamma: 3, bypass: false },
+            CandidateSource::PairPartial { gamma: 3, bypass: true },
+            CandidateSource::Simulated,
+        ];
+        let mut seen: Vec<String> = all.iter().map(|&s| describe_source(s)).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), all.len());
+    }
+}

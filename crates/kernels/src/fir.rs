@@ -1,0 +1,118 @@
+//! 1-D FIR filtering — the smallest loop-dominated kernel with a clean
+//! sliding-window reuse structure, and the canonical warm-up example in
+//! the DTSE literature.
+//!
+//! `y[n] = Σ_t h[t] · x[n + T − 1 − t]` over a sample stream `x`: the
+//! `(n, t)` pair carries reuse with `b' = c' = 1` on `x`, and the
+//! coefficient array `h` is a `repeat-across-n` signal with `b = 0`.
+
+use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the FIR kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fir {
+    /// Number of output samples.
+    pub outputs: i64,
+    /// Number of filter taps `T`.
+    pub taps: i64,
+}
+
+impl Fir {
+    /// Name of the sample array.
+    pub const SAMPLES: &'static str = "x";
+    /// Name of the coefficient array.
+    pub const COEFFS: &'static str = "h";
+
+    /// A 64-tap filter over 1024 outputs.
+    pub const AUDIO: Self = Self {
+        outputs: 1024,
+        taps: 64,
+    };
+
+    /// Builds the double nest `(n, t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_kernels::Fir;
+    ///
+    /// let p = Fir { outputs: 16, taps: 4 }.program();
+    /// assert_eq!(p.nests()[0].iteration_count(), 64);
+    /// ```
+    pub fn program(&self) -> Program {
+        assert!(self.outputs > 0 && self.taps > 0, "parameters must be positive");
+        let mut p = Program::new();
+        p.declare(
+            ArrayDecl::new(Self::SAMPLES, [self.outputs + self.taps - 1], 16).expect("extents"),
+        )
+        .expect("fresh program");
+        p.declare(ArrayDecl::new(Self::COEFFS, [self.taps], 16).expect("extents"))
+            .expect("fresh program");
+        let var = AffineExpr::var;
+        // x[n + T - 1 - t]: anti-diagonal orientation exercised on purpose.
+        let sample_idx = var("n") - var("t") + (self.taps - 1);
+        let nest = LoopNest::new(
+            [
+                Loop::new("n", 0, self.outputs - 1),
+                Loop::new("t", 0, self.taps - 1),
+            ],
+            [
+                Access::read(Self::SAMPLES, [sample_idx]),
+                Access::read(Self::COEFFS, [var("t")]),
+            ],
+        );
+        p.push_nest(nest).expect("kernel is in bounds by construction");
+        p
+    }
+
+    /// Total sample reads.
+    pub fn sample_reads(&self) -> u64 {
+        (self.outputs * self.taps) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{read_addresses, trace_len, TraceFilter};
+
+    #[test]
+    fn counts_match() {
+        let f = Fir {
+            outputs: 32,
+            taps: 8,
+        };
+        let p = f.program();
+        assert_eq!(
+            trace_len(&p, Fir::SAMPLES, TraceFilter::READS),
+            f.sample_reads()
+        );
+        assert_eq!(trace_len(&p, Fir::COEFFS, TraceFilter::READS), 256);
+    }
+
+    #[test]
+    fn window_slides_one_sample_per_output() {
+        let f = Fir {
+            outputs: 4,
+            taps: 3,
+        };
+        let trace = read_addresses(&f.program(), Fir::SAMPLES);
+        // n=0 reads x[2], x[1], x[0]; n=1 reads x[3], x[2], x[1]; ...
+        assert_eq!(trace, vec![2, 1, 0, 3, 2, 1, 4, 3, 2, 5, 4, 3]);
+    }
+
+    #[test]
+    fn coefficient_stream_repeats_per_output() {
+        let f = Fir {
+            outputs: 3,
+            taps: 2,
+        };
+        let trace = read_addresses(&f.program(), Fir::COEFFS);
+        assert_eq!(trace, vec![0, 1, 0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # datareuse-kernels
+//!
+//! Workload library for the `datareuse` project (reproduction of the
+//! DATE 2002 data-reuse exploration paper): the paper's two test-vehicles
+//! plus a set of classic loop-dominated kernels, all expressed as
+//! `datareuse-loopir` programs.
+//!
+//! - [`MotionEstimation`] — full-search full-pixel motion estimation
+//!   (paper Fig. 3; QCIF, n = m = 8);
+//! - [`Susan`] — the SUSAN principle with its 37-pixel circular mask
+//!   (paper Section 6.4), in both the interleaved and the pre-processed
+//!   series-of-loops forms;
+//! - [`Conv2d`], [`Sobel`], [`Downsample`], [`MatMul`], [`Fir`] — additional
+//!   loop-dominated kernels for tests, examples and ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use datareuse_kernels::MotionEstimation;
+//! use datareuse_loopir::read_addresses;
+//!
+//! let program = MotionEstimation::SMALL.program();
+//! let trace = read_addresses(&program, MotionEstimation::OLD);
+//! assert_eq!(trace.len() as u64, MotionEstimation::SMALL.old_reads());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fir;
+mod matmul;
+mod mc;
+mod me;
+mod stencils;
+mod susan;
+
+pub use fir::Fir;
+pub use matmul::{MatMul, MatMulOrder};
+pub use mc::MotionCompensation;
+pub use me::MotionEstimation;
+pub use stencils::{Conv2d, Downsample, Sobel};
+pub use susan::Susan;

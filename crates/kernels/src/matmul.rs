@@ -1,0 +1,138 @@
+//! Dense matrix multiplication `C = A · B` — the classic reuse-heavy
+//! kernel, with selectable loop order to exercise the "certain freedom in
+//! loop nest ordering is still available" hook of DTSE step 2.
+
+use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
+use serde::{Deserialize, Serialize};
+
+/// Loop order of the triple nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MatMulOrder {
+    /// `i` outer, `j` middle, `k` inner (row-major natural).
+    #[default]
+    Ijk,
+    /// `i`, `k`, `j` — streams `B` rows.
+    Ikj,
+    /// `j`, `k`, `i` — streams `A` columns.
+    Jki,
+}
+
+/// Parameters of the matrix-multiply kernel (`A: n×m`, `B: m×p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatMul {
+    /// Rows of `A` / `C`.
+    pub n: i64,
+    /// Columns of `A` / rows of `B`.
+    pub m: i64,
+    /// Columns of `B` / `C`.
+    pub p: i64,
+    /// Loop order.
+    pub order: MatMulOrder,
+}
+
+impl MatMul {
+    /// Name of the left operand array.
+    pub const A: &'static str = "A";
+    /// Name of the right operand array.
+    pub const B: &'static str = "B";
+    /// Name of the result array.
+    pub const C: &'static str = "C";
+
+    /// A square instance with the default order.
+    pub fn square(n: i64) -> Self {
+        Self {
+            n,
+            m: n,
+            p: n,
+            order: MatMulOrder::default(),
+        }
+    }
+
+    /// Builds the triple nest in the configured order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive dimensions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_kernels::MatMul;
+    ///
+    /// let p = MatMul::square(8).program();
+    /// assert_eq!(p.nests()[0].iteration_count(), 512);
+    /// ```
+    pub fn program(&self) -> Program {
+        assert!(self.n > 0 && self.m > 0 && self.p > 0, "dimensions must be positive");
+        let mut prog = Program::new();
+        prog.declare(ArrayDecl::new(Self::A, [self.n, self.m], 16).expect("extents"))
+            .expect("fresh program");
+        prog.declare(ArrayDecl::new(Self::B, [self.m, self.p], 16).expect("extents"))
+            .expect("fresh program");
+        prog.declare(ArrayDecl::new(Self::C, [self.n, self.p], 32).expect("extents"))
+            .expect("fresh program");
+        let li = Loop::new("i", 0, self.n - 1);
+        let lj = Loop::new("j", 0, self.p - 1);
+        let lk = Loop::new("k", 0, self.m - 1);
+        let loops = match self.order {
+            MatMulOrder::Ijk => [li, lj, lk],
+            MatMulOrder::Ikj => [li, lk, lj],
+            MatMulOrder::Jki => [lj, lk, li],
+        };
+        let var = AffineExpr::var;
+        let nest = LoopNest::new(
+            loops,
+            [
+                Access::read(Self::A, [var("i"), var("k")]),
+                Access::read(Self::B, [var("k"), var("j")]),
+                Access::write(Self::C, [var("i"), var("j")]),
+            ],
+        );
+        prog.push_nest(nest).expect("kernel is in bounds by construction");
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{trace_len, TraceFilter};
+
+    #[test]
+    fn all_orders_issue_the_same_traffic() {
+        for order in [MatMulOrder::Ijk, MatMulOrder::Ikj, MatMulOrder::Jki] {
+            let mm = MatMul {
+                n: 4,
+                m: 5,
+                p: 6,
+                order,
+            };
+            let prog = mm.program();
+            assert_eq!(trace_len(&prog, MatMul::A, TraceFilter::READS), 120);
+            assert_eq!(trace_len(&prog, MatMul::B, TraceFilter::READS), 120);
+            assert_eq!(trace_len(&prog, MatMul::C, TraceFilter::ALL), 120);
+        }
+    }
+
+    #[test]
+    fn order_changes_reuse_carrier() {
+        // Under Ijk, B[k][j] reuses across i (the outermost loop); under
+        // Ikj, B[k][j] is reused across... the exploration sees different
+        // candidate structures. Just assert the nests differ.
+        let a = MatMul {
+            n: 4,
+            m: 4,
+            p: 4,
+            order: MatMulOrder::Ijk,
+        }
+        .program();
+        let b = MatMul {
+            n: 4,
+            m: 4,
+            p: 4,
+            order: MatMulOrder::Ikj,
+        }
+        .program();
+        assert_ne!(a.nests()[0].loops(), b.nests()[0].loops());
+    }
+}

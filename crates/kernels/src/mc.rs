@@ -1,0 +1,155 @@
+//! Half-pel motion compensation — the data-transfer core of the H.263
+//! video decoder the paper's methodology was demonstrated on ([21]).
+//!
+//! For every block, a candidate motion vector selects a window of the
+//! reference frame; half-pel interpolation reads the 2×2 pixel
+//! neighbourhood of each position. In the decoder the vector is
+//! data-dependent; for compile-time analysis the standard practice (and
+//! our substitution, recorded in DESIGN.md) is to analyze the worst-case
+//! sweep over the vector range, which is exactly the Fig. 3 search
+//! structure with interpolation accesses added.
+
+use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the motion-compensation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MotionCompensation {
+    /// Frame height (multiple of `block`).
+    pub height: i64,
+    /// Frame width (multiple of `block`).
+    pub width: i64,
+    /// Block size.
+    pub block: i64,
+    /// Motion-vector range per axis (full-pel positions).
+    pub range: i64,
+}
+
+impl MotionCompensation {
+    /// Name of the reference-frame array.
+    pub const REF: &'static str = "Ref";
+
+    /// A small decoder-like instance.
+    pub const SMALL: Self = Self {
+        height: 32,
+        width: 32,
+        block: 8,
+        range: 4,
+    };
+
+    /// Extents of the padded reference frame (one extra row/column for the
+    /// half-pel neighbourhood).
+    pub fn ref_extents(&self) -> (i64, i64) {
+        (
+            self.height + 2 * self.range,
+            self.width + 2 * self.range,
+        )
+    }
+
+    /// Builds the nest: block row/col, vector y/x, pixel y/x, with four
+    /// interpolation reads per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frame is not block-aligned or a parameter is
+    /// non-positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_kernels::MotionCompensation;
+    ///
+    /// let p = MotionCompensation::SMALL.program();
+    /// assert_eq!(p.nests()[0].accesses().len(), 4);
+    /// ```
+    pub fn program(&self) -> Program {
+        assert!(
+            self.block > 0 && self.range > 0 && self.height > 0 && self.width > 0,
+            "parameters must be positive"
+        );
+        assert!(
+            self.height % self.block == 0 && self.width % self.block == 0,
+            "frame must be block-aligned"
+        );
+        let n = self.block;
+        let (rh, rw) = self.ref_extents();
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new(Self::REF, [rh, rw], 8).expect("extents"))
+            .expect("fresh program");
+        let var = AffineExpr::var;
+        let row = AffineExpr::term("by", n) + var("vy") + var("py");
+        let col = AffineExpr::term("bx", n) + var("vx") + var("px");
+        let accesses: Vec<Access> = [(0i64, 0i64), (0, 1), (1, 0), (1, 1)]
+            .into_iter()
+            .map(|(dy, dx)| {
+                Access::read(Self::REF, [row.clone() + dy, col.clone() + dx])
+            })
+            .collect();
+        let nest = LoopNest::new(
+            [
+                Loop::new("by", 0, self.height / n - 1),
+                Loop::new("bx", 0, self.width / n - 1),
+                Loop::new("vy", 0, 2 * self.range - 1),
+                Loop::new("vx", 0, 2 * self.range - 1),
+                Loop::new("py", 0, n - 1),
+                Loop::new("px", 0, n - 1),
+            ],
+            accesses,
+        );
+        p.push_nest(nest).expect("kernel is in bounds by construction");
+        p
+    }
+
+    /// Total reference-frame reads (4 interpolation taps per position).
+    pub fn ref_reads(&self) -> u64 {
+        (4 * (self.height / self.block)
+            * (self.width / self.block)
+            * 4
+            * self.range
+            * self.range
+            * self.block
+            * self.block) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{trace_len, TraceFilter};
+
+    #[test]
+    fn counts_match() {
+        let mc = MotionCompensation::SMALL;
+        let p = mc.program();
+        assert_eq!(
+            trace_len(&p, MotionCompensation::REF, TraceFilter::READS),
+            mc.ref_reads()
+        );
+    }
+
+    #[test]
+    fn interpolation_taps_are_translations() {
+        let p = MotionCompensation::SMALL.program();
+        let accesses = p.nests()[0].accesses();
+        let base = &accesses[0];
+        for a in accesses {
+            for (dim, (ea, eb)) in a.indices().iter().zip(base.indices()).enumerate() {
+                for it in ["by", "bx", "vy", "vx", "py", "px"] {
+                    assert_eq!(ea.coeff(it), eb.coeff(it), "dim {dim}, iter {it}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_frame_panics() {
+        MotionCompensation {
+            height: 30,
+            width: 32,
+            block: 8,
+            range: 2,
+        }
+        .program();
+    }
+}

@@ -1,0 +1,173 @@
+//! Full-search full-pixel motion estimation (paper Fig. 3).
+//!
+//! The kernel estimates, for every `n × n` block of the new frame, the
+//! motion vector within a `±m` search window in the old frame, by
+//! exhaustive sum-of-absolute-differences matching. The paper's
+//! simulations use H=144, W=176 (QCIF), n=m=8.
+//!
+//! **Substitution note** (recorded in `DESIGN.md`): the paper indexes
+//! `Old` inside the original `H × W` frame, implying border clamping of
+//! the search window, which is not affine. We use the standard padded
+//! reference frame of `(H + 2m − 1) × (W + 2m − 1)` elements instead, so
+//! every access stays affine. The footprint grows by the apron
+//! (25 344 → 30 369 elements for QCIF), which shifts the saturation
+//! reuse factor from 256 to ≈ 213.6; all reuse structure is unchanged.
+
+use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the motion-estimation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MotionEstimation {
+    /// Frame height `H` (must be a multiple of `block`).
+    pub height: i64,
+    /// Frame width `W` (must be a multiple of `block`).
+    pub width: i64,
+    /// Block size `n`.
+    pub block: i64,
+    /// Search range `m` (window spans `2m` positions per axis).
+    pub search: i64,
+}
+
+impl MotionEstimation {
+    /// The paper's simulation parameters: QCIF frame, `n = m = 8`.
+    pub const QCIF: Self = Self {
+        height: 144,
+        width: 176,
+        block: 8,
+        search: 8,
+    };
+
+    /// A scaled-down instance for fast tests and examples.
+    pub const SMALL: Self = Self {
+        height: 32,
+        width: 32,
+        block: 4,
+        search: 4,
+    };
+
+    /// Name of the reference-frame array the paper explores.
+    pub const OLD: &'static str = "Old";
+
+    /// Name of the current-frame array.
+    pub const NEW: &'static str = "New";
+
+    /// Extents of the padded `Old` frame.
+    pub fn old_extents(&self) -> (i64, i64) {
+        (
+            self.height + 2 * self.search - 1,
+            self.width + 2 * self.search - 1,
+        )
+    }
+
+    /// Builds the six-deep loop nest of Fig. 3.
+    ///
+    /// Loop order (outermost first): block row `i1`, block column `i2`,
+    /// vertical search `i3`, horizontal search `i4`, pixel row `i5`,
+    /// pixel column `i6`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frame is not block-aligned or a parameter is
+    /// non-positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_kernels::MotionEstimation;
+    ///
+    /// let p = MotionEstimation::QCIF.program();
+    /// assert_eq!(p.nests()[0].depth(), 6);
+    /// assert_eq!(p.nests()[0].iteration_count(), 18 * 22 * 16 * 16 * 8 * 8);
+    /// ```
+    pub fn program(&self) -> Program {
+        assert!(
+            self.block > 0 && self.search > 0 && self.height > 0 && self.width > 0,
+            "parameters must be positive"
+        );
+        assert!(
+            self.height % self.block == 0 && self.width % self.block == 0,
+            "frame must be block-aligned"
+        );
+        let (n, m) = (self.block, self.search);
+        let (oh, ow) = self.old_extents();
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new(Self::NEW, [self.height, self.width], 8).expect("extents"))
+            .expect("fresh program");
+        p.declare(ArrayDecl::new(Self::OLD, [oh, ow], 8).expect("extents"))
+            .expect("fresh program");
+        let var = AffineExpr::var;
+        let new_row = AffineExpr::term("i1", n) + var("i5");
+        let new_col = AffineExpr::term("i2", n) + var("i6");
+        let old_row = AffineExpr::term("i1", n) + var("i3") + var("i5");
+        let old_col = AffineExpr::term("i2", n) + var("i4") + var("i6");
+        let nest = LoopNest::new(
+            [
+                Loop::new("i1", 0, self.height / n - 1),
+                Loop::new("i2", 0, self.width / n - 1),
+                Loop::new("i3", 0, 2 * m - 1),
+                Loop::new("i4", 0, 2 * m - 1),
+                Loop::new("i5", 0, n - 1),
+                Loop::new("i6", 0, n - 1),
+            ],
+            [
+                Access::read(Self::NEW, [new_row, new_col]),
+                Access::read(Self::OLD, [old_row, old_col]),
+            ],
+        );
+        p.push_nest(nest).expect("kernel is in bounds by construction");
+        p
+    }
+
+    /// Total reads of the `Old` array per frame.
+    pub fn old_reads(&self) -> u64 {
+        ((self.height / self.block)
+            * (self.width / self.block)
+            * 4
+            * self.search
+            * self.search
+            * self.block
+            * self.block) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{read_addresses, TraceFilter};
+
+    #[test]
+    fn qcif_matches_paper_counts() {
+        let me = MotionEstimation::QCIF;
+        let p = me.program();
+        assert_eq!(me.old_reads(), 6_488_064);
+        assert_eq!(
+            datareuse_loopir::trace_len(&p, MotionEstimation::OLD, TraceFilter::READS),
+            me.old_reads()
+        );
+        assert_eq!(me.old_extents(), (159, 191));
+    }
+
+    #[test]
+    fn small_instance_traces() {
+        let me = MotionEstimation::SMALL;
+        let p = me.program();
+        let trace = read_addresses(&p, MotionEstimation::OLD);
+        assert_eq!(trace.len() as u64, me.old_reads());
+        let max = trace.iter().max().copied().unwrap();
+        let (oh, ow) = me.old_extents();
+        assert!(max < (oh * ow) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_frame_panics() {
+        MotionEstimation {
+            height: 30,
+            width: 32,
+            block: 4,
+            search: 4,
+        }
+        .program();
+    }
+}

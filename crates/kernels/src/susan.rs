@@ -1,0 +1,224 @@
+//! The SUSAN principle (paper Section 6.4, [27]).
+//!
+//! SUSAN-based edge/corner detection moves a reference pixel over the
+//! image and compares it against every pixel on a 37-pixel circular mask
+//! of radius 3. Two representations are provided:
+//!
+//! - [`Susan::program`] — the original interleaved order: one `(y, x, d)`
+//!   nest whose body holds seven guarded accesses (one per mask row, the
+//!   bounds of the circle expressed as guard conjunctions, plus the
+//!   middle-row `d != 0` conditional the paper calls out);
+//! - [`Susan::unfolded_program`] — the paper's pre-processed shape, "a
+//!   series of loops with different accesses to an array image": one
+//!   exact-bound nest per mask row. This is the form the analytical
+//!   exploration consumes ("each of the accesses is handled separately").
+
+use datareuse_loopir::{Access, AffineExpr, ArrayDecl, CmpOp, Guard, Loop, LoopNest, Program};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SUSAN kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Susan {
+    /// Image height.
+    pub height: i64,
+    /// Image width.
+    pub width: i64,
+}
+
+impl Susan {
+    /// The paper's image size (QCIF, like the ME test-vehicle).
+    pub const QCIF: Self = Self {
+        height: 144,
+        width: 176,
+    };
+
+    /// A scaled-down instance for fast tests and examples.
+    pub const SMALL: Self = Self {
+        height: 24,
+        width: 32,
+    };
+
+    /// Name of the image array.
+    pub const IMAGE: &'static str = "image";
+
+    /// Mask radius.
+    pub const RADIUS: i64 = 3;
+
+    /// Half-width of each mask row, for `dy = −3 … 3`. The row areas
+    /// `3 + 5 + 7 + 7 + 7 + 5 + 3 = 37` form the classic 37-pixel mask.
+    pub const HALF_WIDTHS: [i64; 7] = [1, 2, 3, 3, 3, 2, 1];
+
+    /// Mask pixels compared per reference position (the center is
+    /// skipped).
+    pub const MASK_COMPARES: u64 = 36;
+
+    fn reference_bounds(&self) -> ((i64, i64), (i64, i64)) {
+        let r = Self::RADIUS;
+        ((r, self.height - r - 1), (r, self.width - r - 1))
+    }
+
+    /// Builds the interleaved single-nest form: `(y, x, d)` with seven
+    /// guarded accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image is smaller than the mask.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_kernels::Susan;
+    ///
+    /// let p = Susan::SMALL.program();
+    /// assert_eq!(p.nests().len(), 1);
+    /// assert_eq!(p.nests()[0].accesses().len(), 7);
+    /// ```
+    pub fn program(&self) -> Program {
+        let ((ylo, yhi), (xlo, xhi)) = self.reference_bounds();
+        assert!(ylo <= yhi && xlo <= xhi, "image smaller than the mask");
+        let r = Self::RADIUS;
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new(Self::IMAGE, [self.height, self.width], 8).expect("extents"))
+            .expect("fresh program");
+        let mut accesses = Vec::new();
+        for (row, &hw) in Self::HALF_WIDTHS.iter().enumerate() {
+            let dy = row as i64 - r;
+            let mut acc = Access::read(
+                Self::IMAGE,
+                [
+                    AffineExpr::var("y") + dy,
+                    AffineExpr::var("x") + AffineExpr::var("d"),
+                ],
+            );
+            if hw < r {
+                acc = acc
+                    .with_guard(Guard::new(
+                        AffineExpr::var("d"),
+                        CmpOp::Ge,
+                        AffineExpr::constant(-hw),
+                    ))
+                    .with_guard(Guard::new(
+                        AffineExpr::var("d"),
+                        CmpOp::Le,
+                        AffineExpr::constant(hw),
+                    ));
+            }
+            if dy == 0 {
+                // The paper: "the loop accessing the middle row of the mask
+                // is not executed for the position where the reference
+                // pixel is located".
+                acc = acc.with_guard(Guard::new(
+                    AffineExpr::var("d"),
+                    CmpOp::Ne,
+                    AffineExpr::constant(0),
+                ));
+            }
+            accesses.push(acc);
+        }
+        let nest = LoopNest::new(
+            [
+                Loop::new("y", ylo, yhi),
+                Loop::new("x", xlo, xhi),
+                Loop::new("d", -r, r),
+            ],
+            accesses,
+        );
+        p.push_nest(nest).expect("kernel is in bounds by construction");
+        p
+    }
+
+    /// Builds the pre-processed series-of-loops form: one `(y, x, d)` nest
+    /// per mask row with exact `d` bounds. Only the middle row keeps a
+    /// conditional (`d != 0`), exactly the situation for which the paper
+    /// accepts "an approximate solution".
+    pub fn unfolded_program(&self) -> Program {
+        let ((ylo, yhi), (xlo, xhi)) = self.reference_bounds();
+        assert!(ylo <= yhi && xlo <= xhi, "image smaller than the mask");
+        let r = Self::RADIUS;
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new(Self::IMAGE, [self.height, self.width], 8).expect("extents"))
+            .expect("fresh program");
+        for (row, &hw) in Self::HALF_WIDTHS.iter().enumerate() {
+            let dy = row as i64 - r;
+            let mut acc = Access::read(
+                Self::IMAGE,
+                [
+                    AffineExpr::var("y") + dy,
+                    AffineExpr::var("x") + AffineExpr::var("d"),
+                ],
+            );
+            if dy == 0 {
+                acc = acc.with_guard(Guard::new(
+                    AffineExpr::var("d"),
+                    CmpOp::Ne,
+                    AffineExpr::constant(0),
+                ));
+            }
+            let nest = LoopNest::new(
+                [
+                    Loop::new("y", ylo, yhi),
+                    Loop::new("x", xlo, xhi),
+                    Loop::new("d", -hw, hw),
+                ],
+                [acc],
+            );
+            p.push_nest(nest).expect("kernel is in bounds by construction");
+        }
+        p
+    }
+
+    /// Total image reads per frame (36 mask compares per reference pixel).
+    pub fn image_reads(&self) -> u64 {
+        let ((ylo, yhi), (xlo, xhi)) = self.reference_bounds();
+        ((yhi - ylo + 1) * (xhi - xlo + 1)) as u64 * Self::MASK_COMPARES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::{trace_len, TraceFilter};
+
+    #[test]
+    fn both_forms_issue_the_same_reads() {
+        let s = Susan::SMALL;
+        let folded = trace_len(&s.program(), Susan::IMAGE, TraceFilter::READS);
+        let unfolded = trace_len(&s.unfolded_program(), Susan::IMAGE, TraceFilter::READS);
+        assert_eq!(folded, s.image_reads());
+        assert_eq!(unfolded, s.image_reads());
+    }
+
+    #[test]
+    fn qcif_read_count() {
+        let s = Susan::QCIF;
+        // (144−6)·(176−6)·36
+        assert_eq!(s.image_reads(), 138 * 170 * 36);
+    }
+
+    #[test]
+    fn mask_covers_37_pixels() {
+        let total: i64 = Susan::HALF_WIDTHS.iter().map(|&w| 2 * w + 1).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn folded_trace_matches_unfolded_multiset() {
+        // Same addresses, different order.
+        let s = Susan::SMALL;
+        let mut a = datareuse_loopir::read_addresses(&s.program(), Susan::IMAGE);
+        let mut b = datareuse_loopir::read_addresses(&s.unfolded_program(), Susan::IMAGE);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the mask")]
+    fn tiny_image_panics() {
+        Susan {
+            height: 4,
+            width: 4,
+        }
+        .program();
+    }
+}

@@ -1,0 +1,302 @@
+//! Address-trace generation.
+//!
+//! The simulation side of the paper (Section 4) explores "the search space
+//! for accesses to one signal in nested loops". This module turns a
+//! [`Program`] into the linearized address trace of all accesses to one
+//! array, in program execution order, ready for the replacement-policy
+//! simulators in `datareuse-trace`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::nest::{AccessKind, LoopNest, Program};
+use crate::walk::IterSpace;
+
+/// One event of an address trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Row-major linearized element address within the traced array.
+    pub addr: u64,
+    /// Whether the event is a read or a write.
+    pub kind: AccessKind,
+}
+
+/// Which access kinds to include in a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceFilter {
+    /// Include read accesses.
+    pub reads: bool,
+    /// Include write accesses.
+    pub writes: bool,
+}
+
+impl TraceFilter {
+    /// Reads only — the paper's data reuse step analyzes read traffic
+    /// (the code is single-assignment, so each element is written once).
+    pub const READS: Self = Self {
+        reads: true,
+        writes: false,
+    };
+
+    /// Reads and writes.
+    pub const ALL: Self = Self {
+        reads: true,
+        writes: true,
+    };
+
+    fn admits(self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.reads,
+            AccessKind::Write => self.writes,
+        }
+    }
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        Self::READS
+    }
+}
+
+/// Pre-resolved access: index coefficients aligned to loop order.
+#[derive(Debug, Clone)]
+struct ResolvedAccess {
+    kind: AccessKind,
+    /// Per dimension: (coefficients per loop depth, constant).
+    dims: Vec<(Vec<i64>, i64)>,
+    /// Guards as (lhs-rhs) coefficients, constant and operator; all must
+    /// hold for the access to execute.
+    guards: Vec<(Vec<i64>, i64, crate::nest::CmpOp)>,
+    extents: Vec<i64>,
+}
+
+impl ResolvedAccess {
+    fn address(&self, point: &[i64]) -> u64 {
+        let mut addr: i64 = 0;
+        for ((coeffs, constant), &extent) in self.dims.iter().zip(&self.extents) {
+            let idx: i64 = coeffs
+                .iter()
+                .zip(point)
+                .map(|(c, v)| c * v)
+                .sum::<i64>()
+                + constant;
+            debug_assert!(
+                (0..extent).contains(&idx),
+                "trace index {idx} outside [0, {extent})"
+            );
+            addr = addr * extent + idx;
+        }
+        addr as u64
+    }
+
+    fn guarded_in(&self, point: &[i64]) -> bool {
+        self.guards.iter().all(|(coeffs, constant, op)| {
+            let v: i64 = coeffs.iter().zip(point).map(|(c, p)| c * p).sum::<i64>() + constant;
+            op.holds(v, 0)
+        })
+    }
+}
+
+fn resolve(nest: &LoopNest, program: &Program, array: &str, filter: TraceFilter) -> Vec<ResolvedAccess> {
+    let Some(decl) = program.array(array) else {
+        return Vec::new();
+    };
+    let names: Vec<&str> = nest.loops().iter().map(|l| l.name()).collect();
+    nest.accesses()
+        .iter()
+        .filter(|a| a.array() == array && filter.admits(a.kind()))
+        .map(|a| {
+            let dims = a
+                .indices()
+                .iter()
+                .map(|e| {
+                    let coeffs = names.iter().map(|n| e.coeff(n)).collect();
+                    (coeffs, e.constant_part())
+                })
+                .collect();
+            let guards = a
+                .guards()
+                .iter()
+                .map(|g| {
+                    let diff = g.lhs.clone() - g.rhs.clone();
+                    let coeffs = names.iter().map(|n| diff.coeff(n)).collect();
+                    (coeffs, diff.constant_part(), g.op)
+                })
+                .collect();
+            ResolvedAccess {
+                kind: a.kind(),
+                dims,
+                guards,
+                extents: decl.extents().to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Generates the full trace of accesses to `array` across all nests of
+/// `program`, in execution order, filtered by `filter`.
+///
+/// Addresses are row-major linearized element indices within the array.
+/// Guarded accesses are skipped at iterations where their guard fails —
+/// this is how the SUSAN middle-row conditional is handled exactly rather
+/// than approximately.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_loopir::{
+///     Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program, TraceFilter, trace_array,
+/// };
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = Program::new();
+/// p.declare(ArrayDecl::new("A", [8], 8)?)?;
+/// p.push_nest(LoopNest::new(
+///     [Loop::new("i", 0, 3)],
+///     [Access::read("A", [AffineExpr::var("i") + 1])],
+/// ))?;
+/// let trace = trace_array(&p, "A", TraceFilter::READS);
+/// assert_eq!(trace.iter().map(|e| e.addr).collect::<Vec<_>>(), [1, 2, 3, 4]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trace_array(program: &Program, array: &str, filter: TraceFilter) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    for nest in program.nests() {
+        let resolved = resolve(nest, program, array, filter);
+        if resolved.is_empty() {
+            continue;
+        }
+        for point in IterSpace::new(nest) {
+            for acc in &resolved {
+                if acc.guarded_in(&point) {
+                    out.push(TraceEvent {
+                        addr: acc.address(&point),
+                        kind: acc.kind,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convenience wrapper returning only read addresses — the input shape the
+/// replacement simulators expect.
+pub fn read_addresses(program: &Program, array: &str) -> Vec<u64> {
+    trace_array(program, array, TraceFilter::READS)
+        .into_iter()
+        .map(|e| e.addr)
+        .collect()
+}
+
+/// Counts trace events without materializing the trace.
+pub fn trace_len(program: &Program, array: &str, filter: TraceFilter) -> u64 {
+    let mut total = 0u64;
+    for nest in program.nests() {
+        let resolved = resolve(nest, program, array, filter);
+        if resolved.is_empty() {
+            continue;
+        }
+        let unguarded = resolved.iter().filter(|a| a.guards.is_empty()).count() as u64;
+        total += unguarded * nest.iteration_count();
+        let guarded: Vec<_> = resolved.iter().filter(|a| !a.guards.is_empty()).collect();
+        if !guarded.is_empty() {
+            for point in IterSpace::new(nest) {
+                total += guarded.iter().filter(|a| a.guarded_in(&point)).count() as u64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::nest::{Access, ArrayDecl, CmpOp, Guard, Loop, LoopNest, Program};
+
+    fn simple_program() -> Program {
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new("A", [4, 4], 8).unwrap()).unwrap();
+        p.push_nest(LoopNest::new(
+            [Loop::new("i", 0, 3), Loop::new("j", 0, 3)],
+            [Access::read("A", [AffineExpr::var("i"), AffineExpr::var("j")])],
+        ))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn sequential_scan_produces_sequential_addresses() {
+        let p = simple_program();
+        let addrs = read_addresses(&p, "A");
+        assert_eq!(addrs, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn filter_excludes_writes() {
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new("A", [4], 8).unwrap()).unwrap();
+        p.push_nest(LoopNest::new(
+            [Loop::new("i", 0, 3)],
+            [
+                Access::read("A", [AffineExpr::var("i")]),
+                Access::write("A", [AffineExpr::var("i")]),
+            ],
+        ))
+        .unwrap();
+        assert_eq!(trace_array(&p, "A", TraceFilter::READS).len(), 4);
+        assert_eq!(trace_array(&p, "A", TraceFilter::ALL).len(), 8);
+        assert_eq!(trace_len(&p, "A", TraceFilter::ALL), 8);
+    }
+
+    #[test]
+    fn guards_skip_iterations() {
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new("A", [4], 8).unwrap()).unwrap();
+        let guard = Guard::new(AffineExpr::var("i"), CmpOp::Ne, AffineExpr::constant(2));
+        p.push_nest(LoopNest::new(
+            [Loop::new("i", 0, 3)],
+            [Access::read("A", [AffineExpr::var("i")]).with_guard(guard)],
+        ))
+        .unwrap();
+        let addrs = read_addresses(&p, "A");
+        assert_eq!(addrs, vec![0, 1, 3]);
+        assert_eq!(trace_len(&p, "A", TraceFilter::READS), 3);
+    }
+
+    #[test]
+    fn multiple_nests_concatenate_in_order() {
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new("A", [4], 8).unwrap()).unwrap();
+        for base in [0i64, 2] {
+            p.push_nest(LoopNest::new(
+                [Loop::new("i", 0, 1)],
+                [Access::read("A", [AffineExpr::var("i") + base])],
+            ))
+            .unwrap();
+        }
+        assert_eq!(read_addresses(&p, "A"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_array_yields_empty_trace() {
+        let p = simple_program();
+        assert!(trace_array(&p, "Nope", TraceFilter::ALL).is_empty());
+    }
+
+    #[test]
+    fn overlapping_window_access_reuses_addresses() {
+        // A[j + k] for j in 0..=2, k in 0..=1 → addresses 0,1,1,2,2,3
+        let mut p = Program::new();
+        p.declare(ArrayDecl::new("A", [8], 8).unwrap()).unwrap();
+        p.push_nest(LoopNest::new(
+            [Loop::new("j", 0, 2), Loop::new("k", 0, 1)],
+            [Access::read(
+                "A",
+                [AffineExpr::var("j") + AffineExpr::var("k")],
+            )],
+        ))
+        .unwrap();
+        assert_eq!(read_addresses(&p, "A"), vec![0, 1, 1, 2, 2, 3]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Memory size/area cost model.
+//!
+//! The paper's cost function (eq. 2) charges `β · Σ A_j(N_bits, N_words)`
+//! for the on-chip sub-levels. The figures plot "memory size" as element
+//! counts; area-style models with cell and periphery terms are provided for
+//! users who want silicon-area weighting instead.
+
+use serde::{Deserialize, Serialize};
+
+/// Size cost model for an on-chip memory of `words` × `bits`.
+pub trait AreaModel {
+    /// The size cost charged by eq. 2 for one memory.
+    fn size_cost(&self, words: u64, bits: u32) -> f64;
+}
+
+/// Counts storage bits only (`words · bits`) — the weighting used in the
+/// paper's figures, which plot copy-candidate sizes in elements of a fixed
+/// bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitCount;
+
+impl AreaModel for BitCount {
+    fn size_cost(&self, words: u64, bits: u32) -> f64 {
+        words as f64 * bits as f64
+    }
+}
+
+/// Area model with cell area plus a √(words·bits) periphery term modelling
+/// decoders and sense amplifiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellPeriphery {
+    /// Area per storage bit.
+    pub a_cell: f64,
+    /// Periphery coefficient.
+    pub a_periphery: f64,
+    /// Fixed overhead per memory instance.
+    pub a_fixed: f64,
+}
+
+impl Default for CellPeriphery {
+    fn default() -> Self {
+        Self {
+            a_cell: 1.0,
+            a_periphery: 12.0,
+            a_fixed: 50.0,
+        }
+    }
+}
+
+impl AreaModel for CellPeriphery {
+    fn size_cost(&self, words: u64, bits: u32) -> f64 {
+        let storage = words as f64 * bits as f64;
+        self.a_fixed + self.a_cell * storage + self.a_periphery * storage.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_count_is_exact() {
+        assert_eq!(BitCount.size_cost(100, 8), 800.0);
+        assert_eq!(BitCount.size_cost(0, 8), 0.0);
+    }
+
+    #[test]
+    fn periphery_adds_instance_overhead() {
+        let m = CellPeriphery::default();
+        // Two memories of 50 words cost more than one of 100 words:
+        // the fixed + periphery overhead penalizes extra hierarchy layers,
+        // the "negative effect on the memory size and interconnect cost"
+        // the paper warns about.
+        let two = 2.0 * m.size_cost(50, 8);
+        let one = m.size_cost(100, 8);
+        assert!(two > one);
+    }
+
+    #[test]
+    fn monotone_in_words() {
+        let m = CellPeriphery::default();
+        assert!(m.size_cost(200, 8) > m.size_cost(100, 8));
+    }
+}

@@ -1,0 +1,170 @@
+//! Per-level energy breakdown of a copy-candidate chain.
+//!
+//! [`chain_breakdown`] decomposes the eq. 3 total into the contribution
+//! of every memory level — the fill traffic it receives, the reads it
+//! serves downstream, and the bypass reads it absorbs — so a designer can
+//! see *where* the energy goes, not just how much.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chain::CopyChain;
+use crate::power::MemoryTechnology;
+
+/// Energy attributed to one memory of the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelEnergy {
+    /// Level number: 0 is the background memory, `1..=n` the sub-levels.
+    pub level: usize,
+    /// Capacity in elements (`None` for the background memory).
+    pub words: Option<u64>,
+    /// Energy of reads this memory serves (to the next level or the
+    /// processor, including bypass reads it absorbs).
+    pub read_energy: f64,
+    /// Energy of writes into this memory (copy fills).
+    pub write_energy: f64,
+}
+
+impl LevelEnergy {
+    /// Total energy attributed to the level.
+    pub fn total(&self) -> f64 {
+        self.read_energy + self.write_energy
+    }
+}
+
+/// The full decomposition; level totals sum to the eq. 3 chain energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainBreakdown {
+    /// Per-level contributions, background first.
+    pub levels: Vec<LevelEnergy>,
+    /// Sum of all contributions (equals
+    /// [`crate::ChainCost::energy`] from [`crate::evaluate_chain`]).
+    pub total: f64,
+}
+
+impl ChainBreakdown {
+    /// Fraction of the total consumed by the background memory — the
+    /// quantity the hierarchy exists to shrink.
+    pub fn background_share(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.levels[0].total() / self.total
+        }
+    }
+}
+
+/// Decomposes the chain energy per level (see [`crate::evaluate_chain`]
+/// for the aggregate form).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_memmodel::{
+///     chain_breakdown, evaluate_chain, BitCount, ChainLevel, CopyChain, MemoryTechnology,
+/// };
+///
+/// let tech = MemoryTechnology::new();
+/// let mut chain = CopyChain::baseline(10_000, 25_344, 8);
+/// chain.push_level(ChainLevel::new(256, 100));
+/// let bd = chain_breakdown(&chain, &tech);
+/// let cost = evaluate_chain(&chain, &tech, &BitCount);
+/// assert!((bd.total - cost.energy).abs() < 1e-9);
+/// assert!(bd.background_share() < 0.5); // the buffer absorbed the traffic
+/// ```
+pub fn chain_breakdown(chain: &CopyChain, tech: &MemoryTechnology) -> ChainBreakdown {
+    let bits = chain.bits;
+    let n = chain.levels.len();
+    let words_of = |j: usize| -> Option<u64> {
+        if j == 0 {
+            None
+        } else {
+            Some(chain.levels[j - 1].words)
+        }
+    };
+    let mut levels: Vec<LevelEnergy> = (0..=n)
+        .map(|j| LevelEnergy {
+            level: j,
+            words: words_of(j),
+            read_energy: 0.0,
+            write_energy: 0.0,
+        })
+        .collect();
+    for (i, level) in chain.levels.iter().enumerate() {
+        let j = i + 1;
+        // Fills: read from j-1, write into j.
+        levels[j - 1].read_energy +=
+            level.fills as f64 * tech.level_read_energy(words_of(j - 1), bits);
+        levels[j].write_energy +=
+            level.fills as f64 * tech.level_write_energy(words_of(j), bits);
+        // Bypass reads absorbed by the level above.
+        levels[j - 1].read_energy +=
+            level.bypasses as f64 * tech.level_read_energy(words_of(j - 1), bits);
+    }
+    let innermost_bypasses = chain.levels.last().map_or(0, |l| l.bypasses);
+    levels[n].read_energy +=
+        (chain.c_tot - innermost_bypasses) as f64 * tech.level_read_energy(words_of(n), bits);
+    let total = levels.iter().map(LevelEnergy::total).sum();
+    ChainBreakdown { levels, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::BitCount;
+    use crate::chain::{evaluate_chain, ChainLevel};
+
+    fn tech() -> MemoryTechnology {
+        MemoryTechnology::new()
+    }
+
+    #[test]
+    fn totals_match_evaluate_chain_for_depths_0_to_2() {
+        let t = tech();
+        let mut chain = CopyChain::baseline(1000, 4096, 8);
+        for _ in 0..3 {
+            let bd = chain_breakdown(&chain, &t);
+            let cost = evaluate_chain(&chain, &t, &BitCount);
+            assert!(
+                (bd.total - cost.energy).abs() < 1e-9,
+                "depth {}",
+                chain.depth()
+            );
+            assert_eq!(bd.levels.len(), chain.depth() + 1);
+            match chain.depth() {
+                0 => chain.push_level(ChainLevel::new(512, 10)),
+                _ => chain.push_level(ChainLevel::new(chain.levels.last().unwrap().words / 4, 100)),
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_energy_lands_on_the_parent_level() {
+        let t = tech();
+        let mut chain = CopyChain::baseline(1000, 4096, 8);
+        chain.push_level(ChainLevel::with_bypass(64, 100, 400));
+        let bd = chain_breakdown(&chain, &t);
+        let cost = evaluate_chain(&chain, &t, &BitCount);
+        assert!((bd.total - cost.energy).abs() < 1e-9);
+        // Background serves fills + bypasses.
+        let expected_bg_reads = (100 + 400) as f64 * t.level_read_energy(None, 8);
+        assert!((bd.levels[0].read_energy - expected_bg_reads).abs() < 1e-9);
+        // Background writes nothing.
+        assert_eq!(bd.levels[0].write_energy, 0.0);
+    }
+
+    #[test]
+    fn baseline_background_share_is_one() {
+        let chain = CopyChain::baseline(500, 2048, 8);
+        let bd = chain_breakdown(&chain, &tech());
+        assert!((bd.background_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_hierarchy_shrinks_the_background_share() {
+        let t = tech();
+        let mut chain = CopyChain::baseline(100_000, 25_344, 8);
+        chain.push_level(ChainLevel::new(256, 500)); // F_R = 200
+        let bd = chain_breakdown(&chain, &t);
+        assert!(bd.background_share() < 0.1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # datareuse-memmodel
+//!
+//! Memory power/area models and copy-candidate chain cost evaluation for
+//! the `datareuse` project (reproduction of the DATE 2002 data-reuse
+//! exploration paper).
+//!
+//! The paper's exploration is steered by two cost functions (Section 3):
+//! the chain power of eq. 3 and the combined power/size cost
+//! `F_c = α·ΣP_j + β·ΣA_j` of eq. 2. The original work uses proprietary
+//! IMEC memory models and reports normalized numbers; this crate supplies
+//! a documented parametric substitute (see [`ParametricSram`] and
+//! [`OffChipMemory`]) with the same monotone structure, so all relative
+//! results — who wins, where the Pareto knees fall — are preserved.
+//!
+//! - [`PowerModel`], [`ParametricSram`], [`OffChipMemory`],
+//!   [`MemoryTechnology`] — energy per access;
+//! - [`AreaModel`], [`BitCount`], [`CellPeriphery`] — size cost `A_j`;
+//! - [`CopyChain`], [`evaluate_chain`] — eq. 1–3 with the Fig. 9b bypass;
+//! - [`pareto_front`] — the Fig. 4b Pareto filter;
+//! - [`MemoryLibrary`] — collapsing virtual chains onto predefined layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use datareuse_memmodel::{
+//!     evaluate_chain, BitCount, ChainLevel, CopyChain, MemoryTechnology,
+//! };
+//!
+//! let tech = MemoryTechnology::new();
+//! let mut chain = CopyChain::baseline(101_376, 25_344, 8);
+//! chain.push_level(ChainLevel::new(2745, 484));
+//! chain.validate()?;
+//! let cost = evaluate_chain(&chain, &tech, &BitCount);
+//! assert!(cost.normalized_energy < 1.0);
+//! # Ok::<(), datareuse_memmodel::ValidateChainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod breakdown;
+mod chain;
+mod library;
+mod pareto;
+mod power;
+
+pub use area::{AreaModel, BitCount, CellPeriphery};
+pub use breakdown::{chain_breakdown, ChainBreakdown, LevelEnergy};
+pub use chain::{
+    evaluate_chain, evaluate_on_platform, ChainCost, ChainLevel, CopyChain, ValidateChainError,
+};
+pub use library::MemoryLibrary;
+pub use pareto::{pareto_front, ParetoPoint};
+pub use power::{MemoryTechnology, OffChipMemory, ParametricSram, PowerModel};

@@ -1,0 +1,124 @@
+//! Memory library for predefined hierarchies.
+//!
+//! The paper notes the methodology serves both custom hierarchies and
+//! "efficiently using a predefined memory hierarchy with software cache
+//! control", where "several of the virtual layers in the global
+//! copy-candidate chain … can be collapsed to match the available memory
+//! layers". A [`MemoryLibrary`] models the available physical sizes, and
+//! [`MemoryLibrary::collapse`] maps a virtual copy-candidate chain onto
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// A set of available on-chip memory capacities (in elements), as offered
+/// by a memory compiler or a fixed platform (e.g. scratch-pad levels).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryLibrary {
+    sizes: Vec<u64>,
+}
+
+impl MemoryLibrary {
+    /// Creates a library from arbitrary sizes (deduplicated, sorted).
+    pub fn new(sizes: impl IntoIterator<Item = u64>) -> Self {
+        let mut sizes: Vec<u64> = sizes.into_iter().filter(|&s| s > 0).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        Self { sizes }
+    }
+
+    /// A power-of-two library covering `[min, max]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_memmodel::MemoryLibrary;
+    ///
+    /// let lib = MemoryLibrary::powers_of_two(16, 256);
+    /// assert_eq!(lib.sizes(), &[16, 32, 64, 128, 256]);
+    /// ```
+    pub fn powers_of_two(min: u64, max: u64) -> Self {
+        let mut sizes = Vec::new();
+        let mut s = min.max(1).next_power_of_two();
+        while s <= max {
+            sizes.push(s);
+            s *= 2;
+        }
+        Self::new(sizes)
+    }
+
+    /// Available sizes, ascending.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// The smallest library memory that can hold `words` elements.
+    pub fn fit(&self, words: u64) -> Option<u64> {
+        self.sizes.iter().copied().find(|&s| s >= words)
+    }
+
+    /// Collapses a virtual chain of copy-candidate sizes (outermost first,
+    /// strictly decreasing) onto the library: each virtual level is rounded
+    /// up to a physical size, and levels that collide on the same physical
+    /// memory are merged (keeping the outermost, which subsumes the inner
+    /// copies).
+    ///
+    /// Returns `(physical_size, virtual_index)` pairs; `virtual_index`
+    /// identifies which input level survived. Virtual levels too large for
+    /// the library are dropped — their data stays in the background memory.
+    pub fn collapse(&self, virtual_sizes: &[u64]) -> Vec<(u64, usize)> {
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        for (i, &v) in virtual_sizes.iter().enumerate() {
+            match self.fit(v) {
+                None => continue,
+                Some(phys) => {
+                    if out.last().map(|&(p, _)| p) == Some(phys) {
+                        continue; // merged into the outer level
+                    }
+                    out.push((phys, i));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_rounds_up() {
+        let lib = MemoryLibrary::new([64, 256, 1024]);
+        assert_eq!(lib.fit(1), Some(64));
+        assert_eq!(lib.fit(64), Some(64));
+        assert_eq!(lib.fit(65), Some(256));
+        assert_eq!(lib.fit(2000), None);
+    }
+
+    #[test]
+    fn collapse_merges_colliding_levels() {
+        let lib = MemoryLibrary::new([64, 256, 1024]);
+        // Virtual chain 500 > 100 > 60 > 9: 500→1024, 100→256, 60→64, 9→64.
+        let phys = lib.collapse(&[500, 100, 60, 9]);
+        assert_eq!(phys, vec![(1024, 0), (256, 1), (64, 2)]);
+    }
+
+    #[test]
+    fn collapse_drops_oversized_levels() {
+        let lib = MemoryLibrary::new([64]);
+        let phys = lib.collapse(&[4096, 32]);
+        assert_eq!(phys, vec![(64, 1)]);
+    }
+
+    #[test]
+    fn constructor_sorts_and_dedupes() {
+        let lib = MemoryLibrary::new([256, 64, 256, 0]);
+        assert_eq!(lib.sizes(), &[64, 256]);
+    }
+
+    #[test]
+    fn powers_of_two_respects_nonpow2_min() {
+        let lib = MemoryLibrary::powers_of_two(20, 100);
+        assert_eq!(lib.sizes(), &[32, 64]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Pareto front construction for power/size trade-offs.
+//!
+//! "A good solution should be chosen on this Pareto curve because all
+//! points above it are suboptimal and below only infeasible points exist"
+//! (paper Section 4). The helpers here minimize *both* coordinates
+//! (on-chip size and power), keeping every point not dominated by another.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate hierarchy point on the power–memory-size plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint<T> {
+    /// Total on-chip copy-candidate size (elements) — x axis.
+    pub size: f64,
+    /// Power or normalized energy — y axis.
+    pub power: f64,
+    /// The hierarchy (or any payload) that produced the point.
+    pub payload: T,
+}
+
+impl<T> ParetoPoint<T> {
+    /// Creates a point.
+    pub fn new(size: f64, power: f64, payload: T) -> Self {
+        Self {
+            size,
+            power,
+            payload,
+        }
+    }
+
+    /// True when `self` dominates `other`: no worse on both axes and
+    /// strictly better on at least one.
+    pub fn dominates<U>(&self, other: &ParetoPoint<U>) -> bool {
+        self.size <= other.size
+            && self.power <= other.power
+            && (self.size < other.size || self.power < other.power)
+    }
+}
+
+/// Filters `points` down to the Pareto front (minimizing size and power),
+/// sorted by increasing size and strictly decreasing power.
+///
+/// Ties on both axes keep the first occurrence.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_memmodel::{pareto_front, ParetoPoint};
+///
+/// let pts = vec![
+///     ParetoPoint::new(1.0, 9.0, "a"),
+///     ParetoPoint::new(2.0, 9.5, "dominated"),
+///     ParetoPoint::new(3.0, 4.0, "b"),
+/// ];
+/// let front = pareto_front(pts);
+/// let labels: Vec<&str> = front.iter().map(|p| p.payload).collect();
+/// assert_eq!(labels, ["a", "b"]);
+/// ```
+pub fn pareto_front<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
+    points.sort_by(|a, b| {
+        a.size
+            .total_cmp(&b.size)
+            .then(a.power.total_cmp(&b.power))
+    });
+    let mut front: Vec<ParetoPoint<T>> = Vec::new();
+    let mut best_power = f64::INFINITY;
+    for p in points {
+        if p.power < best_power {
+            best_power = p.power;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_dominated_points() {
+        let pts = vec![
+            ParetoPoint::new(10.0, 1.0, 0),
+            ParetoPoint::new(5.0, 2.0, 1),
+            ParetoPoint::new(7.0, 3.0, 2), // dominated by 1
+            ParetoPoint::new(1.0, 8.0, 3),
+            ParetoPoint::new(1.0, 9.0, 4), // dominated by 3
+        ];
+        let front = pareto_front(pts);
+        let ids: Vec<i32> = front.iter().map(|p| p.payload).collect();
+        assert_eq!(ids, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn front_is_monotone() {
+        let pts: Vec<ParetoPoint<usize>> = (0..100)
+            .map(|i| {
+                let s = ((i * 37) % 41) as f64;
+                let p = ((i * 17) % 29) as f64;
+                ParetoPoint::new(s, p, i)
+            })
+            .collect();
+        let front = pareto_front(pts.clone());
+        for w in front.windows(2) {
+            assert!(w[1].size > w[0].size);
+            assert!(w[1].power < w[0].power);
+        }
+        // No front point is dominated by any input point.
+        for f in &front {
+            assert!(!pts.iter().any(|p| p.dominates(f)));
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement() {
+        let a = ParetoPoint::new(1.0, 1.0, ());
+        let b = ParetoPoint::new(1.0, 1.0, ());
+        assert!(!a.dominates(&b));
+        assert!(ParetoPoint::new(1.0, 0.5, ()).dominates(&b));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front::<()>(Vec::new()).is_empty());
+        let one = pareto_front(vec![ParetoPoint::new(2.0, 2.0, "x")]);
+        assert_eq!(one.len(), 1);
+    }
+}

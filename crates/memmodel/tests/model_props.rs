@@ -1,0 +1,112 @@
+//! Property tests of the memory cost models.
+
+use proptest::prelude::*;
+
+use datareuse_memmodel::{
+    chain_breakdown, evaluate_chain, pareto_front, AreaModel, BitCount, CellPeriphery,
+    ChainLevel, CopyChain, MemoryLibrary, MemoryTechnology, ParametricSram, ParetoPoint,
+    PowerModel,
+};
+
+proptest! {
+    /// The SRAM model is monotone in words and bits, and writes never cost
+    /// less than reads — the assumptions the whole exploration rests on.
+    #[test]
+    fn sram_energy_is_monotone(words in 1u64..1_000_000, bits in 1u32..128) {
+        let m = ParametricSram::default();
+        prop_assert!(m.read_energy(words * 2, bits) > m.read_energy(words, bits));
+        prop_assert!(m.read_energy(words, bits + 8) > m.read_energy(words, bits));
+        prop_assert!(m.write_energy(words, bits) >= m.read_energy(words, bits));
+    }
+
+    /// Area models are monotone in storage.
+    #[test]
+    fn area_models_are_monotone(words in 1u64..1_000_000, bits in 1u32..64) {
+        prop_assert!(BitCount.size_cost(words + 1, bits) > BitCount.size_cost(words, bits));
+        let cp = CellPeriphery::default();
+        prop_assert!(cp.size_cost(words + 1, bits) > cp.size_cost(words, bits));
+    }
+
+    /// For a single-level chain, energy strictly decreases as fills drop
+    /// (higher reuse factor) and strictly increases with the level size.
+    #[test]
+    fn chain_energy_follows_reuse_and_size(
+        c_tot in 1_000u64..100_000,
+        words in 2u64..4_096,
+        fills in 1u64..900,
+    ) {
+        let tech = MemoryTechnology::new();
+        let chain = |w: u64, f: u64| {
+            let mut c = CopyChain::baseline(c_tot, 1 << 20, 8);
+            c.push_level(ChainLevel::new(w, f.min(c_tot)));
+            evaluate_chain(&c, &tech, &BitCount).energy
+        };
+        prop_assert!(chain(words, fills) < chain(words, (fills + 1).min(c_tot)));
+        prop_assert!(chain(words, fills) < chain(words * 2, fills));
+    }
+
+    /// The per-level breakdown always sums to the aggregate energy, with
+    /// and without bypass, at any depth up to 3.
+    #[test]
+    fn breakdown_sums_to_total(
+        c_tot in 1_000u64..50_000,
+        sizes in prop::collection::vec(2u64..12, 1..4),
+        bypasses in 0u64..500,
+    ) {
+        let tech = MemoryTechnology::new();
+        let mut chain = CopyChain::baseline(c_tot, 1 << 20, 16);
+        // Build strictly decreasing sizes / non-decreasing fills.
+        let mut words = 1u64 << 15;
+        let mut fills = 8u64;
+        let n = sizes.len();
+        for (i, step) in sizes.iter().enumerate() {
+            words /= step.max(&2);
+            fills = (fills * 3).min(c_tot / 2);
+            let b = if i + 1 == n { bypasses.min(c_tot - fills) } else { 0 };
+            chain.push_level(ChainLevel::with_bypass(words.max(1), fills, b));
+        }
+        prop_assume!(chain.validate().is_ok());
+        let bd = chain_breakdown(&chain, &tech);
+        let cost = evaluate_chain(&chain, &tech, &BitCount);
+        prop_assert!((bd.total - cost.energy).abs() < 1e-6 * cost.energy.max(1.0));
+        prop_assert!(bd.background_share() >= 0.0 && bd.background_share() <= 1.0);
+    }
+
+    /// Library collapsing: physical sizes are library members, strictly
+    /// decreasing, and each covers its virtual level.
+    #[test]
+    fn library_collapse_invariants(
+        virtuals in prop::collection::vec(1u64..10_000, 0..6),
+        lo_exp in 2u32..6,
+        hi_exp in 8u32..14,
+    ) {
+        let lib = MemoryLibrary::powers_of_two(1 << lo_exp, 1 << hi_exp);
+        let mut sorted = virtuals.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.dedup();
+        let phys = lib.collapse(&sorted);
+        for w in phys.windows(2) {
+            prop_assert!(w[1].0 < w[0].0);
+        }
+        for &(p, v) in &phys {
+            prop_assert!(lib.sizes().contains(&p));
+            prop_assert!(p >= sorted[v]);
+        }
+    }
+
+    /// Pareto front size never exceeds the input and always contains the
+    /// global power minimum.
+    #[test]
+    fn pareto_front_contains_the_minimum(
+        pts in prop::collection::vec((0u32..100, 1u32..100), 1..40)
+    ) {
+        let points: Vec<ParetoPoint<()>> = pts
+            .iter()
+            .map(|&(s, p)| ParetoPoint::new(s as f64, p as f64, ()))
+            .collect();
+        let min_power = points.iter().map(|p| p.power).fold(f64::INFINITY, f64::min);
+        let front = pareto_front(points.clone());
+        prop_assert!(front.len() <= pts.len());
+        prop_assert!((front.last().unwrap().power - min_power).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! In-place mapping (DTSE step 6), for one copy-candidate buffer.
+//!
+//! The Section 6.1 template deliberately over-allocates when the
+//! single-assignment variant is used ("enlarging the dimensions of the
+//! copy to `A_sub[c'][((jU−jL)/c')·b' + kU + 1]`"), leaving it to the
+//! in-place mapping step to "exploit the limited life-time of signals to
+//! further decrease the storage size requirements". This module computes
+//! all three sizes for a copy decision — the enlarged single-assignment
+//! buffer, the analytical `A`, and the exact peak liveness realized by
+//! the executed schedule — and the modulo folding that achieves the
+//! smallest one.
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_codegen::{run_schedule, ScheduleError, Strategy};
+use datareuse_core::{max_reuse, partial_reuse, PairGeometry, ReuseClass};
+use datareuse_loopir::Program;
+
+/// Sizes of one copy-candidate under the three storage disciplines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InplaceReport {
+    /// The enlarged single-assignment buffer the SCBD step schedules into.
+    pub single_assignment_words: u64,
+    /// The analytical copy-candidate size `A` (eq. 15/18/22).
+    pub analytical_words: u64,
+    /// Exact peak number of simultaneously live elements, from executing
+    /// the schedule.
+    pub inplace_words: u64,
+    /// Elements reclaimed by in-place folding relative to the
+    /// single-assignment buffer.
+    pub words_saved: u64,
+    /// The modulo factor folding the single-assignment columns back into
+    /// the in-place buffer (the Fig. 8 `% (kRANGE − b')` divisor).
+    pub fold_modulo: u64,
+}
+
+impl InplaceReport {
+    /// Fraction of the single-assignment storage reclaimed.
+    pub fn savings_ratio(&self) -> f64 {
+        if self.single_assignment_words == 0 {
+            0.0
+        } else {
+            self.words_saved as f64 / self.single_assignment_words as f64
+        }
+    }
+}
+
+/// Computes the in-place mapping report for one copy decision.
+///
+/// # Errors
+///
+/// Fails like [`run_schedule`]; additionally when the pair carries no
+/// reuse (there is no buffer to map).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::Strategy;
+/// use datareuse_loopir::parse_program;
+/// use datareuse_steps::map_inplace;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+/// let r = map_inplace(&p, 0, 0, 0, 1, Strategy::MaxReuse)?;
+/// assert_eq!(r.single_assignment_words, 23); // 15·1 + 8 columns
+/// assert_eq!(r.analytical_words, 7);         // A_Max = c'(kRANGE − b')
+/// assert_eq!(r.inplace_words, 7);            // the closed form is tight
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_inplace(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    strategy: Strategy,
+) -> Result<InplaceReport, ScheduleError> {
+    let raw_nest = program
+        .nests()
+        .get(nest)
+        .ok_or(ScheduleError::NoSuchNest { nest })?;
+    let geom = PairGeometry::from_access(raw_nest, access, outer, inner)?;
+    let (bp, cp) = match geom.class {
+        ReuseClass::NoReuse => return Err(ScheduleError::NoReuse),
+        ReuseClass::SameElement => (0, 1),
+        ReuseClass::Vector { bp, cp, .. } => (bp, cp.max(1)),
+    };
+    let analytical = match strategy {
+        Strategy::MaxReuse => max_reuse(&geom).ok_or(ScheduleError::NoReuse)?,
+        Strategy::Partial { gamma } => {
+            partial_reuse(&geom, gamma, false).ok_or(ScheduleError::BadGamma { gamma })?
+        }
+        Strategy::PartialBypass { gamma } => {
+            partial_reuse(&geom, gamma, true).ok_or(ScheduleError::BadGamma { gamma })?
+        }
+    };
+    // Single-assignment buffer: c' rows × ((jU−jL)/c')·b' + kU + 1 columns,
+    // one copy per repeat-distinct slice (Section 6.1).
+    let sa_cols = ((geom.j_range - 1) / cp) * bp + geom.k_range;
+    let single_assignment_words = (cp * sa_cols) as u64 * geom.repeat_distinct;
+    let fold_modulo = match strategy {
+        Strategy::MaxReuse => (geom.k_range - bp).max(1) as u64,
+        Strategy::Partial { gamma } => (gamma + 1) as u64,
+        Strategy::PartialBypass { gamma } => gamma.max(1) as u64,
+    };
+    let executed = run_schedule(program, nest, access, outer, inner, strategy)?;
+    Ok(InplaceReport {
+        single_assignment_words,
+        analytical_words: analytical.size,
+        inplace_words: executed.max_occupancy,
+        words_saved: single_assignment_words.saturating_sub(executed.max_occupancy),
+        fold_modulo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_kernels::MotionEstimation;
+    use datareuse_loopir::parse_program;
+
+    #[test]
+    fn sizes_are_ordered_and_max_reuse_is_tight() {
+        let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        let r = map_inplace(&p, 0, 0, 0, 1, Strategy::MaxReuse).unwrap();
+        assert!(r.inplace_words <= r.analytical_words);
+        assert!(r.analytical_words <= r.single_assignment_words);
+        assert_eq!(r.inplace_words, r.analytical_words);
+        assert!(r.savings_ratio() > 0.5);
+        assert_eq!(r.fold_modulo, 7);
+    }
+
+    #[test]
+    fn partial_buffers_fold_to_gamma() {
+        let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        for gamma in [1i64, 3, 5] {
+            let r = map_inplace(&p, 0, 0, 0, 1, Strategy::Partial { gamma }).unwrap();
+            assert!(r.inplace_words <= r.analytical_words, "γ={gamma}");
+            assert_eq!(r.fold_modulo, (gamma + 1) as u64);
+            let rb = map_inplace(&p, 0, 0, 0, 1, Strategy::PartialBypass { gamma }).unwrap();
+            assert!(rb.inplace_words <= rb.analytical_words, "γ={gamma}");
+            assert!(rb.inplace_words <= r.inplace_words);
+        }
+    }
+
+    #[test]
+    fn me_inner_nest_single_assignment_blowup_is_reclaimed() {
+        let p = MotionEstimation::SMALL.program();
+        let r = map_inplace(&p, 0, 1, 3, 5, Strategy::MaxReuse).unwrap();
+        // §6.3: A = n(n−1) with n=4 → 12; the single-assignment variant
+        // allocates a full (2m−1)b'+n column span per slice.
+        assert_eq!(r.analytical_words, 12);
+        assert_eq!(r.inplace_words, 12);
+        assert!(r.single_assignment_words > 2 * r.inplace_words);
+    }
+
+    #[test]
+    fn no_reuse_errors() {
+        let p = parse_program("array A[8][8]; for j in 0..8 { for k in 0..8 { read A[j][k]; } }")
+            .unwrap();
+        assert!(matches!(
+            map_inplace(&p, 0, 0, 0, 1, Strategy::MaxReuse),
+            Err(ScheduleError::NoReuse)
+        ));
+    }
+}

@@ -1,0 +1,42 @@
+//! # datareuse-steps
+//!
+//! The DTSE steps immediately downstream of the data reuse decision, for
+//! the `datareuse` project (reproduction of the DATE 2002 data-reuse
+//! exploration paper).
+//!
+//! The paper's Section 3 situates the data reuse step inside the DTSE
+//! script and defers two concerns to later steps; this crate implements
+//! working versions of both so a copy-candidate decision can be carried
+//! through to an implementable buffer:
+//!
+//! - [`distribute_cycles`] — *storage cycle budget distribution* (step 4):
+//!   per-iteration port pressure of a copy decision, with and without the
+//!   software-pipelining freedom of the single-assignment template;
+//! - [`map_inplace`] — *in-place mapping* (step 6): folds the enlarged
+//!   single-assignment buffer back to the exact peak liveness, recovering
+//!   the analytical `A`.
+//!
+//! # Examples
+//!
+//! ```
+//! use datareuse_codegen::Strategy;
+//! use datareuse_loopir::parse_program;
+//! use datareuse_steps::{distribute_cycles, map_inplace, PortBudget};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+//! let scbd = distribute_cycles(&p, 0, 0, 0, 1, Strategy::MaxReuse, PortBudget::default())?;
+//! let inplace = map_inplace(&p, 0, 0, 0, 1, Strategy::MaxReuse)?;
+//! assert!(inplace.inplace_words <= inplace.single_assignment_words);
+//! assert!(scbd.cycles_required_spread <= scbd.cycles_required);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inplace;
+mod scbd;
+
+pub use inplace::{map_inplace, InplaceReport};
+pub use scbd::{distribute_cycles, PortBudget, ScbdReport};

@@ -1,0 +1,240 @@
+//! Storage cycle budget distribution (DTSE step 4), for one
+//! copy-candidate decision.
+//!
+//! After the data reuse step fixes *what* is copied, SCBD determines "the
+//! bandwidth/latency requirements and the balancing of the available
+//! cycle budget over the different memory accesses". This module computes
+//! the per-iteration access pressure of a chosen copy strategy, with and
+//! without the scheduling freedom of the single-assignment template
+//! variant ("the SCBD can then trade off a larger final copy-candidate
+//! size with better timings for performance", Section 6.1), and checks it
+//! against the available memory ports.
+
+use serde::{Deserialize, Serialize};
+
+use datareuse_codegen::{run_schedule, ScheduleError, Strategy};
+use datareuse_core::PairGeometry;
+use datareuse_loopir::Program;
+
+/// Port configuration of the two memories a single copy level touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortBudget {
+    /// Simultaneous accesses per cycle on the copy-candidate buffer.
+    pub buffer_ports: u64,
+    /// Simultaneous accesses per cycle on the next-higher level.
+    pub upstream_ports: u64,
+    /// Cycles available per innermost iteration.
+    pub cycles_per_iteration: u64,
+}
+
+impl Default for PortBudget {
+    fn default() -> Self {
+        Self {
+            buffer_ports: 1,
+            upstream_ports: 1,
+            cycles_per_iteration: 1,
+        }
+    }
+}
+
+/// The SCBD analysis for one copy decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScbdReport {
+    /// Buffer operations in the worst innermost iteration: the data read
+    /// plus any fill write landing in the same iteration.
+    pub peak_buffer_ops_per_iteration: u64,
+    /// Upstream reads in the worst innermost iteration (fill or bypass).
+    pub peak_upstream_ops_per_iteration: u64,
+    /// Fills in the worst iteration of the pair's outer loop — the burst
+    /// the single-assignment variant may spread across that whole
+    /// iteration.
+    pub peak_fills_per_outer_iteration: u64,
+    /// Inner iterations available to spread that burst over.
+    pub spread_window: u64,
+    /// Fills per innermost iteration after single-assignment spreading
+    /// (rounded up).
+    pub spread_fills_per_iteration: u64,
+    /// Cycles per innermost iteration needed without spreading.
+    pub cycles_required: u64,
+    /// Cycles per innermost iteration needed with spreading.
+    pub cycles_required_spread: u64,
+    /// Whether the budget holds without the single-assignment freedom.
+    pub feasible: bool,
+    /// Whether the budget holds once updates are moved out of the critical
+    /// kernel ("the conditional update will be moved out … by the SCBD
+    /// step to allow for software pipelining").
+    pub feasible_spread: bool,
+}
+
+fn cycles_for(buffer_ops: u64, upstream_ops: u64, ports: PortBudget) -> u64 {
+    let b = buffer_ops.div_ceil(ports.buffer_ports.max(1));
+    let u = upstream_ops.div_ceil(ports.upstream_ports.max(1));
+    b.max(u)
+}
+
+/// Analyzes the cycle budget of one copy decision.
+///
+/// # Errors
+///
+/// Fails like [`run_schedule`] (bad indices, no reuse, invalid γ).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_codegen::Strategy;
+/// use datareuse_loopir::parse_program;
+/// use datareuse_steps::{distribute_cycles, PortBudget};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+/// let r = distribute_cycles(&p, 0, 0, 0, 1, Strategy::MaxReuse, PortBudget::default())?;
+/// // A fill and the read can land in the same iteration: 2 buffer ops on
+/// // 1 port needs 2 cycles, so a 1-cycle budget only holds after
+/// // single-assignment spreading... which cannot reduce below 1 fill here.
+/// assert_eq!(r.peak_buffer_ops_per_iteration, 2);
+/// assert!(!r.feasible);
+/// # Ok(())
+/// # }
+/// ```
+pub fn distribute_cycles(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    outer: usize,
+    inner: usize,
+    strategy: Strategy,
+    ports: PortBudget,
+) -> Result<ScbdReport, ScheduleError> {
+    let report = run_schedule(program, nest, access, outer, inner, strategy)?;
+    let raw_nest = &program.nests()[nest];
+    let geom = PairGeometry::from_access(raw_nest, access, outer, inner)?;
+    // Inner iterations per outer (j) iteration: everything below `outer`.
+    let spread_window: u64 = raw_nest.loops()[outer + 1..]
+        .iter()
+        .map(|l| l.trip_count())
+        .product::<u64>()
+        .max(1);
+    let _ = &geom;
+
+    // Worst innermost iteration without spreading: the data read (a hit or
+    // the fill's own read-back) plus a fill write on the buffer; the
+    // upstream sees the fill's read (or a bypass read).
+    let fill_burst = report.max_fills_per_iteration;
+    let peak_buffer = 1 + fill_burst; // read + fill write
+    let peak_upstream = fill_burst.max(u64::from(report.bypasses > 0));
+    let cycles_required = cycles_for(peak_buffer, peak_upstream, ports);
+
+    let spread_fills = report.max_fills_per_outer_iteration.div_ceil(spread_window);
+    let spread_buffer = 1 + spread_fills;
+    let spread_upstream = spread_fills.max(u64::from(report.bypasses > 0));
+    let cycles_required_spread = cycles_for(spread_buffer, spread_upstream, ports);
+
+    Ok(ScbdReport {
+        peak_buffer_ops_per_iteration: peak_buffer,
+        peak_upstream_ops_per_iteration: peak_upstream,
+        peak_fills_per_outer_iteration: report.max_fills_per_outer_iteration,
+        spread_window,
+        spread_fills_per_iteration: spread_fills,
+        cycles_required,
+        cycles_required_spread,
+        feasible: cycles_required <= ports.cycles_per_iteration,
+        feasible_spread: cycles_required_spread <= ports.cycles_per_iteration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datareuse_loopir::parse_program;
+
+    fn window() -> Program {
+        parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }").unwrap()
+    }
+
+    #[test]
+    fn spreading_never_hurts() {
+        let p = window();
+        let r = distribute_cycles(
+            &p,
+            0,
+            0,
+            0,
+            1,
+            Strategy::MaxReuse,
+            PortBudget::default(),
+        )
+        .unwrap();
+        assert!(r.cycles_required_spread <= r.cycles_required);
+        assert!(r.spread_fills_per_iteration <= r.peak_fills_per_outer_iteration);
+        assert_eq!(r.spread_window, 8);
+    }
+
+    #[test]
+    fn dual_port_buffer_makes_max_reuse_single_cycle() {
+        let p = window();
+        let ports = PortBudget {
+            buffer_ports: 2,
+            upstream_ports: 1,
+            cycles_per_iteration: 1,
+        };
+        let r = distribute_cycles(&p, 0, 0, 0, 1, Strategy::MaxReuse, ports).unwrap();
+        // 2 buffer ops on 2 ports + 1 upstream op on 1 port -> 1 cycle.
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn bypass_keeps_upstream_pressure() {
+        let p = window();
+        let r = distribute_cycles(
+            &p,
+            0,
+            0,
+            0,
+            1,
+            Strategy::PartialBypass { gamma: 2 },
+            PortBudget::default(),
+        )
+        .unwrap();
+        assert!(r.peak_upstream_ops_per_iteration >= 1);
+    }
+
+    #[test]
+    fn me_inner_nest_spreads_the_slice_burst() {
+        let p = parse_program(
+            "array Old[8][23];
+             for i4 in 0..16 { for i5 in 0..8 { for i6 in 0..8 {
+               read Old[i5][i4 + i6]; } } }",
+        )
+        .unwrap();
+        let r = distribute_cycles(
+            &p,
+            0,
+            0,
+            0,
+            2,
+            Strategy::MaxReuse,
+            PortBudget::default(),
+        )
+        .unwrap();
+        // First i4 iteration loads a whole 56-element window over a
+        // 64-iteration spread window.
+        assert_eq!(r.spread_window, 64);
+        assert!(r.peak_fills_per_outer_iteration >= 56);
+        assert_eq!(r.spread_fills_per_iteration, 1);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let p = parse_program("array A[8][8]; for j in 0..8 { for k in 0..8 { read A[j][k]; } }")
+            .unwrap();
+        assert!(distribute_cycles(
+            &p,
+            0,
+            0,
+            0,
+            1,
+            Strategy::MaxReuse,
+            PortBudget::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Reuse-factor curve construction (the paper's Fig. 4a / 10a / 11a).
+//!
+//! A *data reuse factor curve* plots `F_R` against copy-candidate size
+//! under optimal replacement. The paper's prototype tool generates it by
+//! simulation; [`ReuseCurve::simulate`] reproduces that, and
+//! [`ReuseCurve::knees`] extracts the discontinuities (the paper's
+//! `A_1 … A_4`) where maximum reuse is attained for a sub-nest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::belady::{opt_simulate_bypass_many, opt_simulate_many};
+use crate::result::SimResult;
+use crate::stats::distinct_count;
+
+/// One point of a reuse-factor curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Copy-candidate size in elements.
+    pub size: u64,
+    /// Writes into the copy-candidate (`C_j`).
+    pub fills: u64,
+    /// Accesses bypassing the copy-candidate.
+    pub bypasses: u64,
+    /// Data reuse factor `F_R` (eq. 1 / 19).
+    pub reuse_factor: f64,
+}
+
+impl From<SimResult> for CurvePoint {
+    fn from(r: SimResult) -> Self {
+        Self {
+            size: r.capacity,
+            fills: r.fills,
+            bypasses: r.bypasses,
+            reuse_factor: r.reuse_factor(),
+        }
+    }
+}
+
+/// Replacement discipline used when simulating curve points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CurvePolicy {
+    /// Belady optimal replacement, fill on every miss (paper Section 4).
+    #[default]
+    Optimal,
+    /// Optimal replacement with bypass of not-reused data (Section 6.2).
+    OptimalBypass,
+}
+
+/// A simulated data reuse factor curve for one signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseCurve {
+    policy: CurvePolicy,
+    points: Vec<CurvePoint>,
+}
+
+impl ReuseCurve {
+    /// Simulates the curve at the given sizes (deduplicated, sorted).
+    /// Sizes of 0 or beyond the trace footprint are clamped away: the
+    /// footprint is where the curve saturates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_trace::{CurvePolicy, ReuseCurve};
+    ///
+    /// let trace = [0u64, 1, 1, 2, 2, 3];
+    /// let curve = ReuseCurve::simulate(&trace, [1, 2, 4], CurvePolicy::Optimal);
+    /// assert_eq!(curve.points().len(), 3);
+    /// assert_eq!(curve.points()[0].reuse_factor, 1.5);
+    /// ```
+    pub fn simulate(
+        trace: &[u64],
+        sizes: impl IntoIterator<Item = u64>,
+        policy: CurvePolicy,
+    ) -> Self {
+        let footprint = distinct_count(trace).max(1);
+        let mut sizes: Vec<u64> = sizes
+            .into_iter()
+            .filter(|&s| s > 0)
+            .map(|s| s.min(footprint))
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let results = match policy {
+            CurvePolicy::Optimal => opt_simulate_many(trace, &sizes),
+            CurvePolicy::OptimalBypass => opt_simulate_bypass_many(trace, &sizes),
+        };
+        let points = results.into_iter().map(CurvePoint::from).collect();
+        Self { policy, points }
+    }
+
+    /// Simulates the curve over an exhaustive size range `1..=footprint`.
+    /// Intended for small traces (tests, examples); use
+    /// [`ReuseCurve::simulate`] with a hand-picked size set for large ones.
+    pub fn simulate_exhaustive(trace: &[u64], policy: CurvePolicy) -> Self {
+        let footprint = distinct_count(trace);
+        Self::simulate(trace, 1..=footprint, policy)
+    }
+
+    /// The policy the curve was simulated with.
+    pub fn policy(&self) -> CurvePolicy {
+        self.policy
+    }
+
+    /// Curve points, sorted by size.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// The point with the given size, if simulated.
+    pub fn at(&self, size: u64) -> Option<&CurvePoint> {
+        self.points
+            .binary_search_by_key(&size, |p| p.size)
+            .ok()
+            .map(|i| &self.points[i])
+    }
+
+    /// Knee points: points strictly improving the reuse factor over every
+    /// smaller simulated size. On an exhaustively simulated curve these are
+    /// the discontinuity set `{A_4, …, A_1}` of the paper's Fig. 4a.
+    pub fn knees(&self) -> Vec<CurvePoint> {
+        let mut best = f64::NEG_INFINITY;
+        let mut out = Vec::new();
+        for p in &self.points {
+            if p.reuse_factor > best + 1e-9 {
+                out.push(*p);
+                best = p.reuse_factor;
+            }
+        }
+        out
+    }
+
+    /// Maximum simulated reuse factor.
+    pub fn max_reuse_factor(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.reuse_factor)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Writes the curve as `size<TAB>reuse_factor` lines — the gnuplot
+    /// format the paper's prototype tool emitted.
+    pub fn to_gnuplot(&self) -> String {
+        let mut s = String::from("# size\treuse_factor\tfills\tbypasses\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "{}\t{:.6}\t{}\t{}\n",
+                p.size, p.reuse_factor, p.fills, p.bypasses
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_trace() -> Vec<u64> {
+        // A[j+k], j in 0..=7, k in 0..=3: sliding window of 4.
+        let mut t = Vec::new();
+        for j in 0..=7u64 {
+            for k in 0..=3u64 {
+                t.push(j + k);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn curve_is_monotone_under_opt() {
+        let t = window_trace();
+        let curve = ReuseCurve::simulate_exhaustive(&t, CurvePolicy::Optimal);
+        for w in curve.points().windows(2) {
+            assert!(w[1].reuse_factor >= w[0].reuse_factor - 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturates_at_footprint() {
+        let t = window_trace();
+        let curve = ReuseCurve::simulate_exhaustive(&t, CurvePolicy::Optimal);
+        let last = curve.points().last().unwrap();
+        assert_eq!(last.size, 11); // footprint of j+k, j<=7, k<=3
+        assert_eq!(last.fills, 11);
+        assert!((last.reuse_factor - 32.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knees_strictly_improve() {
+        let t = window_trace();
+        let curve = ReuseCurve::simulate_exhaustive(&t, CurvePolicy::Optimal);
+        let knees = curve.knees();
+        assert!(!knees.is_empty());
+        for w in knees.windows(2) {
+            assert!(w[1].reuse_factor > w[0].reuse_factor);
+            assert!(w[1].size > w[0].size);
+        }
+        assert_eq!(
+            knees.last().unwrap().reuse_factor,
+            curve.max_reuse_factor()
+        );
+    }
+
+    #[test]
+    fn sizes_are_deduped_clamped_and_sorted() {
+        let t = window_trace();
+        let curve = ReuseCurve::simulate(&t, [4, 2, 4, 0, 1000], CurvePolicy::Optimal);
+        let sizes: Vec<u64> = curve.points().iter().map(|p| p.size).collect();
+        assert_eq!(sizes, vec![2, 4, 11]);
+        assert!(curve.at(4).is_some());
+        assert!(curve.at(3).is_none());
+    }
+
+    #[test]
+    fn bypass_curve_dominates_plain() {
+        let t: Vec<u64> = (0..100u64).map(|i| if i % 3 == 0 { 0 } else { i }).collect();
+        for size in [1u64, 2, 4] {
+            let plain = ReuseCurve::simulate(&t, [size], CurvePolicy::Optimal);
+            let byp = ReuseCurve::simulate(&t, [size], CurvePolicy::OptimalBypass);
+            assert!(
+                byp.points()[0].reuse_factor >= plain.points()[0].reuse_factor - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn gnuplot_output_has_header_and_rows() {
+        let t = window_trace();
+        let curve = ReuseCurve::simulate(&t, [1, 4], CurvePolicy::Optimal);
+        let g = curve.to_gnuplot();
+        assert!(g.starts_with("# size"));
+        assert_eq!(g.lines().count(), 3);
+    }
+}

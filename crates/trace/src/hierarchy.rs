@@ -1,0 +1,226 @@
+//! Multi-level hierarchy simulation by miss-stream cascading.
+//!
+//! The paper's chain cost (eq. 3) rests on an idealization: "The number of
+//! writes `C_j` is a constant for level j, independent from the presence
+//! of other levels in the hierarchy." This module puts that to the test.
+//! The innermost level is simulated against the processor's access
+//! stream; its *fill stream* (the addresses it requests upstream, in
+//! order) becomes the access stream of the next level out, and so on to
+//! the background memory. For the nested-footprint copy-candidates the
+//! exploration produces, the cascaded per-level fill counts coincide with
+//! the independently computed `C_j` — which is exactly why eq. 3 is sound.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::result::SimResult;
+
+/// Simulates Belady's MIN and returns, alongside the counts, the ordered
+/// *fill stream*: the addresses requested from the next level up.
+///
+/// # Panics
+///
+/// Panics if `capacity` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_trace::opt_simulate_with_stream;
+///
+/// let (r, stream) = opt_simulate_with_stream(&[0, 1, 1, 0, 2], 2);
+/// assert_eq!(r.fills, 3);
+/// assert_eq!(stream, vec![0, 1, 2]);
+/// ```
+pub fn opt_simulate_with_stream(trace: &[u64], capacity: u64) -> (SimResult, Vec<u64>) {
+    assert!(capacity > 0, "capacity must be positive");
+    // Belady with an explicit fill log (mirrors `opt_simulate`).
+    const NEVER: u64 = u64::MAX;
+    let mut next = vec![NEVER; trace.len()];
+    let mut last: HashMap<u64, u64> = HashMap::new();
+    for (i, &addr) in trace.iter().enumerate().rev() {
+        if let Some(&n) = last.get(&addr) {
+            next[i] = n;
+        }
+        last.insert(addr, i as u64);
+    }
+    let key_of = |next_pos: u64, addr: u64| -> u64 {
+        if next_pos == NEVER {
+            NEVER - addr
+        } else {
+            next_pos
+        }
+    };
+    let mut resident: HashMap<u64, u64> = HashMap::new();
+    let mut by_key: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut hits = 0u64;
+    let mut stream = Vec::new();
+    for (i, &addr) in trace.iter().enumerate() {
+        let new_key = key_of(next[i], addr);
+        if let Some(old_key) = resident.remove(&addr) {
+            hits += 1;
+            by_key.remove(&old_key);
+        } else {
+            if resident.len() as u64 >= capacity {
+                let (&worst_key, &worst_addr) =
+                    by_key.iter().next_back().expect("non-empty buffer");
+                by_key.remove(&worst_key);
+                resident.remove(&worst_addr);
+            }
+            stream.push(addr);
+        }
+        resident.insert(addr, new_key);
+        by_key.insert(new_key, addr);
+    }
+    let result = SimResult {
+        capacity,
+        accesses: trace.len() as u64,
+        hits,
+        fills: stream.len() as u64,
+        bypasses: 0,
+    };
+    (result, stream)
+}
+
+/// Per-level outcome of a cascaded hierarchy simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchySim {
+    /// One result per level, innermost (processor-facing) first. Level
+    /// `i`'s `accesses` equal level `i−1`'s `fills`.
+    pub levels: Vec<SimResult>,
+    /// Reads that finally reach the background memory.
+    pub background_reads: u64,
+}
+
+impl HierarchySim {
+    /// The end-to-end reuse factor: processor accesses per background
+    /// read.
+    pub fn end_to_end_reuse(&self) -> f64 {
+        let total = self
+            .levels
+            .first()
+            .map(|l| l.accesses)
+            .unwrap_or(self.background_reads);
+        if self.background_reads == 0 {
+            total as f64
+        } else {
+            total as f64 / self.background_reads as f64
+        }
+    }
+}
+
+/// Simulates a whole copy-candidate chain by cascading fill streams.
+///
+/// `sizes` are the level capacities, innermost first, each strictly larger
+/// than the previous (the outer levels are bigger). Every level runs
+/// Belady's MIN on the fill stream of the level below.
+///
+/// # Panics
+///
+/// Panics when `sizes` is empty, contains 0, or is not strictly
+/// increasing (innermost buffers are the smallest).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_trace::hierarchy_simulate;
+///
+/// let trace: Vec<u64> = (0..6u64).flat_map(|j| (0..4u64).map(move |k| j + k)).collect();
+/// let sim = hierarchy_simulate(&trace, &[3, 9]);
+/// assert_eq!(sim.levels.len(), 2);
+/// assert_eq!(sim.background_reads, 9); // footprint: loaded once
+/// ```
+pub fn hierarchy_simulate(trace: &[u64], sizes: &[u64]) -> HierarchySim {
+    assert!(!sizes.is_empty(), "need at least one level");
+    assert!(
+        sizes.windows(2).all(|w| w[0] < w[1]),
+        "sizes must strictly increase outward"
+    );
+    let mut levels = Vec::with_capacity(sizes.len());
+    let mut stream: Vec<u64> = trace.to_vec();
+    for &size in sizes {
+        let (result, fills) = opt_simulate_with_stream(&stream, size);
+        levels.push(result);
+        stream = fills;
+    }
+    HierarchySim {
+        background_reads: stream.len() as u64,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady::opt_simulate;
+
+    fn window_trace(jr: u64, kr: u64) -> Vec<u64> {
+        (0..jr).flat_map(|j| (0..kr).map(move |k| j + k)).collect()
+    }
+
+    #[test]
+    fn stream_variant_matches_plain_opt() {
+        let t = window_trace(40, 8);
+        for cap in [1u64, 3, 7, 12, 47] {
+            let plain = opt_simulate(&t, cap);
+            let (streamed, fills) = opt_simulate_with_stream(&t, cap);
+            assert_eq!(plain, streamed);
+            assert_eq!(fills.len() as u64, plain.fills);
+        }
+    }
+
+    #[test]
+    fn cascade_traffic_is_consistent() {
+        let t = window_trace(60, 10);
+        let sim = hierarchy_simulate(&t, &[4, 16, 40]);
+        for w in sim.levels.windows(2) {
+            assert_eq!(w[0].fills, w[1].accesses);
+        }
+        assert_eq!(sim.levels[0].accesses, t.len() as u64);
+        assert_eq!(
+            sim.levels.last().unwrap().fills,
+            sim.background_reads
+        );
+    }
+
+    #[test]
+    fn eq3_independence_holds_for_nested_candidates() {
+        // The paper: C_j is "independent from the presence of other levels".
+        // For a nested-footprint chain, each level's cascaded fills must
+        // equal its single-level fills.
+        let t = window_trace(100, 16);
+        let sizes = [15u64, 64];
+        let sim = hierarchy_simulate(&t, &sizes);
+        for (i, &size) in sizes.iter().enumerate() {
+            let alone = opt_simulate(&t, size);
+            assert_eq!(
+                sim.levels[i].fills, alone.fills,
+                "level {i} (size {size}) depends on the chain"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_reuse_composes_per_level_factors() {
+        // Undersized inner level (7 < A_Max = 15): its fill stream carries
+        // refetches that the outer level absorbs.
+        let t = window_trace(100, 16);
+        let sim = hierarchy_simulate(&t, &[7, 64]);
+        let composed: f64 = sim.levels.iter().map(|l| l.reuse_factor()).product();
+        assert!((sim.end_to_end_reuse() - composed).abs() < 1e-9);
+        assert!(sim.end_to_end_reuse() > sim.levels[0].reuse_factor());
+        assert!(sim.levels[1].reuse_factor() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_sizes_panic() {
+        hierarchy_simulate(&[1, 2, 3], &[8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_sizes_panic() {
+        hierarchy_simulate(&[1, 2, 3], &[]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cache-line granularity and shared-buffer utilities.
+//!
+//! The paper's copy-candidates are element-granular and per-signal; a
+//! hardware cache works on *lines* shared by *all* signals. These helpers
+//! let the benchmark harness quantify both differences: [`to_lines`]
+//! coarsens a trace to line granularity (spatial locality), and
+//! [`interleave`] merges per-signal traces into the unified stream a
+//! shared cache would see (inter-signal conflict).
+
+/// Maps an element-granular trace onto cache lines of `line_elems`
+/// elements (addresses become line indices).
+///
+/// # Panics
+///
+/// Panics when `line_elems` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_trace::to_lines;
+/// assert_eq!(to_lines(&[0, 1, 7, 8, 9], 4), vec![0, 0, 1, 2, 2]);
+/// ```
+pub fn to_lines(trace: &[u64], line_elems: u64) -> Vec<u64> {
+    assert!(line_elems > 0, "line size must be positive");
+    trace.iter().map(|&a| a / line_elems).collect()
+}
+
+/// Interleaves per-signal traces into one shared stream, tagging each
+/// signal into a disjoint address region (signal `i`'s element `a` maps to
+/// `i · stride + a`). `stride` must exceed every signal's footprint.
+///
+/// The per-iteration interleaving is round-robin proportional to the
+/// traces' lengths, which models signals accessed together inside one
+/// loop body.
+///
+/// # Panics
+///
+/// Panics when any address reaches `stride`.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_trace::interleave;
+/// let merged = interleave(&[&[0, 1], &[5, 6]], 100);
+/// assert_eq!(merged, vec![0, 105, 1, 106]);
+/// ```
+pub fn interleave(traces: &[&[u64]], stride: u64) -> Vec<u64> {
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let longest = traces.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut cursors = vec![0usize; traces.len()];
+    for step in 0..longest {
+        for (i, t) in traces.iter().enumerate() {
+            // Proportional pacing: signal i emits when its progress lags.
+            let due = ((step + 1) * t.len()).div_ceil(longest);
+            while cursors[i] < due {
+                let a = t[cursors[i]];
+                assert!(a < stride, "address {a} reaches the region stride");
+                out.push(i as u64 * stride + a);
+                cursors[i] += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady::opt_simulate;
+    use crate::policies::lru_simulate;
+
+    #[test]
+    fn lines_preserve_length_and_scale_addresses() {
+        let t = [0u64, 3, 4, 8, 100];
+        let l = to_lines(&t, 4);
+        assert_eq!(l.len(), t.len());
+        assert_eq!(l, vec![0, 0, 1, 2, 25]);
+        assert_eq!(to_lines(&t, 1), t.to_vec());
+    }
+
+    #[test]
+    fn lines_add_spatial_hits_on_sequential_scans() {
+        let t: Vec<u64> = (0..64u64).collect();
+        let elems = opt_simulate(&t, 2);
+        let lines = opt_simulate(&to_lines(&t, 8), 2);
+        assert_eq!(elems.hits, 0);
+        assert_eq!(lines.hits, 56); // 7 of every 8 accesses hit the line
+    }
+
+    #[test]
+    fn interleave_preserves_per_signal_order_and_counts() {
+        let a: Vec<u64> = (0..10).collect();
+        let b: Vec<u64> = (0..5).map(|i| i * 2).collect();
+        let merged = interleave(&[&a, &b], 1000);
+        assert_eq!(merged.len(), 15);
+        let got_a: Vec<u64> = merged.iter().copied().filter(|&x| x < 1000).collect();
+        let got_b: Vec<u64> = merged
+            .iter()
+            .copied()
+            .filter(|&x| x >= 1000)
+            .map(|x| x - 1000)
+            .collect();
+        assert_eq!(got_a, a);
+        assert_eq!(got_b, b);
+    }
+
+    #[test]
+    fn shared_buffer_suffers_inter_signal_conflict() {
+        // Signal A: hot 4-element set; signal B: streaming. Split buffers
+        // (4 for A, 1 for B) beat one shared 5-element LRU.
+        let a: Vec<u64> = (0..200u64).map(|i| i % 4).collect();
+        let b: Vec<u64> = (0..200u64).collect();
+        let shared = lru_simulate(&interleave(&[&a, &b], 10_000), 5);
+        let split = lru_simulate(&a, 4).misses() + lru_simulate(&b, 1).misses();
+        assert!(
+            split < shared.misses(),
+            "split {} vs shared {}",
+            split,
+            shared.misses()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn zero_line_panics() {
+        to_lines(&[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn overflowing_region_panics() {
+        interleave(&[&[10]], 10);
+    }
+}

@@ -1,0 +1,191 @@
+//! One-pass LRU stack-distance analysis (Mattson et al.).
+//!
+//! LRU is a stack algorithm, so a single pass over the trace yields the
+//! miss count for *every* capacity at once. This gives the exploration
+//! tooling a cheap whole-curve LRU baseline against which the
+//! Belady/analytical copy-candidate points are compared, and quantifies the
+//! paper's claim that a hardware cache "only uses knowledge about previous
+//! accesses".
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Fenwick tree (binary indexed tree) over trace positions, used to count
+/// distinct elements touched since the previous access in O(log n).
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Histogram of LRU stack distances for one trace.
+///
+/// `histogram[d]` counts accesses whose reuse touched exactly `d` distinct
+/// elements since the previous access to the same address (distance 1 =
+/// immediate re-reference). `cold` counts first-ever accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackDistances {
+    /// `histogram[d]` = number of accesses at stack distance `d` (index 0
+    /// is unused and always zero).
+    pub histogram: Vec<u64>,
+    /// Cold (compulsory) misses.
+    pub cold: u64,
+    /// Total accesses.
+    pub accesses: u64,
+}
+
+impl StackDistances {
+    /// Computes the full stack-distance histogram in one pass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_trace::StackDistances;
+    ///
+    /// let sd = StackDistances::compute(&[0, 1, 1, 0]);
+    /// assert_eq!(sd.cold, 2);
+    /// assert_eq!(sd.histogram[1], 1); // 1 re-referenced immediately
+    /// assert_eq!(sd.histogram[2], 1); // 0 re-referenced past one distinct element
+    /// ```
+    pub fn compute(trace: &[u64]) -> Self {
+        let mut fen = Fenwick::new(trace.len());
+        let mut last_pos: HashMap<u64, usize> = HashMap::new();
+        let mut histogram = vec![0u64; 2];
+        let mut cold = 0u64;
+        for (i, &addr) in trace.iter().enumerate() {
+            match last_pos.get(&addr) {
+                None => cold += 1,
+                Some(&prev) => {
+                    // Distinct elements touched in (prev, i): live markers.
+                    let d = (fen.prefix(i) - fen.prefix(prev)) as usize + 1;
+                    if histogram.len() <= d {
+                        histogram.resize(d + 1, 0);
+                    }
+                    histogram[d] += 1;
+                    fen.add(prev, -1);
+                }
+            }
+            fen.add(i, 1);
+            last_pos.insert(addr, i);
+        }
+        Self {
+            histogram,
+            cold,
+            accesses: trace.len() as u64,
+        }
+    }
+
+    /// LRU miss count at `capacity`: cold misses plus all accesses whose
+    /// stack distance exceeds the capacity.
+    pub fn misses_at(&self, capacity: u64) -> u64 {
+        let far: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d as u64 > capacity)
+            .map(|(_, &c)| c)
+            .sum();
+        self.cold + far
+    }
+
+    /// LRU hit count at `capacity`.
+    pub fn hits_at(&self, capacity: u64) -> u64 {
+        self.accesses - self.misses_at(capacity)
+    }
+
+    /// The largest stack distance observed (the LRU working-set size beyond
+    /// which extra capacity is useless).
+    pub fn max_distance(&self) -> u64 {
+        (self.histogram.len() as u64).saturating_sub(1)
+    }
+
+    /// The whole LRU miss-ratio curve as `(capacity, misses)` pairs for
+    /// capacities `1..=max_distance()`.
+    pub fn miss_curve(&self) -> Vec<(u64, u64)> {
+        (1..=self.max_distance().max(1))
+            .map(|c| (c, self.misses_at(c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::lru_simulate;
+
+    #[test]
+    fn matches_direct_lru_simulation_everywhere() {
+        let trace: Vec<u64> = (0..500u64)
+            .map(|i| ((i * 13) ^ (i / 7)) % 37)
+            .collect();
+        let sd = StackDistances::compute(&trace);
+        for cap in 1..=40u64 {
+            assert_eq!(
+                sd.misses_at(cap),
+                lru_simulate(&trace, cap).misses(),
+                "capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn immediate_rereference_has_distance_one() {
+        let sd = StackDistances::compute(&[5, 5, 5]);
+        assert_eq!(sd.cold, 1);
+        assert_eq!(sd.histogram[1], 2);
+        assert_eq!(sd.misses_at(1), 1);
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_nonincreasing() {
+        let trace: Vec<u64> = (0..300u64).map(|i| (i * i) % 29).collect();
+        let curve = StackDistances::compute(&trace).miss_curve();
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let sd = StackDistances::compute(&[]);
+        assert_eq!(sd.accesses, 0);
+        assert_eq!(sd.cold, 0);
+        assert_eq!(sd.misses_at(8), 0);
+    }
+
+    #[test]
+    fn max_distance_bounds_useful_capacity() {
+        let trace = [0u64, 1, 2, 0, 1, 2];
+        let sd = StackDistances::compute(&trace);
+        assert_eq!(sd.max_distance(), 3);
+        assert_eq!(sd.misses_at(3), 3);
+        assert_eq!(sd.misses_at(100), 3);
+    }
+}

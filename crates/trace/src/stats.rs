@@ -1,0 +1,84 @@
+//! Trace statistics: footprints, access counts and reuse summaries.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct addresses in a trace (the signal footprint).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_trace::distinct_count;
+/// assert_eq!(distinct_count(&[3, 1, 3, 2]), 3);
+/// ```
+pub fn distinct_count(trace: &[u64]) -> u64 {
+    let mut seen: Vec<u64> = trace.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len() as u64
+}
+
+/// Summary statistics of one address trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total accesses (`C_tot`).
+    pub accesses: u64,
+    /// Distinct addresses touched.
+    pub footprint: u64,
+    /// Maximum accesses to any single address.
+    pub max_per_address: u64,
+    /// Addresses accessed exactly once (bypass candidates).
+    pub single_use: u64,
+}
+
+impl TraceStats {
+    /// Computes the summary in one pass.
+    pub fn compute(trace: &[u64]) -> Self {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &a in trace {
+            *counts.entry(a).or_insert(0) += 1;
+        }
+        Self {
+            accesses: trace.len() as u64,
+            footprint: counts.len() as u64,
+            max_per_address: counts.values().copied().max().unwrap_or(0),
+            single_use: counts.values().filter(|&&c| c == 1).count() as u64,
+        }
+    }
+
+    /// The inherent average reuse `C_tot / footprint` — the reuse factor a
+    /// copy-candidate as large as the whole footprint achieves (the
+    /// saturation level of the reuse-factor curve).
+    pub fn average_reuse(&self) -> f64 {
+        if self.footprint == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.footprint as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_mixed_trace() {
+        let t = [0u64, 1, 0, 2, 0, 3];
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.accesses, 6);
+        assert_eq!(s.footprint, 4);
+        assert_eq!(s.max_per_address, 3);
+        assert_eq!(s.single_use, 3);
+        assert!((s.average_reuse() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::compute(&[]);
+        assert_eq!(s.footprint, 0);
+        assert_eq!(s.average_reuse(), 0.0);
+        assert_eq!(distinct_count(&[]), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The full DTSE slice this project implements, end to end on one signal:
+//!
+//! 1. data reuse exploration (step 3) → pick a hierarchy off the Pareto
+//!    front;
+//! 2. storage cycle budget distribution (step 4) → check the copy traffic
+//!    fits the memory ports, with single-assignment spreading;
+//! 3. code generation (Fig. 8) → transformed C, executed and verified;
+//! 4. in-place mapping (step 6) → fold the buffer to its exact liveness.
+//!
+//! Run with `cargo run --release --example dtse_pipeline`.
+
+use datareuse::codegen::{emit_transformed, run_schedule, Strategy, TemplateOptions};
+use datareuse::model::{max_reuse, PairGeometry};
+use datareuse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let me = MotionEstimation::SMALL;
+    let program = me.program();
+    let (nest, access, outer, inner) = (0, 1, 3, 5); // Old over (i4, i6)
+
+    // -- Step 3: data reuse decision ------------------------------------
+    let opts = ExploreOptions::default();
+    let exploration = explore_signal(&program, MotionEstimation::OLD, &opts)?;
+    let tech = MemoryTechnology::new();
+    let front = exploration.pareto(&opts, &tech, &BitCount);
+    println!("step 3 (data reuse): {} Pareto hierarchies for `Old`", front.len());
+    let geom = PairGeometry::from_access(&program.nests()[nest], access, outer, inner)?;
+    let point = max_reuse(&geom).expect("the §6.3 pair carries reuse");
+    println!(
+        "  chosen copy-candidate: A = {} elements, F_R = {:.2}",
+        point.size,
+        point.reuse_factor()
+    );
+
+    // -- Step 4: storage cycle budget distribution ----------------------
+    let ports = PortBudget::default();
+    let scbd = distribute_cycles(&program, nest, access, outer, inner, Strategy::MaxReuse, ports)?;
+    println!(
+        "step 4 (SCBD): {} buffer ops peak/iter, {} after spreading over {} iterations \
+         -> {} cycle(s) per iteration{}",
+        scbd.peak_buffer_ops_per_iteration,
+        1 + scbd.spread_fills_per_iteration,
+        scbd.spread_window,
+        scbd.cycles_required_spread,
+        if scbd.feasible_spread { "" } else { " (needs a second port)" }
+    );
+
+    // -- Code generation + verification ---------------------------------
+    let code = emit_transformed(&program, nest, access, outer, inner, TemplateOptions::default())?;
+    let verified = run_schedule(&program, nest, access, outer, inner, Strategy::MaxReuse)?;
+    println!(
+        "codegen: template verified — {} fills (closed form {}), {} wrong reads",
+        verified.fills, point.fills, verified.value_errors
+    );
+    println!("\n{code}");
+
+    // -- Step 6: in-place mapping ----------------------------------------
+    let inplace = map_inplace(&program, nest, access, outer, inner, Strategy::MaxReuse)?;
+    println!(
+        "step 6 (in-place): single-assignment {} -> in-place {} elements \
+         ({:.0}% reclaimed, fold modulo {})",
+        inplace.single_assignment_words,
+        inplace.inplace_words,
+        100.0 * inplace.savings_ratio(),
+        inplace.fold_modulo
+    );
+    assert_eq!(inplace.inplace_words, point.size);
+    Ok(())
+}

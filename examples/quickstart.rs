@@ -1,0 +1,69 @@
+//! Quickstart: describe a kernel, explore its memory hierarchy, and
+//! generate the transformed code.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use datareuse::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a loop-dominated kernel in the DSL (or build one with
+    //    the `datareuse::loopir` API, or take one from `datareuse::kernels`).
+    let program = parse_program(
+        "array A[23] bits 8;
+         for j in 0..16 {
+           for k in 0..8 {
+             read A[j + k];
+           }
+         }",
+    )?;
+    println!("kernel:\n{program}");
+
+    // 2. Analytical exploration (the paper's data reuse step): every
+    //    copy-candidate the model can derive, with exact traffic counts.
+    let opts = ExploreOptions::default();
+    let exploration = explore_signal(&program, "A", &opts)?;
+    println!(
+        "C_tot = {}, background = {} elements",
+        exploration.c_tot, exploration.background_words
+    );
+    println!("\ncopy-candidates (size, reuse factor):");
+    for candidate in &exploration.candidates {
+        println!(
+            "  A = {:>3} elements -> F_R = {:.2}",
+            candidate.size,
+            candidate.reuse_factor()
+        );
+    }
+
+    // 3. The power / memory-size Pareto curve (paper Fig. 4b) under the
+    //    default memory technology, normalized to "all accesses from the
+    //    background memory".
+    let tech = MemoryTechnology::new();
+    let front = exploration.pareto(&opts, &tech, &BitCount);
+    println!("\nPareto front:");
+    for point in &front {
+        println!(
+            "  {:>3} on-chip elements -> {:.3} of baseline power",
+            point.size as u64, point.power
+        );
+    }
+
+    // 4. Cross-check the best single level against Belady-optimal
+    //    simulation — the analytical model is exact here.
+    let trace = read_addresses(&program, "A");
+    let best = exploration
+        .candidates
+        .iter()
+        .max_by(|a, b| a.reuse_factor().total_cmp(&b.reuse_factor()))
+        .expect("candidates exist");
+    let sim = opt_simulate(&trace, best.size);
+    println!(
+        "\nbest candidate: A = {} -> analytic fills {}, Belady fills {}",
+        best.size, best.fills, sim.fills
+    );
+
+    // 5. Generate the transformed code (paper Fig. 8 template).
+    let code = emit_transformed(&program, 0, 0, 0, 1, TemplateOptions::default())?;
+    println!("\ntransformed code:\n{code}");
+    Ok(())
+}
