@@ -1,12 +1,15 @@
-//! Criterion benches of the paper's headline claim: the analytical model
-//! "avoids long simulation times". We time the full analytical
-//! exploration of the QCIF motion-estimation kernel (which never touches
-//! the 6.5M-access trace) against simulating a single Belady point on the
-//! small instance, plus the individual model stages.
+//! Benches of the paper's headline claim: the analytical model "avoids
+//! long simulation times". We time the full analytical exploration of the
+//! QCIF motion-estimation kernel (which never touches the 6.5M-access
+//! trace) against simulating a single Belady point on the small instance,
+//! plus the individual model stages.
+//!
+//! Run with `cargo bench --bench analytical`; results land in
+//! `target/figures/BENCH_*.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use datareuse_bench::BenchGroup;
 use datareuse_codegen::{run_schedule, Strategy};
 use datareuse_core::{
     explore_signal, footprint_levels, max_reuse, partial_sweep, ExploreOptions, PairGeometry,
@@ -16,75 +19,67 @@ use datareuse_loopir::read_addresses;
 use datareuse_memmodel::{BitCount, MemoryTechnology};
 use datareuse_trace::opt_simulate;
 
-fn bench_analytical_vs_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analytical_vs_simulation");
+fn bench_analytical_vs_simulation() {
+    let mut group = BenchGroup::new("analytical_vs_simulation");
     // Analytical exploration of the FULL QCIF kernel: pure closed forms.
     let qcif = MotionEstimation::QCIF.program();
-    group.bench_function("analytic_explore_qcif", |b| {
-        b.iter(|| {
-            explore_signal(
-                black_box(&qcif),
-                MotionEstimation::OLD,
-                &ExploreOptions::default(),
-            )
-            .expect("explores")
-        })
+    group.bench("analytic_explore_qcif", || {
+        explore_signal(
+            black_box(&qcif),
+            MotionEstimation::OLD,
+            &ExploreOptions::default(),
+        )
+        .expect("explores")
     });
     // One Belady point on the scaled-down instance (the full QCIF trace
     // takes seconds per point — exactly the cost the model avoids).
     let small = MotionEstimation::SMALL.program();
     let trace = read_addresses(&small, MotionEstimation::OLD);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("simulate_one_point_small", |b| {
-        b.iter(|| opt_simulate(black_box(&trace), 121))
+    group.throughput(trace.len() as u64);
+    group.bench("simulate_one_point_small", || {
+        opt_simulate(black_box(&trace), 121)
     });
     group.finish();
 }
 
-fn bench_model_stages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_stages");
+fn bench_model_stages() {
+    let mut group = BenchGroup::new("model_stages");
     let qcif = MotionEstimation::QCIF.program();
     let nest = &qcif.nests()[0];
-    group.bench_function("footprint_levels_me", |b| {
-        b.iter(|| footprint_levels(black_box(nest), 1).expect("levels"))
+    group.bench("footprint_levels_me", || {
+        footprint_levels(black_box(nest), 1).expect("levels")
     });
     let geom = PairGeometry::from_access(nest, 1, 3, 5).expect("pair (i4, i6)");
-    group.bench_function("max_reuse_point", |b| {
-        b.iter(|| max_reuse(black_box(&geom)))
-    });
-    group.bench_function("partial_sweep_bypass", |b| {
-        b.iter(|| partial_sweep(black_box(&geom), true))
+    group.bench("max_reuse_point", || max_reuse(black_box(&geom)));
+    group.bench("partial_sweep_bypass", || {
+        partial_sweep(black_box(&geom), true)
     });
     let susan = Susan::QCIF.unfolded_program();
-    group.bench_function("explore_susan_unfolded", |b| {
-        b.iter(|| {
-            explore_signal(black_box(&susan), Susan::IMAGE, &ExploreOptions::default())
-                .expect("explores")
-        })
+    group.bench("explore_susan_unfolded", || {
+        explore_signal(black_box(&susan), Susan::IMAGE, &ExploreOptions::default())
+            .expect("explores")
     });
     group.finish();
 }
 
-fn bench_pareto_and_codegen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pareto_and_codegen");
+fn bench_pareto_and_codegen() {
+    let mut group = BenchGroup::new("pareto_and_codegen");
     let qcif = MotionEstimation::QCIF.program();
     let opts = ExploreOptions::default();
     let ex = explore_signal(&qcif, MotionEstimation::OLD, &opts).expect("explores");
     let tech = MemoryTechnology::new();
-    group.bench_function("chain_enumeration_and_pareto", |b| {
-        b.iter(|| ex.pareto(black_box(&opts), &tech, &BitCount))
+    group.bench("chain_enumeration_and_pareto", || {
+        ex.pareto(black_box(&opts), &tech, &BitCount)
     });
     let small = MotionEstimation::SMALL.program();
-    group.bench_function("verify_schedule_small", |b| {
-        b.iter(|| run_schedule(black_box(&small), 0, 1, 3, 5, Strategy::MaxReuse).expect("runs"))
+    group.bench("verify_schedule_small", || {
+        run_schedule(black_box(&small), 0, 1, 3, 5, Strategy::MaxReuse).expect("runs")
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_analytical_vs_simulation,
-    bench_model_stages,
-    bench_pareto_and_codegen
-);
-criterion_main!(benches);
+fn main() {
+    bench_analytical_vs_simulation();
+    bench_model_stages();
+    bench_pareto_and_codegen();
+}

@@ -1,10 +1,13 @@
-//! Criterion benches of the trace-simulation substrate: Belady OPT (with
-//! and without bypass), LRU, FIFO, direct-mapped and one-pass stack
+//! Benches of the trace-simulation substrate: Belady OPT (with and
+//! without bypass), LRU, FIFO, direct-mapped and one-pass stack
 //! distances, on the motion-estimation trace.
+//!
+//! Run with `cargo bench --bench simulators`; results land in
+//! `target/figures/BENCH_*.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use datareuse_bench::BenchGroup;
 use datareuse_kernels::MotionEstimation;
 use datareuse_loopir::read_addresses;
 use datareuse_trace::{
@@ -16,67 +19,59 @@ fn trace() -> Vec<u64> {
     read_addresses(&MotionEstimation::SMALL.program(), MotionEstimation::OLD)
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies() {
     let trace = trace();
-    let mut group = c.benchmark_group("policies");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let mut group = BenchGroup::new("policies");
+    group.throughput(trace.len() as u64);
     for capacity in [16u64, 121] {
-        group.bench_with_input(BenchmarkId::new("belady", capacity), &capacity, |b, &cap| {
-            b.iter(|| opt_simulate(black_box(&trace), cap))
+        group.bench(&format!("belady/{capacity}"), || {
+            opt_simulate(black_box(&trace), capacity)
         });
-        group.bench_with_input(
-            BenchmarkId::new("belady_bypass", capacity),
-            &capacity,
-            |b, &cap| b.iter(|| opt_simulate_bypass(black_box(&trace), cap)),
-        );
-        group.bench_with_input(BenchmarkId::new("lru", capacity), &capacity, |b, &cap| {
-            b.iter(|| lru_simulate(black_box(&trace), cap))
+        group.bench(&format!("belady_bypass/{capacity}"), || {
+            opt_simulate_bypass(black_box(&trace), capacity)
         });
-        group.bench_with_input(BenchmarkId::new("fifo", capacity), &capacity, |b, &cap| {
-            b.iter(|| fifo_simulate(black_box(&trace), cap))
+        group.bench(&format!("lru/{capacity}"), || {
+            lru_simulate(black_box(&trace), capacity)
         });
-        group.bench_with_input(
-            BenchmarkId::new("direct", capacity),
-            &capacity,
-            |b, &cap| b.iter(|| direct_mapped_simulate(black_box(&trace), cap)),
-        );
+        group.bench(&format!("fifo/{capacity}"), || {
+            fifo_simulate(black_box(&trace), capacity)
+        });
+        group.bench(&format!("direct/{capacity}"), || {
+            direct_mapped_simulate(black_box(&trace), capacity)
+        });
     }
     group.finish();
 }
 
-fn bench_stack_distances(c: &mut Criterion) {
+fn bench_stack_distances() {
     let trace = trace();
-    let mut group = c.benchmark_group("stack_distances");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("mattson_one_pass", |b| {
-        b.iter(|| StackDistances::compute(black_box(&trace)))
+    let mut group = BenchGroup::new("stack_distances");
+    group.throughput(trace.len() as u64);
+    group.bench("mattson_one_pass", || {
+        StackDistances::compute(black_box(&trace))
     });
     group.finish();
 }
 
-fn bench_batch_and_hierarchy(c: &mut Criterion) {
+fn bench_batch_and_hierarchy() {
     let trace = trace();
-    let mut group = c.benchmark_group("batch_and_hierarchy");
-    group.throughput(Throughput::Elements(trace.len() as u64));
+    let mut group = BenchGroup::new("batch_and_hierarchy");
+    group.throughput(trace.len() as u64);
     let sizes = [4u64, 16, 64, 121, 429];
-    group.bench_function("opt_many_5_sizes_shared_table", |b| {
-        b.iter(|| opt_simulate_many(black_box(&trace), &sizes))
+    group.bench("opt_many_5_sizes_shared_table", || {
+        opt_simulate_many(black_box(&trace), &sizes)
     });
-    group.bench_function("hierarchy_cascade_3_levels", |b| {
-        b.iter(|| hierarchy_simulate(black_box(&trace), &[16, 44, 429]))
+    group.bench("hierarchy_cascade_3_levels", || {
+        hierarchy_simulate(black_box(&trace), &[16, 44, 429])
     });
-    group.bench_function("sampled_curve_10pct", |b| {
-        b.iter(|| {
-            sampled_reuse_curve(black_box(&trace), [16, 64, 429], 0.1, CurvePolicy::Optimal)
-        })
+    group.bench("sampled_curve_10pct", || {
+        sampled_reuse_curve(black_box(&trace), [16, 64, 429], 0.1, CurvePolicy::Optimal)
     });
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_policies,
-    bench_stack_distances,
-    bench_batch_and_hierarchy
-);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_stack_distances();
+    bench_batch_and_hierarchy();
+}

@@ -66,9 +66,8 @@ fn main() {
     let mut rows = Vec::new();
     for (bypass, label) in [(false, "no bypass"), (true, "with bypass")] {
         let o = ExploreOptions {
-            include_partial: true,
             include_bypass: bypass,
-            max_chain_depth: 2,
+            ..ExploreOptions::default()
         };
         let e = explore_signal(&program, MotionEstimation::OLD, &o).expect("explores");
         let front = e.pareto(&o, &tech, &BitCount);
@@ -121,9 +120,8 @@ fn main() {
     let mut rows = Vec::new();
     for depth in 1..=3usize {
         let o = ExploreOptions {
-            include_partial: true,
-            include_bypass: true,
             max_chain_depth: depth,
+            ..ExploreOptions::default()
         };
         let e = explore_signal(&program, MotionEstimation::OLD, &o).expect("explores");
         let chains = e.chains(&o).len();

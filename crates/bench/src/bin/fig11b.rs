@@ -25,9 +25,8 @@ fn main() {
     let mut series = Vec::new();
     for (bypass, label) in [(false, "no bypass"), (true, "with bypass")] {
         let opts = ExploreOptions {
-            include_partial: true,
             include_bypass: bypass,
-            max_chain_depth: 2,
+            ..ExploreOptions::default()
         };
         let ex = explore_signal(&folded, Susan::IMAGE, &opts).expect("SUSAN explores");
         let front = ex.pareto(&opts, &tech, &BitCount);

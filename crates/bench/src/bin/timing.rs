@@ -31,6 +31,14 @@ fn main() {
         me.old_reads()
     );
 
+    let sequential = ExploreOptions {
+        threads: Some(1),
+        ..ExploreOptions::default()
+    };
+    let (_, t_analytic_seq) = time(|| {
+        explore_signal(&program, MotionEstimation::OLD, &sequential).expect("explores")
+    });
+    let workers = datareuse_core::resolve_threads(None);
     let (ex, t_analytic) = time(|| {
         explore_signal(&program, MotionEstimation::OLD, &ExploreOptions::default())
             .expect("explores")
@@ -46,7 +54,11 @@ fn main() {
 
     let rows = vec![
         vec![
-            "analytical exploration (all candidates + Pareto input)".into(),
+            "analytical exploration, 1 thread".into(),
+            fmt_f(t_analytic_seq * 1e3, 2),
+        ],
+        vec![
+            format!("analytical exploration, {workers} threads"),
             fmt_f(t_analytic * 1e3, 2),
         ],
         vec!["trace generation (6.5M accesses)".into(), fmt_f(t_trace * 1e3, 2)],

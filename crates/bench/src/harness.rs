@@ -1,0 +1,205 @@
+//! A std-only micro-benchmark harness (the Criterion replacement).
+//!
+//! Hermetic-workspace constraint: no crates.io, so timing is done with
+//! [`std::time::Instant`] directly. Each benchmark runs a warm-up, sizes
+//! its batch to the time budget, then takes a fixed number of batched
+//! samples; the table reports the min / median / mean nanoseconds per
+//! iteration (min is the least noisy estimator on a shared machine,
+//! median is what we track across runs).
+//!
+//! Results are also written as `BENCH_<group>.json` into the figures
+//! directory so CI and scripts can diff runs — the same role Criterion's
+//! `estimates.json` played, in one flat hand-rolled document.
+//!
+//! Environment knobs:
+//! - `DATAREUSE_BENCH_BUDGET_MS`: per-sample time budget (default 100).
+//! - `DATAREUSE_BENCH_SAMPLES`: number of samples (default 10).
+
+use std::time::Instant;
+
+use datareuse_core::Json;
+
+use crate::{figures_dir, fmt_f, print_table};
+
+/// One benchmark's aggregated timings.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Iterations per sample batch.
+    pub batch: u64,
+    /// Number of sample batches taken.
+    pub samples: u64,
+    /// Fastest per-iteration time over all batches, nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Optional element count for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Measurement {
+    /// Million elements per second at the median time, when a throughput
+    /// element count was set.
+    pub fn melems_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / self.median_ns * 1e3)
+            .filter(|v| v.is_finite())
+    }
+}
+
+/// A named group of benchmarks, printed and persisted together.
+pub struct BenchGroup {
+    name: String,
+    budget_ns: u128,
+    samples: u64,
+    elements: Option<u64>,
+    results: Vec<Measurement>,
+}
+
+fn env_u64_or(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchGroup {
+    /// Starts a group named `name` (used in the table header and the
+    /// `BENCH_<name>.json` artifact).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            budget_ns: env_u64_or("DATAREUSE_BENCH_BUDGET_MS", 100) as u128 * 1_000_000,
+            samples: env_u64_or("DATAREUSE_BENCH_SAMPLES", 10).max(1),
+            elements: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the element count used for throughput columns of subsequent
+    /// benches (until changed). Pass through [`BenchGroup::no_throughput`]
+    /// to clear.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Clears the throughput element count.
+    pub fn no_throughput(&mut self) -> &mut Self {
+        self.elements = None;
+        self
+    }
+
+    /// Times `f`, preventing the result from being optimized away.
+    ///
+    /// The batch size is chosen so one batch fits the time budget; the
+    /// budget then bounds total runtime at roughly
+    /// `samples × budget` per bench.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // Warm-up + calibration: run once, derive the batch size.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1);
+        let batch = (self.budget_ns / once_ns).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min_ns = per_iter[0];
+        let median_ns = per_iter[per_iter.len() / 2];
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.results.push(Measurement {
+            id: id.to_string(),
+            batch,
+            samples: self.samples,
+            min_ns,
+            median_ns,
+            mean_ns,
+            elements: self.elements,
+        });
+    }
+
+    /// Prints the group table and writes `BENCH_<name>.json`; returns the
+    /// measurements for further inspection.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("\n== {} ==", self.name);
+        let rows: Vec<Vec<String>> = self
+            .results
+            .iter()
+            .map(|m| {
+                vec![
+                    m.id.clone(),
+                    fmt_f(m.min_ns, 1),
+                    fmt_f(m.median_ns, 1),
+                    fmt_f(m.mean_ns, 1),
+                    m.melems_per_sec()
+                        .map(|v| fmt_f(v, 2))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        print_table(
+            &["bench", "min ns/iter", "median ns/iter", "mean ns/iter", "Melem/s"],
+            &rows,
+        );
+
+        let doc = Json::obj([
+            ("group", Json::str(&self.name)),
+            (
+                "benches",
+                Json::arr(self.results.iter().map(|m| {
+                    Json::obj([
+                        ("id", Json::str(&m.id)),
+                        ("batch", Json::UInt(m.batch)),
+                        ("samples", Json::UInt(m.samples)),
+                        ("min_ns", Json::Num(m.min_ns)),
+                        ("median_ns", Json::Num(m.median_ns)),
+                        ("mean_ns", Json::Num(m.mean_ns)),
+                        (
+                            "elements",
+                            m.elements.map(Json::UInt).unwrap_or(Json::Null),
+                        ),
+                    ])
+                })),
+            ),
+        ]);
+        let path = figures_dir().join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, doc.to_string()).expect("write bench json");
+        println!("[bench data written to {}]", path.display());
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_persists() {
+        let mut g = BenchGroup::new("harness_selftest");
+        g.throughput(1000);
+        g.bench("sum_1000", || (0u64..1000).sum::<u64>());
+        g.no_throughput();
+        g.bench("noop", || 1u64);
+        let results = g.finish();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].min_ns > 0.0);
+        assert!(results[0].min_ns <= results[0].median_ns);
+        assert!(results[0].melems_per_sec().is_some());
+        assert!(results[1].melems_per_sec().is_none());
+        let path = figures_dir().join("BENCH_harness_selftest.json");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"group\":\"harness_selftest\""));
+        assert!(json.contains("\"id\":\"sum_1000\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,8 +1,12 @@
 //! Shared helpers for the figure-regeneration harnesses (`src/bin/fig*`)
-//! and the Criterion benches of the `datareuse` project.
+//! and the std-only micro-benchmarks of the `datareuse` project.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{BenchGroup, Measurement};
 
 use std::path::PathBuf;
 

@@ -3,12 +3,12 @@
 //! ```text
 //! datareuse kernels
 //! datareuse emit    <kernel>
-//! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--gnuplot FILE]
+//! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--gnuplot FILE] [--json]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
-//! datareuse report  <kernel>            # all signals at once
+//! datareuse report  <kernel> [--json]   # all signals at once
 //! ```
 //!
 //! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
@@ -161,6 +161,10 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     let ex = explore_signal(&program, &array, &opts).map_err(|e| e.to_string())?;
     let tech = MemoryTechnology::new();
     let report = ExplorationReport::build(&ex, &opts, &tech, &BitCount);
+    if args.has("json") {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
     print!("{report}");
     let front = ex.pareto(&opts, &tech, &BitCount);
     if args.has("workingset") {
@@ -215,6 +219,14 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
     let explorations = explore_program(&program, &opts).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        let docs: Vec<String> = explorations
+            .iter()
+            .map(|ex| ExplorationReport::build(ex, &opts, &tech, &BitCount).to_json())
+            .collect();
+        println!("[{}]", docs.join(","));
+        return Ok(());
+    }
     for (i, ex) in explorations.iter().enumerate() {
         if i > 0 {
             println!();

@@ -102,6 +102,27 @@ fn report_covers_all_signals() {
 }
 
 #[test]
+fn explore_json_emits_machine_readable_report() {
+    let (ok, stdout, stderr) = datareuse(&["explore", "me-small", "--array", "Old", "--json"]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"array\":\"Old\""), "got: {line}");
+    assert!(line.ends_with('}'));
+    assert!(line.contains("\"candidates\":[{\"source\":"));
+    assert!(line.contains("\"pareto\":[{\"level_sizes\":"));
+}
+
+#[test]
+fn report_json_emits_one_document_per_signal() {
+    let (ok, stdout, stderr) = datareuse(&["report", "me-small", "--json"]);
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('[') && line.ends_with(']'), "got: {line}");
+    assert!(line.contains("\"array\":\"New\""));
+    assert!(line.contains("\"array\":\"Old\""));
+}
+
+#[test]
 fn codegen_selfcheck_emits_main() {
     let (ok, stdout, _) = datareuse(&[
         "codegen",

@@ -13,13 +13,11 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_core::{AnalyzeError, PairGeometry, ReuseClass};
 use datareuse_loopir::{AccessKind, IterSpace, Program};
 
 /// The copy strategy to execute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Maximum reuse in the pair iteration space (Section 6.1).
     MaxReuse,
@@ -36,7 +34,7 @@ pub enum Strategy {
 }
 
 /// Outcome of executing a schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduleReport {
     /// Total accesses executed.
     pub accesses: u64,

@@ -9,7 +9,6 @@
 //! variants of Sections 6.2/6.1), and [`verify_fig8_addressing`] executes
 //! the modulo addressing to prove no live element is ever overwritten.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 use datareuse_core::{PairGeometry, ReuseClass};
@@ -19,7 +18,7 @@ use crate::ctext::{c_type, CWriter};
 use crate::schedule::{ScheduleError, Strategy};
 
 /// Options for the transformed-code emitter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TemplateOptions {
     /// Copy strategy to implement.
     pub strategy: Strategy,
@@ -250,7 +249,7 @@ pub fn emit_transformed(
 }
 
 /// Result of executing the Fig. 8 modulo addressing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fig8Report {
     /// Buffered reads whose slot held the expected element.
     pub reads_checked: u64,

@@ -9,13 +9,11 @@
 //! Exhaustive search is used while the product of option counts is small,
 //! falling back to a marginal-gain greedy otherwise.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_memmodel::{ChainCost, CopyChain};
 
 /// One signal's menu of evaluated hierarchy options. Option 0 should be
 /// the baseline (no hierarchy) so the assignment can always fall back.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignalOptions {
     /// Signal name.
     pub array: String,
@@ -24,7 +22,7 @@ pub struct SignalOptions {
 }
 
 /// The chosen option index per signal, plus aggregate numbers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// `choice[i]` indexes `signals[i].options`.
     pub choice: Vec<usize>,

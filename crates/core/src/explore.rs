@@ -7,8 +7,6 @@
 //! the paper does for the SUSAN test-vehicle), enumerates copy-candidate
 //! chains, and evaluates them into the power–memory-size Pareto curve.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_loopir::{AccessKind, Program};
 use datareuse_memmodel::{
     evaluate_chain, pareto_front, AreaModel, ChainCost, CopyChain, MemoryTechnology, ParetoPoint,
@@ -21,7 +19,7 @@ use crate::pairwise::{max_reuse, PairGeometry};
 use crate::partial::partial_sweep;
 
 /// Options steering [`explore_signal`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreOptions {
     /// Generate partial-reuse points (Section 6.2).
     pub include_partial: bool,
@@ -29,6 +27,12 @@ pub struct ExploreOptions {
     pub include_bypass: bool,
     /// Maximum number of sub-levels per enumerated chain.
     pub max_chain_depth: usize,
+    /// Worker threads for the pair and chain sweeps. `None` resolves to
+    /// the `DATAREUSE_THREADS` environment variable, then the machine's
+    /// available parallelism; `Some(1)` forces the sequential path. The
+    /// result is identical either way — parallel results are sorted back
+    /// into input order (see [`crate::parallel_map`]).
+    pub threads: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -37,12 +41,13 @@ impl Default for ExploreOptions {
             include_partial: true,
             include_bypass: true,
             max_chain_depth: 2,
+            threads: None,
         }
     }
 }
 
 /// One group of accesses sharing an index expression within one nest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccessGroup {
     /// Nest index within the program.
     pub nest: usize,
@@ -57,7 +62,7 @@ pub struct AccessGroup {
 }
 
 /// The exploration result for one signal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SignalExploration {
     /// The explored array.
     pub array: String,
@@ -78,42 +83,52 @@ fn pair_candidates(
     access: usize,
     opts: &ExploreOptions,
 ) -> Vec<CandidatePoint> {
-    let mut out = Vec::new();
     let depth = nest.depth();
+    let mut pairs = Vec::new();
     for outer in 0..depth.saturating_sub(1) {
         for inner in outer + 1..depth {
-            let Ok(geom) = PairGeometry::from_access(nest, access, outer, inner) else {
-                continue;
-            };
-            let exact = !geom.approximate;
-            if let Some(point) = max_reuse(&geom) {
+            pairs.push((outer, inner));
+        }
+    }
+    // Each (outer, inner) geometry is independent: its max-reuse point and
+    // γ sweeps read only the nest. Fan the pairs out and flatten back in
+    // pair order, so the candidate stream is identical to the sequential
+    // loop's.
+    let threads = crate::par::resolve_threads(opts.threads);
+    let per_pair = crate::par::parallel_map(threads, pairs, |(outer, inner)| {
+        let Ok(geom) = PairGeometry::from_access(nest, access, outer, inner) else {
+            return Vec::new();
+        };
+        let exact = !geom.approximate;
+        let mut out = Vec::new();
+        if let Some(point) = max_reuse(&geom) {
+            out.push(tag_pair(
+                CandidatePoint::from_reuse_point(&point, exact),
+                outer,
+                inner,
+            ));
+        }
+        if opts.include_partial {
+            for point in partial_sweep(&geom, false) {
                 out.push(tag_pair(
                     CandidatePoint::from_reuse_point(&point, exact),
                     outer,
                     inner,
                 ));
             }
-            if opts.include_partial {
-                for point in partial_sweep(&geom, false) {
-                    out.push(tag_pair(
-                        CandidatePoint::from_reuse_point(&point, exact),
-                        outer,
-                        inner,
-                    ));
-                }
-            }
-            if opts.include_bypass {
-                for point in partial_sweep(&geom, true) {
-                    out.push(tag_pair(
-                        CandidatePoint::from_reuse_point(&point, exact),
-                        outer,
-                        inner,
-                    ));
-                }
+        }
+        if opts.include_bypass {
+            for point in partial_sweep(&geom, true) {
+                out.push(tag_pair(
+                    CandidatePoint::from_reuse_point(&point, exact),
+                    outer,
+                    inner,
+                ));
             }
         }
-    }
-    out
+        out
+    });
+    per_pair.into_iter().flatten().collect()
 }
 
 // Candidate sources from the pairwise model do not record the pair; for
@@ -290,16 +305,13 @@ impl SignalExploration {
         &self,
         opts: &ExploreOptions,
         tech: &MemoryTechnology,
-        area: &impl AreaModel,
+        area: &(impl AreaModel + Sync),
     ) -> Vec<ParetoPoint<(CopyChain, ChainCost)>> {
-        let points = self
-            .chains(opts)
-            .into_iter()
-            .map(|chain| {
-                let cost = evaluate_chain(&chain, tech, area);
-                ParetoPoint::new(cost.onchip_words as f64, cost.normalized_energy, (chain, cost))
-            })
-            .collect();
+        let threads = crate::par::resolve_threads(opts.threads);
+        let points = crate::par::parallel_map(threads, self.chains(opts), |chain| {
+            let cost = evaluate_chain(&chain, tech, area);
+            ParetoPoint::new(cost.onchip_words as f64, cost.normalized_energy, (chain, cost))
+        });
         pareto_front(points)
     }
 
@@ -312,21 +324,21 @@ impl SignalExploration {
         &self,
         opts: &ExploreOptions,
         tech: &MemoryTechnology,
-        area: &impl AreaModel,
+        area: &(impl AreaModel + Sync),
         alpha: f64,
         beta: f64,
     ) -> (CopyChain, ChainCost) {
-        self.chains(opts)
-            .into_iter()
-            .map(|chain| {
-                let cost = evaluate_chain(&chain, tech, area);
-                (chain, cost)
-            })
-            .min_by(|a, b| {
-                a.1.weighted(alpha, beta)
-                    .total_cmp(&b.1.weighted(alpha, beta))
-            })
-            .expect("enumeration always includes the baseline")
+        let threads = crate::par::resolve_threads(opts.threads);
+        crate::par::parallel_map(threads, self.chains(opts), |chain| {
+            let cost = evaluate_chain(&chain, tech, area);
+            (chain, cost)
+        })
+        .into_iter()
+        .min_by(|a, b| {
+            a.1.weighted(alpha, beta)
+                .total_cmp(&b.1.weighted(alpha, beta))
+        })
+        .expect("enumeration always includes the baseline")
     }
 
     /// The `(size, F_R)` pairs of all signal candidates, sorted by size —
@@ -394,7 +406,7 @@ pub fn assignment_menu(
     program: &Program,
     opts: &ExploreOptions,
     tech: &MemoryTechnology,
-    area: &impl AreaModel,
+    area: &(impl AreaModel + Sync),
 ) -> Result<Vec<crate::assign::SignalOptions>, AnalyzeError> {
     Ok(explore_program(program, opts)?
         .into_iter()
@@ -505,7 +517,7 @@ mod tests {
         let none = ExploreOptions {
             include_partial: false,
             include_bypass: false,
-            max_chain_depth: 2,
+            ..ExploreOptions::default()
         };
         let all = ExploreOptions::default();
         let p = simple();
@@ -516,6 +528,46 @@ mod tests {
             .candidates
             .iter()
             .all(|c| !matches!(c.source, CandidateSource::PairPartial { .. })));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_single_thread() {
+        // A 4-deep nest gives 6 loop pairs, so the fan-out is exercised
+        // with real work per worker; the Pareto points must be
+        // bit-identical between the sequential fallback and any worker
+        // count.
+        let p = parse_program(
+            "array A[1056];
+             for f in 0..4 { for j in 0..16 { for k in 0..8 { for d in 0..4 {
+                 read A[64*f + 2*j + k + d];
+             } } } }",
+        )
+        .unwrap();
+        let single = ExploreOptions {
+            threads: Some(1),
+            ..ExploreOptions::default()
+        };
+        let ex_single = explore_signal(&p, "A", &single).unwrap();
+        let tech = MemoryTechnology::new();
+        let front_single = ex_single.pareto(&single, &tech, &BitCount);
+        for workers in [2usize, 4, 16] {
+            let multi = ExploreOptions {
+                threads: Some(workers),
+                ..ExploreOptions::default()
+            };
+            let ex_multi = explore_signal(&p, "A", &multi).unwrap();
+            assert_eq!(ex_single, ex_multi, "candidates differ at {workers} workers");
+            let front_multi = ex_multi.pareto(&multi, &tech, &BitCount);
+            assert_eq!(front_single.len(), front_multi.len());
+            for (a, b) in front_single.iter().zip(&front_multi) {
+                assert_eq!(a.size, b.size);
+                assert_eq!(a.power, b.power);
+                assert_eq!(a.payload.0, b.payload.0);
+            }
+            let best_single = ex_single.best_chain(&single, &tech, &BitCount, 1.0, 0.1);
+            let best_multi = ex_multi.best_chain(&multi, &tech, &BitCount, 1.0, 0.1);
+            assert_eq!(best_single.0, best_multi.0);
+        }
     }
 
     #[test]

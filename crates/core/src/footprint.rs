@@ -16,8 +16,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_loopir::{AffineExpr, Loop, LoopNest};
 
 use crate::error::AnalyzeError;
@@ -27,7 +25,7 @@ use crate::error::AnalyzeError;
 const ENUM_BUDGET: u64 = 1 << 22;
 
 /// One footprint-derived copy-candidate level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelCandidate {
     /// Number of outer loops fixed: the candidate holds the footprint of
     /// `loops[depth..]` and exploits reuse carried by `loops[depth-1]`.

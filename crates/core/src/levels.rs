@@ -7,15 +7,13 @@
 //! produces every well-formed multi-level hierarchy over a candidate set,
 //! pruning useless levels as Section 3 prescribes.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_memmodel::{ChainLevel, CopyChain};
 
 use crate::footprint::LevelCandidate;
 use crate::pairwise::{PointKind, ReusePoint};
 
 /// Where a candidate point came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CandidateSource {
     /// Footprint analysis at the given loop depth.
     Footprint {
@@ -44,7 +42,7 @@ pub enum CandidateSource {
 
 /// One copy-candidate option for a signal: a size plus the traffic it
 /// induces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CandidatePoint {
     /// Capacity in elements.
     pub size: u64,

@@ -47,6 +47,7 @@ mod footprint;
 mod levels;
 mod orders;
 mod pairwise;
+mod par;
 mod partial;
 mod report;
 mod vectors;
@@ -59,6 +60,7 @@ pub use footprint::footprint_levels_merged;
 pub use levels::{dedupe_candidates, enumerate_chains, CandidatePoint, CandidateSource};
 pub use orders::{explore_orders, OrderChoice};
 pub use pairwise::{max_reuse, PairGeometry, PointKind, ReusePoint};
+pub use par::{parallel_map, resolve_threads};
 pub use partial::{partial_reuse, partial_sweep};
-pub use report::{describe_source, ExplorationReport, HierarchyRow};
+pub use report::{describe_source, ExplorationReport, HierarchyRow, Json};
 pub use vectors::{gcd, reuse_chain_length, ReuseClass};

@@ -7,8 +7,6 @@
 //! signal's accesses, runs the analytical exploration per ordering, and
 //! ranks the orderings by the best achievable hierarchy cost.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_loopir::Program;
 use datareuse_memmodel::{AreaModel, MemoryTechnology};
 
@@ -16,7 +14,7 @@ use crate::error::AnalyzeError;
 use crate::explore::{explore_signal, ExploreOptions, SignalExploration};
 
 /// One explored loop ordering.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderChoice {
     /// `permutation[new_depth] = old_depth` applied to the original nest.
     pub permutation: Vec<usize>,
@@ -86,7 +84,7 @@ pub fn explore_orders(
     array: &str,
     opts: &ExploreOptions,
     tech: &MemoryTechnology,
-    area: &impl AreaModel,
+    area: &(impl AreaModel + Sync),
     max_orders: usize,
 ) -> Result<Vec<OrderChoice>, AnalyzeError> {
     let reading: Vec<usize> = program

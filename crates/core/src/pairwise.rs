@@ -18,15 +18,13 @@
 //! minimal* (one fill per first access), which the tests confirm by
 //! checking it coincides with Belady-optimal simulation at the same size.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_loopir::LoopNest;
 
 use crate::error::AnalyzeError;
 use crate::vectors::ReuseClass;
 
 /// Geometry of one access analyzed over an inner loop pair.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairGeometry {
     /// Iterator name of the outer loop of the pair (the paper's `j`).
     pub j_name: String,
@@ -169,7 +167,7 @@ impl PairGeometry {
 }
 
 /// How a [`ReusePoint`] was derived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PointKind {
     /// Maximum reuse in the pair iteration space (Section 6.1).
     Max,
@@ -187,7 +185,7 @@ pub enum PointKind {
 
 /// One analytically derived copy-candidate point: a size plus the exact
 /// traffic it induces over the whole nest execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReusePoint {
     /// Copy-candidate size `A` in elements (repeat factor included).
     pub size: u64,
@@ -418,6 +416,101 @@ mod tests {
         let p = single_nest("array A[40]; for j in 0..3 { for k in 0..8 { read A[j + 4*k]; } }");
         let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
         assert!(max_reuse(&geom).is_none());
+    }
+
+    #[test]
+    fn bp_at_k_range_boundary_is_rejected_exactly() {
+        // b' = 3 with kRANGE = 3: eq. 14's (kRANGE − b') window is empty —
+        // no dependency step ever completes, so there is no reuse point.
+        let p = single_nest("array A[24]; for j in 0..8 { for k in 0..3 { read A[3*j + k]; } }");
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        assert_eq!(geom.class, ReuseClass::Vector { bp: 3, cp: 1, anti: false });
+        assert!(max_reuse(&geom).is_none());
+        // One more k iteration (kRANGE = 4 > b') and the closed forms
+        // engage — and still agree with Belady.
+        assert_matches_opt(
+            "array A[25]; for j in 0..8 { for k in 0..4 { read A[3*j + k]; } }",
+            0,
+            1,
+        );
+    }
+
+    #[test]
+    fn c_prime_zero_with_negative_b_matches_opt() {
+        // Index −j + 6 over the pair: classify flips to b' = 1, c' = 0, so
+        // a single-element buffer carries all the k-loop reuse.
+        let src = "array A[7]; for j in 0..7 { for k in 0..5 { read A[6 - j]; } }";
+        let p = single_nest(src);
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        assert_eq!(geom.class, ReuseClass::Vector { bp: 1, cp: 0, anti: false });
+        let point = max_reuse(&geom).unwrap();
+        assert_eq!(point.size, 1);
+        assert_eq!(point.fills, 7); // one fill per distinct element
+        assert_matches_opt(src, 0, 1);
+    }
+
+    #[test]
+    fn reuse_factor_handles_zero_fills_without_dividing() {
+        // A bypass-everything point has C'_j = 0; eq. 19 would divide by
+        // zero. The guard returns the copied count (here 0) instead.
+        let all_bypassed = ReusePoint {
+            size: 0,
+            fills: 0,
+            bypasses: 120,
+            c_tot: 120,
+            kind: PointKind::PartialBypass { gamma: 0 },
+        };
+        assert_eq!(all_bypassed.reuse_factor(), 0.0);
+        // Degenerate zero-fill with copies: finite, equals C_tot (the
+        // footnote-2 convention for the same-element case).
+        let zero_fills = ReusePoint {
+            size: 1,
+            fills: 0,
+            bypasses: 0,
+            c_tot: 64,
+            kind: PointKind::Max,
+        };
+        assert_eq!(zero_fills.reuse_factor(), 64.0);
+    }
+
+    #[test]
+    fn max_reuse_never_produces_zero_fills() {
+        // C_R = (jRANGE − c')(kRANGE − b') < jRANGE·kRANGE whenever the
+        // class is Vector (b', c' not both zero), so C_tot == C_R — the
+        // fills = 0 division hazard — cannot arise from eq. 12–15.
+        for (b, c) in [(0, 1), (1, 0), (1, 1), (2, 3), (3, 1), (-1, 1), (2, -4)] {
+            for (jr, kr) in [(2i64, 2i64), (3, 8), (16, 8), (9, 5)] {
+                let geom = PairGeometry {
+                    j_name: "j".into(),
+                    k_name: "k".into(),
+                    j_range: jr,
+                    k_range: kr,
+                    class: ReuseClass::classify(&[(b, c)]),
+                    repeat_distinct: 1,
+                    repeat_same: 1,
+                    invocations: 1,
+                    group_size: 1,
+                    approximate: false,
+                };
+                if let Some(point) = max_reuse(&geom) {
+                    assert!(point.fills > 0, "zero fills for b={b} c={c} jr={jr} kr={kr}");
+                    assert!(point.size >= 1);
+                    assert!(point.reuse_factor().is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_points_keep_finite_reuse_factors() {
+        let p = single_nest("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }");
+        let geom = PairGeometry::from_access(&p.nests()[0], 0, 0, 1).unwrap();
+        for bypass in [false, true] {
+            for point in crate::partial::partial_sweep(&geom, bypass) {
+                assert!(point.reuse_factor().is_finite());
+                assert!(point.bypasses <= point.c_tot);
+            }
+        }
     }
 
     #[test]

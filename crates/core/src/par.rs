@@ -1,0 +1,114 @@
+//! Minimal scoped-thread work distribution for the exploration sweeps.
+//!
+//! The hermetic-workspace policy rules out rayon, so this module provides
+//! the one primitive the sweeps need: an order-preserving parallel map
+//! built on [`std::thread::scope`]. Items are handed out through a shared
+//! iterator (natural load balancing for the uneven per-pair sweep costs),
+//! results carry their input index and are sorted back into input order,
+//! so the output is bit-identical to the sequential path regardless of
+//! scheduling.
+
+use std::sync::Mutex;
+
+/// Resolves the worker-thread count for a sweep.
+///
+/// Precedence: an explicit `requested` count, then the
+/// `DATAREUSE_THREADS` environment variable, then the machine's
+/// available parallelism. Zero or unparsable values fall through; the
+/// result is always at least 1, and 1 selects the thread-free path.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    requested
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("DATAREUSE_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(auto_threads)
+}
+
+/// `available_parallelism()` cached for the process lifetime: the call
+/// walks cgroup quota files on Linux (~10µs), which would otherwise tax
+/// every sweep invocation.
+fn auto_threads() -> usize {
+    static AUTO: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, preserving
+/// input order in the output.
+///
+/// With `threads <= 1` (or fewer than two items) no thread is spawned and
+/// the map runs inline — the single-thread fallback the exploration
+/// options expose as `threads: Some(1)`.
+///
+/// # Examples
+///
+/// ```
+/// let doubled = datareuse_core::parallel_map(4, (0..100).collect(), |x: u64| x * 2);
+/// assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+/// ```
+pub fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("work queue poisoned").next();
+                let Some((index, item)) = next else { break };
+                let result = f(item);
+                done.lock().expect("result sink poisoned").push((index, result));
+            });
+        }
+    });
+    let mut tagged = done.into_inner().expect("result sink poisoned");
+    tagged.sort_unstable_by_key(|(index, _)| *index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        for threads in [1, 2, 3, 8, 64] {
+            let items: Vec<u64> = (0..257).collect();
+            let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+            assert_eq!(
+                parallel_map(threads, items, |x| x * x + 1),
+                expect,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(parallel_map(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(8, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(1)), 1);
+        // Zero is not a usable count; falls through to auto (>= 1).
+        assert!(resolve_threads(Some(0)) >= 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

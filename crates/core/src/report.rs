@@ -1,20 +1,125 @@
-//! Human-readable exploration reports.
+//! Human-readable and machine-readable exploration reports.
 //!
 //! The paper's prototype tool prints curves and templates for the
 //! designer; [`ExplorationReport`] is the equivalent structured summary,
-//! rendered by `Display` as an aligned text report.
+//! rendered by `Display` as an aligned text report and by
+//! [`ExplorationReport::to_json`] as JSON.
+//!
+//! The workspace is hermetic (standard library only, no crates.io), so
+//! JSON is emitted through the small hand-rolled [`Json`] writer below
+//! instead of a serde derive. The writer covers exactly what the tool
+//! needs: objects, arrays, strings with escaping, integers, and floats.
 
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 use datareuse_memmodel::{chain_breakdown, AreaModel, MemoryTechnology};
 
 use crate::explore::{ExploreOptions, SignalExploration};
 use crate::levels::CandidateSource;
 
+/// A JSON value, written out via `Display`.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::Json;
+/// let v = Json::obj([
+///     ("name", Json::str("A")),
+///     ("sizes", Json::arr([Json::UInt(8), Json::UInt(56)])),
+/// ]);
+/// assert_eq!(v.to_string(), r#"{"name":"A","sizes":[8,56]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact — no f64 round-trip).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Self::Str(s.into())
+    }
+
+    /// Convenience array constructor.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
+        Self::Arr(items.into_iter().collect())
+    }
+
+    /// Convenience object constructor.
+    pub fn obj<K: Into<String>>(entries: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Self::Obj(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => f.write_str("null"),
+            Self::Bool(b) => write!(f, "{b}"),
+            Self::UInt(n) => write!(f, "{n}"),
+            Self::Int(n) => write!(f, "{n}"),
+            Self::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Self::Num(_) => f.write_str("null"),
+            Self::Str(s) => write_escaped(f, s),
+            Self::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Self::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
 /// One rendered hierarchy row of the report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchyRow {
     /// Level sizes, outermost first.
     pub level_sizes: Vec<u64>,
@@ -27,7 +132,7 @@ pub struct HierarchyRow {
 }
 
 /// A structured exploration summary for one signal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplorationReport {
     /// The signal.
     pub array: String,
@@ -87,7 +192,7 @@ impl ExplorationReport {
         exploration: &SignalExploration,
         opts: &ExploreOptions,
         tech: &MemoryTechnology,
-        area: &impl AreaModel,
+        area: &(impl AreaModel + Sync),
     ) -> Self {
         let candidates = exploration
             .candidates
@@ -122,6 +227,65 @@ impl ExplorationReport {
             candidates,
             pareto,
         }
+    }
+}
+
+impl ExplorationReport {
+    /// The report as a single-line JSON document, for machine consumers
+    /// (`datareuse explore … --json`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_core::{explore_signal, ExplorationReport, ExploreOptions};
+    /// use datareuse_loopir::parse_program;
+    /// use datareuse_memmodel::{BitCount, MemoryTechnology};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")?;
+    /// let ex = explore_signal(&p, "A", &ExploreOptions::default())?;
+    /// let report = ExplorationReport::build(
+    ///     &ex,
+    ///     &ExploreOptions::default(),
+    ///     &MemoryTechnology::new(),
+    ///     &BitCount,
+    /// );
+    /// let json = report.to_json();
+    /// assert!(json.starts_with(r#"{"array":"A","c_tot":128"#));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("array", Json::str(&self.array)),
+            ("c_tot", Json::UInt(self.c_tot)),
+            ("background_words", Json::UInt(self.background_words)),
+            (
+                "candidates",
+                Json::arr(self.candidates.iter().map(|(label, size, fr, exact)| {
+                    Json::obj([
+                        ("source", Json::str(label)),
+                        ("size", Json::UInt(*size)),
+                        ("reuse_factor", Json::Num(*fr)),
+                        ("exact", Json::Bool(*exact)),
+                    ])
+                })),
+            ),
+            (
+                "pareto",
+                Json::arr(self.pareto.iter().map(|row| {
+                    Json::obj([
+                        (
+                            "level_sizes",
+                            Json::arr(row.level_sizes.iter().map(|&s| Json::UInt(s))),
+                        ),
+                        ("onchip_words", Json::UInt(row.onchip_words)),
+                        ("normalized_power", Json::Num(row.normalized_power)),
+                        ("background_share", Json::Num(row.background_share)),
+                    ])
+                })),
+            ),
+        ])
+        .to_string()
     }
 }
 
@@ -188,6 +352,50 @@ mod tests {
             r.pareto.last().unwrap().normalized_power
                 < r.pareto[0].normalized_power
         );
+    }
+
+    #[test]
+    fn json_writer_escapes_and_nests() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd\u{1}")),
+            ("n", Json::Num(2.5)),
+            ("i", Json::Int(-3)),
+            ("u", Json::UInt(u64::MAX)),
+            ("inf", Json::Num(f64::INFINITY)),
+            ("none", Json::Null),
+            ("flag", Json::Bool(true)),
+            ("empty", Json::arr([])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"n\":2.5,\"i\":-3,\
+             \"u\":18446744073709551615,\"inf\":null,\"none\":null,\
+             \"flag\":true,\"empty\":[]}"
+        );
+    }
+
+    #[test]
+    fn report_json_is_complete_and_parsable_shape() {
+        let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        let ex = explore_signal(&p, "A", &ExploreOptions::default()).unwrap();
+        let r = ExplorationReport::build(
+            &ex,
+            &ExploreOptions::default(),
+            &MemoryTechnology::new(),
+            &BitCount,
+        );
+        let json = r.to_json();
+        assert!(json.starts_with("{\"array\":\"A\""));
+        assert!(json.contains("\"candidates\":[{\"source\":"));
+        assert!(json.contains("\"pareto\":[{\"level_sizes\":"));
+        // Candidate and Pareto counts survive the encoding.
+        assert_eq!(json.matches("\"reuse_factor\"").count(), r.candidates.len());
+        assert_eq!(json.matches("\"onchip_words\"").count(), r.pareto.len());
+        // Balanced braces/brackets (cheap well-formedness check; no
+        // strings in this document contain structural characters).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

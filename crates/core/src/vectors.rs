@@ -13,8 +13,6 @@
 //! rank 1 ⇒ reuse along the *uniformly generated dependency vector*
 //! `(c', −b')` with `b' = b/gcd(b,c)`, `c' = c/gcd(b,c)` (eq. 5–7).
 
-use serde::{Deserialize, Serialize};
-
 /// Greatest common divisor of the absolute values; `gcd(0, 0) = 0`.
 ///
 /// # Examples
@@ -33,7 +31,7 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 }
 
 /// Classification of the data reuse carried by an inner loop pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReuseClass {
     /// `rank(B) = 0`: the index is independent of both iterators — "the
     /// same element is accessed in every iteration of the (j,k) iteration
@@ -238,6 +236,36 @@ mod tests {
             ReuseClass::classify(&[(-2, -6)]),
             ReuseClass::Vector { bp: 1, cp: 3, anti: false }
         );
+    }
+
+    #[test]
+    fn c_zero_column_flips_on_negative_b() {
+        // When c == 0 the flip rule keys on b's sign: the row and its
+        // negation define the same constraint, so (−5, 0) classifies like
+        // (5, 0) — c' = 0, never anti-diagonal.
+        assert_eq!(
+            ReuseClass::classify(&[(-5, 0)]),
+            ReuseClass::Vector { bp: 1, cp: 0, anti: false }
+        );
+        assert_eq!(
+            ReuseClass::classify(&[(0, -5)]),
+            ReuseClass::Vector { bp: 0, cp: 1, anti: false }
+        );
+        // Parallel all-c-zero rows: the pivot row normalizes via the gcd.
+        assert_eq!(
+            ReuseClass::classify(&[(0, 0), (-4, 0), (-2, 0)]),
+            ReuseClass::Vector { bp: 1, cp: 0, anti: false }
+        );
+    }
+
+    #[test]
+    fn chain_length_degenerate_vectors_clamp_to_zero() {
+        // (0, 0) carries no step; eq. 8 has no division to perform.
+        assert_eq!(reuse_chain_length((0, 0), (3, 3), (0, 7), (0, 7)), 0);
+        // First access already at the boundary: no further reuse.
+        assert_eq!(reuse_chain_length((1, 1), (7, 0), (0, 7), (0, 7)), 0);
+        // Empty j-range clamps rather than going negative.
+        assert_eq!(reuse_chain_length((0, 1), (5, 0), (0, 3), (0, 7)), 0);
     }
 
     #[test]

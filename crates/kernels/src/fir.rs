@@ -7,10 +7,9 @@
 //! coefficient array `h` is a `repeat-across-n` signal with `b = 0`.
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the FIR kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fir {
     /// Number of output samples.
     pub outputs: i64,

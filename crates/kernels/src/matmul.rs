@@ -3,10 +3,9 @@
 //! loop nest ordering is still available" hook of DTSE step 2.
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Loop order of the triple nest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatMulOrder {
     /// `i` outer, `j` middle, `k` inner (row-major natural).
     #[default]
@@ -18,7 +17,7 @@ pub enum MatMulOrder {
 }
 
 /// Parameters of the matrix-multiply kernel (`A: n×m`, `B: m×p`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatMul {
     /// Rows of `A` / `C`.
     pub n: i64,

@@ -10,10 +10,9 @@
 //! structure with interpolation accesses added.
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the motion-compensation kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MotionCompensation {
     /// Frame height (multiple of `block`).
     pub height: i64,

@@ -14,10 +14,9 @@
 //! reuse factor from 256 to ≈ 213.6; all reuse structure is unchanged.
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the motion-estimation kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MotionEstimation {
     /// Frame height `H` (must be a multiple of `block`).
     pub height: i64,

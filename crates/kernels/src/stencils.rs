@@ -3,10 +3,9 @@
 //! class of loop-dominated kernels the paper's title targets.
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Dense 2-D convolution `out[y][x] = Σ image[y+i][x+j]·coef[i][j]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Conv2d {
     /// Output height.
     pub height: i64,
@@ -80,7 +79,7 @@ impl Conv2d {
 
 /// The Sobel 3×3 gradient operator with the taps fully unrolled into
 /// constant-offset accesses — the "pointer-based unfolded body" shape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sobel {
     /// Image height.
     pub height: i64,
@@ -128,7 +127,7 @@ impl Sobel {
 }
 
 /// A strided `factor:1` downsampler — exercises step-size normalization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Downsample {
     /// Input height.
     pub height: i64,

@@ -14,10 +14,9 @@
 //!   exploration consumes ("each of the accesses is handled separately").
 
 use datareuse_loopir::{Access, AffineExpr, ArrayDecl, CmpOp, Guard, Loop, LoopNest, Program};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the SUSAN kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Susan {
     /// Image height.
     pub height: i64,

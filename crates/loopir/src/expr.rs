@@ -14,8 +14,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// An affine expression `Σ coefᵢ · iterᵢ + constant` over named loop
 /// iterators.
 ///
@@ -35,7 +33,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(e.coeff("i2"), 0);
 /// assert_eq!(e.to_string(), "8*i1 + i3 + i5");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct AffineExpr {
     terms: BTreeMap<String, i64>,
     constant: i64,

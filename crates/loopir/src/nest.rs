@@ -8,7 +8,6 @@
 //! (needed for the SUSAN test-vehicle, whose middle-row loop skips the
 //! reference pixel position).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::error::BuildNestError;
@@ -27,7 +26,7 @@ use crate::expr::AffineExpr;
 /// let s = Loop::with_step("k", 0, 9, 3); // k = 0, 3, 6, 9
 /// assert_eq!(s.trip_count(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Loop {
     name: String,
     lower: i64,
@@ -153,7 +152,7 @@ impl fmt::Display for Loop {
 }
 
 /// A declared multi-dimensional array signal.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ArrayDecl {
     name: String,
     extents: Vec<i64>,
@@ -249,7 +248,7 @@ impl fmt::Display for ArrayDecl {
 }
 
 /// Read or write access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A read of the array element.
     Read,
@@ -267,7 +266,7 @@ impl fmt::Display for AccessKind {
 }
 
 /// Comparison operator in an access guard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `==`
     Eq,
@@ -312,7 +311,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// An affine guard `lhs op rhs` restricting when an access executes.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Guard {
     /// Left-hand affine expression.
     pub lhs: AffineExpr,
@@ -344,7 +343,7 @@ impl fmt::Display for Guard {
 }
 
 /// One array access in a nest body.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Access {
     array: String,
     kind: AccessKind,
@@ -419,7 +418,7 @@ impl fmt::Display for Access {
 }
 
 /// A perfectly nested loop with a flat body of accesses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopNest {
     loops: Vec<Loop>,
     accesses: Vec<Access>,
@@ -589,7 +588,7 @@ impl fmt::Display for LoopNest {
 }
 
 /// A whole program: array declarations plus loop nests in execution order.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Program {
     arrays: Vec<ArrayDecl>,
     nests: Vec<LoopNest>,

@@ -6,13 +6,11 @@
 //! array, in program execution order, ready for the replacement-policy
 //! simulators in `datareuse-trace`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::nest::{AccessKind, LoopNest, Program};
 use crate::walk::IterSpace;
 
 /// One event of an address trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceEvent {
     /// Row-major linearized element address within the traced array.
     pub addr: u64,
@@ -21,7 +19,7 @@ pub struct TraceEvent {
 }
 
 /// Which access kinds to include in a generated trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceFilter {
     /// Include read accesses.
     pub reads: bool,

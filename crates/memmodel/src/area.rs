@@ -5,8 +5,6 @@
 //! counts; area-style models with cell and periphery terms are provided for
 //! users who want silicon-area weighting instead.
 
-use serde::{Deserialize, Serialize};
-
 /// Size cost model for an on-chip memory of `words` × `bits`.
 pub trait AreaModel {
     /// The size cost charged by eq. 2 for one memory.
@@ -16,7 +14,7 @@ pub trait AreaModel {
 /// Counts storage bits only (`words · bits`) — the weighting used in the
 /// paper's figures, which plot copy-candidate sizes in elements of a fixed
 /// bit width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BitCount;
 
 impl AreaModel for BitCount {
@@ -27,7 +25,7 @@ impl AreaModel for BitCount {
 
 /// Area model with cell area plus a √(words·bits) periphery term modelling
 /// decoders and sense amplifiers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellPeriphery {
     /// Area per storage bit.
     pub a_cell: f64,

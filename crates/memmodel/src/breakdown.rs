@@ -5,13 +5,11 @@
 //! serves downstream, and the bypass reads it absorbs — so a designer can
 //! see *where* the energy goes, not just how much.
 
-use serde::{Deserialize, Serialize};
-
 use crate::chain::CopyChain;
 use crate::power::MemoryTechnology;
 
 /// Energy attributed to one memory of the chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LevelEnergy {
     /// Level number: 0 is the background memory, `1..=n` the sub-levels.
     pub level: usize,
@@ -32,7 +30,7 @@ impl LevelEnergy {
 }
 
 /// The full decomposition; level totals sum to the eq. 3 chain energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainBreakdown {
     /// Per-level contributions, background first.
     pub levels: Vec<LevelEnergy>,

@@ -22,13 +22,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::area::AreaModel;
 use crate::power::MemoryTechnology;
 
 /// One on-chip sub-level of a copy-candidate chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChainLevel {
     /// Capacity `A_j` in elements.
     pub words: u64,
@@ -118,7 +116,7 @@ impl std::error::Error for ValidateChainError {}
 
 /// A copy-candidate chain for one signal: background memory plus zero or
 /// more on-chip sub-levels, outermost (largest) first.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CopyChain {
     /// Total reads of the signal per frame (`C_tot`).
     pub c_tot: u64,
@@ -197,7 +195,7 @@ impl CopyChain {
 }
 
 /// Evaluated cost of one chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChainCost {
     /// Total access energy per frame (eq. 3 numerator, arbitrary units).
     pub energy: f64,

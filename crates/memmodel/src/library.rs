@@ -8,11 +8,9 @@
 //! [`MemoryLibrary::collapse`] maps a virtual copy-candidate chain onto
 //! them.
 
-use serde::{Deserialize, Serialize};
-
 /// A set of available on-chip memory capacities (in elements), as offered
 /// by a memory compiler or a fixed platform (e.g. scratch-pad levels).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryLibrary {
     sizes: Vec<u64>,
 }

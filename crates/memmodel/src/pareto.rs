@@ -5,10 +5,8 @@
 //! (paper Section 4). The helpers here minimize *both* coordinates
 //! (on-chip size and power), keeping every point not dominated by another.
 
-use serde::{Deserialize, Serialize};
-
 /// A candidate hierarchy point on the power–memory-size plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParetoPoint<T> {
     /// Total on-chip copy-candidate size (elements) — x axis.
     pub size: f64,

@@ -12,8 +12,6 @@
 //! its Fig. 4b/10b/11b, so the *shape* of the trade-off is preserved under
 //! any monotone parameter choice.
 
-use serde::{Deserialize, Serialize};
-
 /// Energy model for one memory: energy per read/write access as a function
 /// of organisation (`words` × `bits`).
 ///
@@ -50,7 +48,7 @@ pub trait PowerModel {
 /// // Monotone: a 16× larger memory costs strictly more per access.
 /// assert!(m.read_energy(4096, 8) > m.read_energy(256, 8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParametricSram {
     /// Fixed per-access energy (sense amps, control).
     pub e_fixed: f64,
@@ -92,7 +90,7 @@ impl PowerModel for ParametricSram {
 
 /// Off-chip background memory model: a flat, large per-access energy —
 /// off-chip I/O dominates and is insensitive to the resident array size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OffChipMemory {
     /// Energy per read access.
     pub e_read: f64,
@@ -123,7 +121,7 @@ impl PowerModel for OffChipMemory {
 
 /// The pair of models a copy-candidate chain is evaluated against: one for
 /// the background level and one for every on-chip sub-level.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MemoryTechnology {
     /// Model for level 0 (the background memory holding the full signal).
     pub background: OffChipMemory,

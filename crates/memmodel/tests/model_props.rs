@@ -1,6 +1,7 @@
-//! Property tests of the memory cost models.
+//! Property tests of the memory cost models, driven by the in-repo
+//! deterministic harness (`datareuse-proptest`).
 
-use proptest::prelude::*;
+use datareuse_proptest::{check, prop_assert, Config};
 
 use datareuse_memmodel::{
     chain_breakdown, evaluate_chain, pareto_front, AreaModel, BitCount, CellPeriphery,
@@ -8,105 +9,181 @@ use datareuse_memmodel::{
     PowerModel,
 };
 
-proptest! {
-    /// The SRAM model is monotone in words and bits, and writes never cost
-    /// less than reads — the assumptions the whole exploration rests on.
-    #[test]
-    fn sram_energy_is_monotone(words in 1u64..1_000_000, bits in 1u32..128) {
-        let m = ParametricSram::default();
-        prop_assert!(m.read_energy(words * 2, bits) > m.read_energy(words, bits));
-        prop_assert!(m.read_energy(words, bits + 8) > m.read_energy(words, bits));
-        prop_assert!(m.write_energy(words, bits) >= m.read_energy(words, bits));
-    }
+/// The SRAM model is monotone in words and bits, and writes never cost
+/// less than reads — the assumptions the whole exploration rests on.
+#[test]
+fn sram_energy_is_monotone() {
+    check(
+        "sram_energy_is_monotone",
+        &Config::default(),
+        |rng| (rng.u64_in(1, 999_999), rng.u32_in(1, 127)),
+        |&(words, bits)| {
+            if words < 1 || bits < 1 {
+                return Ok(());
+            }
+            let m = ParametricSram::default();
+            prop_assert!(m.read_energy(words * 2, bits) > m.read_energy(words, bits));
+            prop_assert!(m.read_energy(words, bits + 8) > m.read_energy(words, bits));
+            prop_assert!(m.write_energy(words, bits) >= m.read_energy(words, bits));
+            Ok(())
+        },
+    );
+}
 
-    /// Area models are monotone in storage.
-    #[test]
-    fn area_models_are_monotone(words in 1u64..1_000_000, bits in 1u32..64) {
-        prop_assert!(BitCount.size_cost(words + 1, bits) > BitCount.size_cost(words, bits));
-        let cp = CellPeriphery::default();
-        prop_assert!(cp.size_cost(words + 1, bits) > cp.size_cost(words, bits));
-    }
+/// Area models are monotone in storage.
+#[test]
+fn area_models_are_monotone() {
+    check(
+        "area_models_are_monotone",
+        &Config::default(),
+        |rng| (rng.u64_in(1, 999_999), rng.u32_in(1, 63)),
+        |&(words, bits)| {
+            if words < 1 || bits < 1 {
+                return Ok(());
+            }
+            prop_assert!(BitCount.size_cost(words + 1, bits) > BitCount.size_cost(words, bits));
+            let cp = CellPeriphery::default();
+            prop_assert!(cp.size_cost(words + 1, bits) > cp.size_cost(words, bits));
+            Ok(())
+        },
+    );
+}
 
-    /// For a single-level chain, energy strictly decreases as fills drop
-    /// (higher reuse factor) and strictly increases with the level size.
-    #[test]
-    fn chain_energy_follows_reuse_and_size(
-        c_tot in 1_000u64..100_000,
-        words in 2u64..4_096,
-        fills in 1u64..900,
-    ) {
-        let tech = MemoryTechnology::new();
-        let chain = |w: u64, f: u64| {
-            let mut c = CopyChain::baseline(c_tot, 1 << 20, 8);
-            c.push_level(ChainLevel::new(w, f.min(c_tot)));
-            evaluate_chain(&c, &tech, &BitCount).energy
-        };
-        prop_assert!(chain(words, fills) < chain(words, (fills + 1).min(c_tot)));
-        prop_assert!(chain(words, fills) < chain(words * 2, fills));
-    }
+/// For a single-level chain, energy strictly decreases as fills drop
+/// (higher reuse factor) and strictly increases with the level size.
+#[test]
+fn chain_energy_follows_reuse_and_size() {
+    check(
+        "chain_energy_follows_reuse_and_size",
+        &Config::default(),
+        |rng| {
+            (
+                rng.u64_in(1_000, 99_999),
+                rng.u64_in(2, 4_096),
+                rng.u64_in(1, 899),
+            )
+        },
+        |&(c_tot, words, fills)| {
+            if c_tot < 1 || words < 2 || fills < 1 {
+                return Ok(());
+            }
+            let tech = MemoryTechnology::new();
+            let chain = |w: u64, f: u64| {
+                let mut c = CopyChain::baseline(c_tot, 1 << 20, 8);
+                c.push_level(ChainLevel::new(w, f.min(c_tot)));
+                evaluate_chain(&c, &tech, &BitCount).energy
+            };
+            prop_assert!(chain(words, fills) < chain(words, (fills + 1).min(c_tot)));
+            prop_assert!(chain(words, fills) < chain(words * 2, fills));
+            Ok(())
+        },
+    );
+}
 
-    /// The per-level breakdown always sums to the aggregate energy, with
-    /// and without bypass, at any depth up to 3.
-    #[test]
-    fn breakdown_sums_to_total(
-        c_tot in 1_000u64..50_000,
-        sizes in prop::collection::vec(2u64..12, 1..4),
-        bypasses in 0u64..500,
-    ) {
-        let tech = MemoryTechnology::new();
-        let mut chain = CopyChain::baseline(c_tot, 1 << 20, 16);
-        // Build strictly decreasing sizes / non-decreasing fills.
-        let mut words = 1u64 << 15;
-        let mut fills = 8u64;
-        let n = sizes.len();
-        for (i, step) in sizes.iter().enumerate() {
-            words /= step.max(&2);
-            fills = (fills * 3).min(c_tot / 2);
-            let b = if i + 1 == n { bypasses.min(c_tot - fills) } else { 0 };
-            chain.push_level(ChainLevel::with_bypass(words.max(1), fills, b));
-        }
-        prop_assume!(chain.validate().is_ok());
-        let bd = chain_breakdown(&chain, &tech);
-        let cost = evaluate_chain(&chain, &tech, &BitCount);
-        prop_assert!((bd.total - cost.energy).abs() < 1e-6 * cost.energy.max(1.0));
-        prop_assert!(bd.background_share() >= 0.0 && bd.background_share() <= 1.0);
-    }
+/// The per-level breakdown always sums to the aggregate energy, with
+/// and without bypass, at any depth up to 3.
+#[test]
+fn breakdown_sums_to_total() {
+    check(
+        "breakdown_sums_to_total",
+        &Config::default(),
+        |rng| {
+            (
+                rng.u64_in(1_000, 49_999),
+                rng.vec(1, 3, |r| r.u64_in(2, 11)),
+                rng.u64_in(0, 499),
+            )
+        },
+        |(c_tot, sizes, bypasses)| {
+            let (c_tot, bypasses) = (*c_tot, *bypasses);
+            if c_tot < 1_000 || sizes.is_empty() {
+                return Ok(());
+            }
+            let tech = MemoryTechnology::new();
+            let mut chain = CopyChain::baseline(c_tot, 1 << 20, 16);
+            // Build strictly decreasing sizes / non-decreasing fills.
+            let mut words = 1u64 << 15;
+            let mut fills = 8u64;
+            let n = sizes.len();
+            for (i, step) in sizes.iter().enumerate() {
+                words /= (*step).max(2);
+                fills = (fills * 3).min(c_tot / 2);
+                let b = if i + 1 == n {
+                    bypasses.min(c_tot - fills)
+                } else {
+                    0
+                };
+                chain.push_level(ChainLevel::with_bypass(words.max(1), fills, b));
+            }
+            if chain.validate().is_err() {
+                return Ok(()); // generated chain out of model domain
+            }
+            let bd = chain_breakdown(&chain, &tech);
+            let cost = evaluate_chain(&chain, &tech, &BitCount);
+            prop_assert!((bd.total - cost.energy).abs() < 1e-6 * cost.energy.max(1.0));
+            prop_assert!(bd.background_share() >= 0.0 && bd.background_share() <= 1.0);
+            Ok(())
+        },
+    );
+}
 
-    /// Library collapsing: physical sizes are library members, strictly
-    /// decreasing, and each covers its virtual level.
-    #[test]
-    fn library_collapse_invariants(
-        virtuals in prop::collection::vec(1u64..10_000, 0..6),
-        lo_exp in 2u32..6,
-        hi_exp in 8u32..14,
-    ) {
-        let lib = MemoryLibrary::powers_of_two(1 << lo_exp, 1 << hi_exp);
-        let mut sorted = virtuals.clone();
-        sorted.sort_unstable_by(|a, b| b.cmp(a));
-        sorted.dedup();
-        let phys = lib.collapse(&sorted);
-        for w in phys.windows(2) {
-            prop_assert!(w[1].0 < w[0].0);
-        }
-        for &(p, v) in &phys {
-            prop_assert!(lib.sizes().contains(&p));
-            prop_assert!(p >= sorted[v]);
-        }
-    }
+/// Library collapsing: physical sizes are library members, strictly
+/// decreasing, and each covers its virtual level.
+#[test]
+fn library_collapse_invariants() {
+    check(
+        "library_collapse_invariants",
+        &Config::default(),
+        |rng| {
+            (
+                rng.vec(0, 5, |r| r.u64_in(1, 9_999)),
+                rng.u32_in(2, 5),
+                rng.u32_in(8, 13),
+            )
+        },
+        |(virtuals, lo_exp, hi_exp)| {
+            let (lo_exp, hi_exp) = (*lo_exp, *hi_exp);
+            if lo_exp < 2 || hi_exp < 8 || virtuals.iter().any(|&v| v < 1) {
+                return Ok(());
+            }
+            let lib = MemoryLibrary::powers_of_two(1 << lo_exp, 1 << hi_exp);
+            let mut sorted = virtuals.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            sorted.dedup();
+            let phys = lib.collapse(&sorted);
+            for w in phys.windows(2) {
+                prop_assert!(w[1].0 < w[0].0);
+            }
+            for &(p, v) in &phys {
+                prop_assert!(lib.sizes().contains(&p));
+                prop_assert!(p >= sorted[v]);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Pareto front size never exceeds the input and always contains the
-    /// global power minimum.
-    #[test]
-    fn pareto_front_contains_the_minimum(
-        pts in prop::collection::vec((0u32..100, 1u32..100), 1..40)
-    ) {
-        let points: Vec<ParetoPoint<()>> = pts
-            .iter()
-            .map(|&(s, p)| ParetoPoint::new(s as f64, p as f64, ()))
-            .collect();
-        let min_power = points.iter().map(|p| p.power).fold(f64::INFINITY, f64::min);
-        let front = pareto_front(points.clone());
-        prop_assert!(front.len() <= pts.len());
-        prop_assert!((front.last().unwrap().power - min_power).abs() < 1e-12);
-    }
+/// Pareto front size never exceeds the input and always contains the
+/// global power minimum.
+#[test]
+fn pareto_front_contains_the_minimum() {
+    check(
+        "pareto_front_contains_the_minimum",
+        &Config::default(),
+        |rng| rng.vec(1, 40, |r| (r.u32_in(0, 99), r.u32_in(1, 99))),
+        |pts: &Vec<(u32, u32)>| {
+            if pts.is_empty() || pts.iter().any(|&(_, p)| p < 1) {
+                return Ok(());
+            }
+            let points: Vec<ParetoPoint<()>> = pts
+                .iter()
+                .map(|&(s, p)| ParetoPoint::new(s as f64, p as f64, ()))
+                .collect();
+            let min_power = points.iter().map(|p| p.power).fold(f64::INFINITY, f64::min);
+            let front = pareto_front(points.clone());
+            prop_assert!(front.len() <= pts.len());
+            prop_assert!((front.last().unwrap().power - min_power).abs() < 1e-12);
+            Ok(())
+        },
+    );
 }

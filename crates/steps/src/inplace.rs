@@ -10,14 +10,12 @@
 //! the executed schedule — and the modulo folding that achieves the
 //! smallest one.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_codegen::{run_schedule, ScheduleError, Strategy};
 use datareuse_core::{max_reuse, partial_reuse, PairGeometry, ReuseClass};
 use datareuse_loopir::Program;
 
 /// Sizes of one copy-candidate under the three storage disciplines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InplaceReport {
     /// The enlarged single-assignment buffer the SCBD step schedules into.
     pub single_assignment_words: u64,

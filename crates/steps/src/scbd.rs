@@ -10,14 +10,12 @@
 //! size with better timings for performance", Section 6.1), and checks it
 //! against the available memory ports.
 
-use serde::{Deserialize, Serialize};
-
 use datareuse_codegen::{run_schedule, ScheduleError, Strategy};
 use datareuse_core::PairGeometry;
 use datareuse_loopir::Program;
 
 /// Port configuration of the two memories a single copy level touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortBudget {
     /// Simultaneous accesses per cycle on the copy-candidate buffer.
     pub buffer_ports: u64,
@@ -38,7 +36,7 @@ impl Default for PortBudget {
 }
 
 /// The SCBD analysis for one copy decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScbdReport {
     /// Buffer operations in the worst innermost iteration: the data read
     /// plus any fill write landing in the same iteration.

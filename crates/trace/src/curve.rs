@@ -6,14 +6,12 @@
 //! [`ReuseCurve::knees`] extracts the discontinuities (the paper's
 //! `A_1 … A_4`) where maximum reuse is attained for a sub-nest.
 
-use serde::{Deserialize, Serialize};
-
 use crate::belady::{opt_simulate_bypass_many, opt_simulate_many};
 use crate::result::SimResult;
 use crate::stats::distinct_count;
 
 /// One point of a reuse-factor curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     /// Copy-candidate size in elements.
     pub size: u64,
@@ -37,7 +35,7 @@ impl From<SimResult> for CurvePoint {
 }
 
 /// Replacement discipline used when simulating curve points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CurvePolicy {
     /// Belady optimal replacement, fill on every miss (paper Section 4).
     #[default]
@@ -47,7 +45,7 @@ pub enum CurvePolicy {
 }
 
 /// A simulated data reuse factor curve for one signal.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReuseCurve {
     policy: CurvePolicy,
     points: Vec<CurvePoint>,

@@ -12,8 +12,6 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use serde::{Deserialize, Serialize};
-
 use crate::result::SimResult;
 
 /// Simulates Belady's MIN and returns, alongside the counts, the ordered
@@ -83,7 +81,7 @@ pub fn opt_simulate_with_stream(trace: &[u64], capacity: u64) -> (SimResult, Vec
 }
 
 /// Per-level outcome of a cascaded hierarchy simulation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HierarchySim {
     /// One result per level, innermost (processor-facing) first. Level
     /// `i`'s `accesses` equal level `i−1`'s `fills`.

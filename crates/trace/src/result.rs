@@ -1,7 +1,5 @@
 //! Common result type for buffer simulations.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of simulating one replacement policy on one address trace with a
 /// fixed copy-candidate capacity.
 ///
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// the signal), `fills` is `C_j` (number of writes into the copy-candidate,
 /// equal to the reads from the level above), and
 /// [`SimResult::reuse_factor`] is `F_Rj = C_tot / C_j` (eq. 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimResult {
     /// Copy-candidate capacity in elements.
     pub capacity: u64,

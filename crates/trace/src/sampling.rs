@@ -9,8 +9,6 @@
 //! minutes into milliseconds when the analytical model does not apply
 //! (non-affine indexing, data-dependent guards).
 
-use serde::{Deserialize, Serialize};
-
 use crate::belady::{opt_simulate_bypass_many, opt_simulate_many};
 use crate::curve::{CurvePoint, CurvePolicy, ReuseCurve};
 
@@ -23,7 +21,7 @@ fn mix(addr: u64) -> u64 {
 }
 
 /// A sampled estimate of a reuse-factor curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampledCurve {
     /// Sampling rate actually used.
     pub rate: f64,

@@ -9,8 +9,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Fenwick tree (binary indexed tree) over trace positions, used to count
 /// distinct elements touched since the previous access in O(log n).
 #[derive(Debug, Clone)]
@@ -50,7 +48,7 @@ impl Fenwick {
 /// `histogram[d]` counts accesses whose reuse touched exactly `d` distinct
 /// elements since the previous access to the same address (distance 1 =
 /// immediate re-reference). `cold` counts first-ever accesses.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StackDistances {
     /// `histogram[d]` = number of accesses at stack distance `d` (index 0
     /// is unused and always zero).

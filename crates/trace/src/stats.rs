@@ -2,8 +2,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of distinct addresses in a trace (the signal footprint).
 ///
 /// # Examples
@@ -20,7 +18,7 @@ pub fn distinct_count(trace: &[u64]) -> u64 {
 }
 
 /// Summary statistics of one address trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Total accesses (`C_tot`).
     pub accesses: u64,

@@ -9,10 +9,8 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// Distinct-elements statistics over a sliding access window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkingSetProfile {
     /// Window length `τ` in accesses.
     pub window: u64,

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification, run exactly as CI does.
+#
+# CARGO_NET_OFFLINE=1 makes any accidental reintroduction of a crates.io
+# dependency fail immediately: this workspace builds from the standard
+# library alone (see README "Zero dependencies").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=1
+
+cargo build --release --workspace
+cargo test -q
+
+echo "tier-1 verification passed"
