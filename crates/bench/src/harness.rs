@@ -14,6 +14,12 @@
 //! Environment knobs:
 //! - `DATAREUSE_BENCH_BUDGET_MS`: per-sample time budget (default 100).
 //! - `DATAREUSE_BENCH_SAMPLES`: number of samples (default 10).
+//! - `DATAREUSE_BENCH_METRICS`: when set (any non-empty value), enable the
+//!   observability registry for the run and write a companion
+//!   `METRICS_<group>.json` snapshot next to `BENCH_<group>.json`.
+//!   Leave unset for timing runs: with metrics enabled, counters and
+//!   spans add their (small but nonzero) recording cost to the measured
+//!   loops.
 
 use std::time::Instant;
 
@@ -57,6 +63,7 @@ pub struct BenchGroup {
     samples: u64,
     elements: Option<u64>,
     results: Vec<Measurement>,
+    metrics: bool,
 }
 
 fn env_u64_or(name: &str, default: u64) -> u64 {
@@ -70,12 +77,22 @@ impl BenchGroup {
     /// Starts a group named `name` (used in the table header and the
     /// `BENCH_<name>.json` artifact).
     pub fn new(name: &str) -> Self {
+        let metrics = std::env::var("DATAREUSE_BENCH_METRICS")
+            .map(|v| !v.trim().is_empty())
+            .unwrap_or(false);
+        if metrics {
+            // Fresh registry per group so each METRICS_<group>.json
+            // reflects only its own benches.
+            datareuse_obs::reset_metrics();
+            datareuse_obs::set_metrics_enabled(true);
+        }
         Self {
             name: name.to_string(),
             budget_ns: env_u64_or("DATAREUSE_BENCH_BUDGET_MS", 100) as u128 * 1_000_000,
             samples: env_u64_or("DATAREUSE_BENCH_SAMPLES", 10).max(1),
             elements: None,
             results: Vec::new(),
+            metrics,
         }
     }
 
@@ -175,6 +192,13 @@ impl BenchGroup {
         let path = figures_dir().join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, doc.to_string()).expect("write bench json");
         println!("[bench data written to {}]", path.display());
+
+        if self.metrics {
+            let mpath = figures_dir().join(format!("METRICS_{}.json", self.name));
+            let snapshot = datareuse_obs::snapshot().to_json().to_string();
+            std::fs::write(&mpath, snapshot).expect("write metrics json");
+            println!("[metrics written to {}]", mpath.display());
+        }
         self.results
     }
 }

@@ -3,16 +3,22 @@
 //! ```text
 //! datareuse kernels
 //! datareuse emit    <kernel>
-//! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--gnuplot FILE] [--json]
+//! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--workingset]
+//!                   [--gnuplot FILE] [--json] [--metrics FILE] [--progress]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
-//! datareuse report  <kernel> [--json]   # all signals at once
+//! datareuse report  <kernel> [--json] [--metrics FILE] [--progress]   # all signals
 //! ```
 //!
 //! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
 //! `.dr` DSL file.
+//!
+//! `--metrics FILE` enables the observability registry for the run and
+//! writes a `datareuse-metrics-v1` JSON snapshot (span timings, event
+//! counters, worker-load distribution) to FILE; `--progress` narrates the
+//! live counters to stderr once per second while the command runs.
 
 use std::process::ExitCode;
 
@@ -151,6 +157,29 @@ fn cmd_emit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Enables the metrics registry when `--metrics`/`--progress` is given.
+/// Returns the snapshot destination and the live narrator handle (kept
+/// alive by the caller for the duration of the command).
+fn start_observability(args: &Args) -> (Option<String>, Option<datareuse_obs::Progress>) {
+    let metrics_path = args.flag("metrics").map(str::to_string);
+    if metrics_path.is_some() {
+        datareuse_obs::set_metrics_enabled(true);
+    }
+    let progress = args
+        .has("progress")
+        .then(|| datareuse_obs::Progress::start(std::time::Duration::from_secs(1)));
+    (metrics_path, progress)
+}
+
+/// Writes the metrics snapshot accumulated so far to `path`.
+fn write_metrics(path: &str) -> Result<(), String> {
+    let json = datareuse_obs::snapshot().to_json().to_string();
+    std::fs::write(path, json + "\n")
+        .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+    eprintln!("metrics written to {path}");
+    Ok(())
+}
+
 fn cmd_explore(args: &Args) -> Result<(), String> {
     let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
     let array = pick_array(args, &program)?;
@@ -158,26 +187,35 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     if let Some(d) = args.flag("depth") {
         opts.max_chain_depth = d.parse().map_err(|_| "bad --depth")?;
     }
+    let (metrics_path, progress) = start_observability(args);
     let ex = explore_signal(&program, &array, &opts).map_err(|e| e.to_string())?;
     let tech = MemoryTechnology::new();
     let report = ExplorationReport::build(&ex, &opts, &tech, &BitCount);
     if args.has("json") {
         println!("{}", report.to_json());
+        drop(progress);
+        if let Some(path) = &metrics_path {
+            write_metrics(path)?;
+        }
         return Ok(());
     }
     print!("{report}");
     let front = ex.pareto(&opts, &tech, &BitCount);
+    // The working-set and simulation views replay the same read trace;
+    // generate it once instead of once per view.
+    let trace = (args.has("workingset") || args.has("simulate"))
+        .then(|| read_addresses(&program, &array));
     if args.has("workingset") {
-        let trace = read_addresses(&program, &array);
+        let trace = trace.as_deref().expect("trace generated above");
         println!("\nworking-set profile (window, avg, peak):");
         for w in [64u64, 256, 1024, 4096] {
-            let ws = datareuse_trace::working_set_profile(&trace, w);
+            let ws = datareuse_trace::working_set_profile(trace, w);
             println!("  {:>6}  {:>10.1}  {:>8}", ws.window, ws.average, ws.peak);
         }
     }
     if args.has("simulate") {
-        let trace = read_addresses(&program, &array);
-        let stats = TraceStats::compute(&trace);
+        let trace = trace.as_deref().expect("trace generated above");
+        let stats = TraceStats::compute(trace);
         println!(
             "\nsimulation: {} accesses, footprint {}, average reuse {:.1}",
             stats.accesses,
@@ -185,7 +223,7 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
             stats.average_reuse()
         );
         let sizes: Vec<u64> = ex.candidates.iter().map(|c| c.size).collect();
-        let curve = ReuseCurve::simulate(&trace, sizes, CurvePolicy::Optimal);
+        let curve = ReuseCurve::simulate(trace, sizes, CurvePolicy::Optimal);
         println!("Belady-optimal reuse factors at the analytical sizes:");
         for p in curve.points() {
             println!("  {:>8}  {:>8.2}", p.size, p.reuse_factor);
@@ -211,6 +249,10 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
         std::fs::write(path, script).map_err(|e| e.to_string())?;
         println!("\ngnuplot script written to {path}");
     }
+    drop(progress);
+    if let Some(path) = &metrics_path {
+        write_metrics(path)?;
+    }
     Ok(())
 }
 
@@ -218,6 +260,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
+    let (metrics_path, progress) = start_observability(args);
     let explorations = explore_program(&program, &opts).map_err(|e| e.to_string())?;
     if args.has("json") {
         let docs: Vec<String> = explorations
@@ -225,14 +268,18 @@ fn cmd_report(args: &Args) -> Result<(), String> {
             .map(|ex| ExplorationReport::build(ex, &opts, &tech, &BitCount).to_json())
             .collect();
         println!("[{}]", docs.join(","));
-        return Ok(());
-    }
-    for (i, ex) in explorations.iter().enumerate() {
-        if i > 0 {
-            println!();
+    } else {
+        for (i, ex) in explorations.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            let report = ExplorationReport::build(ex, &opts, &tech, &BitCount);
+            print!("{report}");
         }
-        let report = ExplorationReport::build(ex, &opts, &tech, &BitCount);
-        print!("{report}");
+    }
+    drop(progress);
+    if let Some(path) = &metrics_path {
+        write_metrics(path)?;
     }
     Ok(())
 }

@@ -2,16 +2,28 @@
 
 use std::process::Command;
 
+use datareuse_core::Json;
+
 fn datareuse(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    datareuse_env(args, &[])
+}
+
+fn datareuse_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_datareuse"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("datareuse_cli_{}_{name}", std::process::id()))
 }
 
 #[test]
@@ -143,6 +155,85 @@ fn explore_workingset_flag_prints_profile() {
     let (ok, stdout, _) = datareuse(&["explore", "me-small", "--array", "Old", "--workingset"]);
     assert!(ok);
     assert!(stdout.contains("working-set profile"));
+}
+
+#[test]
+fn explore_metrics_emits_valid_json_covering_the_pipeline() {
+    let path = temp_path("metrics.json");
+    let (ok, _, stderr) = datareuse(&[
+        "explore",
+        "susan-small",
+        "--simulate",
+        "--metrics",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("metrics written to"), "{stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    // The artifact must round-trip through the in-repo JSON reader.
+    let doc = Json::parse(&text).expect("metrics JSON parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("datareuse-metrics-v1")
+    );
+    let counters = doc.get("counters").expect("counters section");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    // Exploration, chain costing, and a trace simulator all recorded work.
+    assert!(counter("explore_candidates_generated") > 0);
+    assert!(counter("chains_enumerated") > 0);
+    assert!(counter("chains_evaluated") > 0);
+    assert!(counter("pareto_points_kept") > 0);
+    assert!(counter("belady_accesses") > 0, "Belady simulator uncovered");
+    // Spans timed the exploration stages.
+    let spans = doc.get("spans").and_then(Json::as_array).unwrap();
+    let paths: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("path").and_then(Json::as_str))
+        .collect();
+    assert!(paths.contains(&"explore"), "span paths: {paths:?}");
+    assert!(paths.contains(&"pareto"), "span paths: {paths:?}");
+}
+
+#[test]
+fn metrics_counters_are_thread_count_invariant() {
+    // Counters count work, not scheduling: the order-preserving sweep must
+    // produce identical counts at 1 and 8 workers. Timings (`spans`),
+    // `gauges`, and `load` legitimately differ and are excluded.
+    let mut counter_sections = Vec::new();
+    for threads in ["1", "8"] {
+        let path = temp_path(&format!("det_{threads}.json"));
+        let (ok, _, stderr) = datareuse_env(
+            &[
+                "explore",
+                "me-small",
+                "--array",
+                "Old",
+                "--simulate",
+                "--metrics",
+                path.to_str().unwrap(),
+            ],
+            &[("DATAREUSE_THREADS", threads)],
+        );
+        assert!(ok, "{stderr}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let doc = Json::parse(&text).unwrap();
+        counter_sections.push(doc.get("counters").unwrap().clone());
+    }
+    assert_eq!(
+        counter_sections[0], counter_sections[1],
+        "counters must not depend on DATAREUSE_THREADS"
+    );
+}
+
+#[test]
+fn progress_flag_narrates_to_stderr() {
+    let (ok, _, stderr) = datareuse(&["explore", "me-small", "--array", "Old", "--progress"]);
+    assert!(ok, "{stderr}");
+    // Even a short run prints the final summary line on shutdown.
+    assert!(stderr.contains("[datareuse"), "stderr: {stderr}");
+    assert!(stderr.contains("(done)"), "stderr: {stderr}");
 }
 
 #[test]

@@ -11,6 +11,7 @@ use datareuse_loopir::{AccessKind, Program};
 use datareuse_memmodel::{
     evaluate_chain, pareto_front, AreaModel, ChainCost, CopyChain, MemoryTechnology, ParetoPoint,
 };
+use datareuse_obs::{add, span, Counter};
 
 use crate::error::AnalyzeError;
 use crate::footprint::{footprint_levels, footprint_levels_merged, guarded_count};
@@ -94,6 +95,8 @@ fn pair_candidates(
     // γ sweeps read only the nest. Fan the pairs out and flatten back in
     // pair order, so the candidate stream is identical to the sequential
     // loop's.
+    let _timer = span("pairs");
+    add(Counter::ExplorePairsSwept, pairs.len() as u64);
     let threads = crate::par::resolve_threads(opts.threads);
     let per_pair = crate::par::parallel_map(threads, pairs, |(outer, inner)| {
         let Ok(geom) = PairGeometry::from_access(nest, access, outer, inner) else {
@@ -142,6 +145,16 @@ fn tag_pair(candidate: CandidatePoint, _outer: usize, _inner: usize) -> Candidat
 
 /// Explores all read accesses to `array` in `program`.
 ///
+/// For every access group the driver derives footprint levels (Fig. 4a's
+/// discontinuities `A₁…A₄`) and the pairwise max/partial/bypass points
+/// (eq. 12–22), then combines and deduplicates them into the signal's
+/// copy-candidates. Each candidate carries its reuse factor
+/// `F_R = C_tot / C_j` (eq. 1) via
+/// [`CandidatePoint::reuse_factor`](crate::CandidatePoint::reuse_factor).
+///
+/// When metrics are enabled ([`datareuse_obs::set_metrics_enabled`]) the
+/// sweep records the `explore` span and the `explore_*` counters.
+///
 /// # Errors
 ///
 /// Returns [`AnalyzeError::UnknownArray`] when the array is not declared
@@ -168,6 +181,7 @@ pub fn explore_signal(
     array: &str,
     opts: &ExploreOptions,
 ) -> Result<SignalExploration, AnalyzeError> {
+    let _timer = span("explore");
     let decl = program
         .array(array)
         .ok_or_else(|| AnalyzeError::UnknownArray(array.to_string()))?;
@@ -207,6 +221,11 @@ pub fn explore_signal(
     if groups.is_empty() {
         return Err(AnalyzeError::NoAccesses(array.to_string()));
     }
+    add(Counter::ExploreGroups, groups.len() as u64);
+    add(
+        Counter::ExploreCandidatesGenerated,
+        groups.iter().map(|g| g.candidates.len() as u64).sum(),
+    );
     let c_tot: u64 = groups.iter().map(|g| g.c_tot).sum();
     let mut candidates = combine_groups(&groups, c_tot);
     // Shared candidates over translated accesses within one nest — the
@@ -289,6 +308,7 @@ fn combine_groups(groups: &[AccessGroup], c_tot: u64) -> Vec<CandidatePoint> {
 impl SignalExploration {
     /// Enumerates every copy-candidate chain over the signal candidates.
     pub fn chains(&self, opts: &ExploreOptions) -> Vec<CopyChain> {
+        let _timer = span("chains");
         enumerate_chains(
             &self.candidates,
             self.c_tot,
@@ -301,12 +321,18 @@ impl SignalExploration {
     /// Evaluates all chains and returns the power–memory-size Pareto front
     /// (Fig. 4b / 10b / 11b), pairs of the chain and its cost, sorted by
     /// increasing on-chip size.
+    ///
+    /// Each chain is costed with the eq. 3 hierarchy power model (eq. 19
+    /// bypass semantics included); the front keeps the points no other
+    /// chain dominates in both power and size — the designer's trade-off
+    /// curve from which eq. 2 picks a single operating point.
     pub fn pareto(
         &self,
         opts: &ExploreOptions,
         tech: &MemoryTechnology,
         area: &(impl AreaModel + Sync),
     ) -> Vec<ParetoPoint<(CopyChain, ChainCost)>> {
+        let _timer = span("pareto");
         let threads = crate::par::resolve_threads(opts.threads);
         let points = crate::par::parallel_map(threads, self.chains(opts), |chain| {
             let cost = evaluate_chain(&chain, tech, area);
@@ -316,7 +342,8 @@ impl SignalExploration {
     }
 
     /// The hierarchy minimizing the eq. 2 weighted cost
-    /// `F_c = α·power + β·size` over all enumerated chains.
+    /// `F_c = α·power + β·size` over all enumerated chains, each costed
+    /// with the eq. 3 hierarchy power model.
     ///
     /// Returns the chain and its cost (the baseline when nothing beats
     /// it).
@@ -328,6 +355,7 @@ impl SignalExploration {
         alpha: f64,
         beta: f64,
     ) -> (CopyChain, ChainCost) {
+        let _timer = span("best_chain");
         let threads = crate::par::resolve_threads(opts.threads);
         crate::par::parallel_map(threads, self.chains(opts), |chain| {
             let cost = evaluate_chain(&chain, tech, area);

@@ -8,6 +8,7 @@
 //! pruning useless levels as Section 3 prescribes.
 
 use datareuse_memmodel::{ChainLevel, CopyChain};
+use datareuse_obs::{add, Counter};
 
 use crate::footprint::LevelCandidate;
 use crate::pairwise::{PointKind, ReusePoint};
@@ -133,6 +134,7 @@ impl CandidatePoint {
 /// are never preferable at any chain position. Returned sorted by
 /// decreasing size.
 pub fn dedupe_candidates(mut candidates: Vec<CandidatePoint>) -> Vec<CandidatePoint> {
+    let offered = candidates.len();
     candidates.retain(CandidatePoint::is_useful);
     // Ascending size; ties resolved toward less upstream traffic.
     candidates.sort_by(|a, b| {
@@ -153,6 +155,7 @@ pub fn dedupe_candidates(mut candidates: Vec<CandidatePoint>) -> Vec<CandidatePo
         }
     }
     kept.reverse();
+    add(Counter::ExploreCandidatesPruned, (offered - kept.len()) as u64);
     kept
 }
 
@@ -238,6 +241,7 @@ pub fn enumerate_chains(
         &base,
         &mut out,
     );
+    add(Counter::ChainsEnumerated, out.len() as u64);
     out
 }
 

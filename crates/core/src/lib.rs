@@ -38,7 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod assign;
 mod error;
@@ -62,5 +62,5 @@ pub use orders::{explore_orders, OrderChoice};
 pub use pairwise::{max_reuse, PairGeometry, PointKind, ReusePoint};
 pub use par::{parallel_map, resolve_threads};
 pub use partial::{partial_reuse, partial_sweep};
-pub use report::{describe_source, ExplorationReport, HierarchyRow, Json};
+pub use report::{describe_source, ExplorationReport, HierarchyRow, Json, JsonParseError};
 pub use vectors::{gcd, reuse_chain_length, ReuseClass};

@@ -10,20 +10,30 @@
 
 use std::sync::Mutex;
 
+use datareuse_obs::{add, gauge_max, metrics_enabled, record_worker_items, Counter, Gauge};
+
 /// Resolves the worker-thread count for a sweep.
 ///
 /// Precedence: an explicit `requested` count, then the
 /// `DATAREUSE_THREADS` environment variable, then the machine's
 /// available parallelism. Zero or unparsable values fall through; the
 /// result is always at least 1, and 1 selects the thread-free path.
+///
+/// The environment variable is read once per process: the exploration
+/// resolves a thread count for every sweep (thousands per exhaustive
+/// run), and `env::var` takes a process-global lock that showed up as
+/// avoidable per-sweep overhead.
 pub fn resolve_threads(requested: Option<usize>) -> usize {
+    static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
     requested
         .filter(|&n| n > 0)
         .or_else(|| {
-            std::env::var("DATAREUSE_THREADS")
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-                .filter(|&n| n > 0)
+            *ENV.get_or_init(|| {
+                std::env::var("DATAREUSE_THREADS")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .filter(|&n| n > 0)
+            })
         })
         .unwrap_or_else(auto_threads)
 }
@@ -60,18 +70,30 @@ where
     F: Fn(T) -> U + Sync,
 {
     let n = items.len();
+    add(Counter::ParSweeps, 1);
+    add(Counter::ParItems, n as u64);
     if threads <= 1 || n <= 1 {
+        gauge_max(Gauge::ThreadsMax, 1);
         return items.into_iter().map(f).collect();
     }
+    gauge_max(Gauge::ThreadsMax, threads.min(n) as u64);
+    let observed = metrics_enabled();
     let queue = Mutex::new(items.into_iter().enumerate());
     let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
-            s.spawn(|| loop {
-                let next = queue.lock().expect("work queue poisoned").next();
-                let Some((index, item)) = next else { break };
-                let result = f(item);
-                done.lock().expect("result sink poisoned").push((index, result));
+            s.spawn(|| {
+                let mut processed = 0u64;
+                loop {
+                    let next = queue.lock().expect("work queue poisoned").next();
+                    let Some((index, item)) = next else { break };
+                    let result = f(item);
+                    done.lock().expect("result sink poisoned").push((index, result));
+                    processed += 1;
+                }
+                if observed {
+                    record_worker_items(processed);
+                }
             });
         }
     });

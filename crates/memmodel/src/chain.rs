@@ -294,6 +294,7 @@ pub fn evaluate_chain(
     tech: &MemoryTechnology,
     area: &impl AreaModel,
 ) -> ChainCost {
+    datareuse_obs::add(datareuse_obs::Counter::ChainsEvaluated, 1);
     let bits = chain.bits;
     // words(level j): None = background.
     let words_of = |j: usize| -> Option<u64> {

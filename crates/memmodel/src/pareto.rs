@@ -55,6 +55,7 @@ impl<T> ParetoPoint<T> {
 /// assert_eq!(labels, ["a", "b"]);
 /// ```
 pub fn pareto_front<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
+    let offered = points.len();
     points.sort_by(|a, b| {
         a.size
             .total_cmp(&b.size)
@@ -68,6 +69,11 @@ pub fn pareto_front<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
             front.push(p);
         }
     }
+    datareuse_obs::add(datareuse_obs::Counter::ParetoPointsKept, front.len() as u64);
+    datareuse_obs::add(
+        datareuse_obs::Counter::ParetoPointsDropped,
+        (offered - front.len()) as u64,
+    );
     front
 }
 

@@ -1,0 +1,556 @@
+//! The workspace's hand-rolled JSON value: writer and reader.
+//!
+//! The workspace is hermetic (standard library only, no crates.io), so
+//! every machine-readable artifact — exploration reports, `BENCH_*.json`
+//! timings, `METRICS_*.json` snapshots — goes through this one small
+//! [`Json`] type instead of a serde derive. It lives in `datareuse-obs`
+//! (the dependency-free leaf crate) so both the observability registry and
+//! the model crates can use it; `datareuse_core::Json` re-exports it
+//! unchanged.
+//!
+//! The writer covers exactly what the tools need: objects, arrays,
+//! strings with escaping, integers, and floats. [`Json::parse`] is the
+//! matching reader, used by tests and scripts to consume the artifacts
+//! the tools emit.
+
+use std::fmt;
+
+/// A JSON value, written out via `Display` and read back via
+/// [`Json::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::Json;
+/// let v = Json::obj([
+///     ("name", Json::str("A")),
+///     ("sizes", Json::arr([Json::UInt(8), Json::UInt(56)])),
+/// ]);
+/// assert_eq!(v.to_string(), r#"{"name":"A","sizes":[8,56]}"#);
+/// assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact — no f64 round-trip).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        Self::Str(s.into())
+    }
+
+    /// Convenience array constructor.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
+        Self::Arr(items.into_iter().collect())
+    }
+
+    /// Convenience object constructor.
+    pub fn obj<K: Into<String>>(entries: impl IntoIterator<Item = (K, Json)>) -> Self {
+        Self::Obj(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up `key` in an object (first occurrence); `None` for other
+    /// variants or missing keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_obs::Json;
+    /// let v = Json::parse(r#"{"a":{"b":7}}"#).unwrap();
+    /// assert_eq!(v.get("a").and_then(|a| a.get("b")).and_then(Json::as_u64), Some(7));
+    /// assert!(v.get("missing").is_none());
+    /// ```
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Indexes into an array; `None` for other variants or out of range.
+    pub fn at(&self, index: usize) -> Option<&Json> {
+        match self {
+            Self::Arr(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (from `UInt`, or a non-negative `Int`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Self::UInt(n) => Some(n),
+            Self::Int(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Self::UInt(n) => Some(n as f64),
+            Self::Int(n) => Some(n as f64),
+            Self::Num(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Self::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The array items, when the value is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object entries, when the value is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Self::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the reader matching the `Display` writer).
+    ///
+    /// Integers without fraction/exponent parse as [`Json::UInt`] /
+    /// [`Json::Int`]; everything else numeric parses as [`Json::Num`].
+    /// Trailing non-whitespace input is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the first
+    /// offending character.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_obs::Json;
+    /// let v = Json::parse(r#"{"xs":[1,-2,3.5],"ok":true,"s":"a\nb"}"#).unwrap();
+    /// assert_eq!(v.get("xs").and_then(|x| x.at(0)).and_then(Json::as_u64), Some(1));
+    /// assert_eq!(v.get("s").and_then(Json::as_str), Some("a\nb"));
+    /// assert!(Json::parse("{oops").is_err());
+    /// ```
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+/// Error from [`Json::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00)
+                            } else {
+                                hi as u32
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8 by
+                    // construction from &str).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonParseError {
+                offset: start,
+                message: format!("invalid number `{text}`"),
+            })
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => f.write_str("null"),
+            Self::Bool(b) => write!(f, "{b}"),
+            Self::UInt(n) => write!(f, "{n}"),
+            Self::Int(n) => write!(f, "{n}"),
+            Self::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Self::Num(_) => f.write_str("null"),
+            Self::Str(s) => write_escaped(f, s),
+            Self::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Self::Obj(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_writer_escapes_and_nests() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd\u{1}")),
+            ("n", Json::Num(2.5)),
+            ("i", Json::Int(-3)),
+            ("u", Json::UInt(u64::MAX)),
+            ("inf", Json::Num(f64::INFINITY)),
+            ("none", Json::Null),
+            ("flag", Json::Bool(true)),
+            ("empty", Json::arr([])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"n\":2.5,\"i\":-3,\
+             \"u\":18446744073709551615,\"inf\":null,\"none\":null,\
+             \"flag\":true,\"empty\":[]}"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd\u{1}π")),
+            ("n", Json::Num(2.5)),
+            ("i", Json::Int(-3)),
+            ("u", Json::UInt(u64::MAX)),
+            ("none", Json::Null),
+            ("flag", Json::Bool(false)),
+            (
+                "nested",
+                Json::arr([Json::UInt(1), Json::obj([("k", Json::arr([]))])]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let v = Json::parse(" {\n\t\"a\" : [ 1 , 2.0 ,\r \"\\u0041\\ud83d\\ude00\" ] } ")
+            .unwrap();
+        let arr = v.get("a").unwrap();
+        assert_eq!(arr.at(0).unwrap().as_u64(), Some(1));
+        assert_eq!(arr.at(1).unwrap().as_f64(), Some(2.0));
+        assert_eq!(arr.at(2).unwrap().as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("4.5e2").unwrap(), Json::Num(450.0));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "\"\\x\"", "\"unterminated",
+            "{\"a\":1,}",
+            "[1]]",
+            "\"\\ud800\"",
+        ] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(!e.to_string().is_empty(), "no error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_are_typed_and_total() {
+        let v = Json::parse(r#"{"u":3,"i":-3,"f":1.5,"s":"x","b":true,"a":[9]}"#).unwrap();
+        assert_eq!(v.get("u").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("i").unwrap().as_u64(), None);
+        assert_eq!(v.get("i").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(v.entries().unwrap().len(), 6);
+        assert!(v.get("u").unwrap().get("nope").is_none());
+        assert!(v.at(0).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Zero-dependency observability for the data-reuse exploration pipeline.
+//!
+//! The DATE 2002 flow this workspace reproduces is an *exploration*: the
+//! eq. 12–22 cost parameters are evaluated over thousands of copy-candidate
+//! chains, and the trace simulators replay millions of accesses. This crate
+//! makes that work visible without adding any crates.io dependency:
+//!
+//! - **Counters and gauges** ([`Counter`], [`Gauge`], [`add`],
+//!   [`gauge_max`]) — fixed-enum atomic counts of pipeline events:
+//!   candidates generated and pruned, chains enumerated and costed, Pareto
+//!   points kept, Belady evictions, stack-distance samples, working-set
+//!   windows, parallel-sweep items.
+//! - **Spans** ([`span`]) — RAII guards that charge wall time to a
+//!   `/`-joined hierarchical path (`explore/pairs`, `explore/chains`).
+//! - **Worker load** ([`record_worker_items`]) — items processed per
+//!   `parallel_map` worker, for spotting a load-imbalanced sweep.
+//! - **Snapshots** ([`snapshot`], [`MetricsSnapshot`]) — serialize the
+//!   registry to the workspace's hand-rolled [`Json`] as a
+//!   `METRICS_*.json` artifact (schema `datareuse-metrics-v1`).
+//! - **Progress** ([`Progress`]) — a periodic stderr narrator for
+//!   long-running CLI commands.
+//!
+//! The registry is **off by default** and every recording call starts with
+//! one `Relaxed` atomic load, so instrumentation left in hot loops costs a
+//! predictable branch when disabled — no allocation, no locking, no clock
+//! reads. Hot per-access simulators batch locally via [`LocalCounter`].
+//!
+//! The `counters` section of a snapshot counts *work*, not time, and the
+//! exploration's `parallel_map` is order-preserving, so counters are
+//! deterministic for a given workload regardless of thread count; the
+//! `spans`, `gauges`, and `load` sections carry the scheduling- and
+//! clock-dependent data.
+//!
+//! # Example
+//!
+//! ```
+//! use datareuse_obs::{add, set_metrics_enabled, reset_metrics, snapshot, span, Counter};
+//!
+//! reset_metrics();
+//! set_metrics_enabled(true);
+//! {
+//!     let _timer = span("explore");
+//!     add(Counter::ChainsEnumerated, 42);
+//! }
+//! set_metrics_enabled(false);
+//!
+//! let snap = snapshot();
+//! assert_eq!(snap.counter(Counter::ChainsEnumerated), 42);
+//! let json = snap.to_json().to_string();
+//! assert!(json.starts_with("{\"schema\":\"datareuse-metrics-v1\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod json;
+mod metrics;
+mod progress;
+mod span;
+
+pub use json::{Json, JsonParseError};
+pub use metrics::{
+    add, counter_value, gauge_max, metrics_enabled, record_worker_items, reset_metrics,
+    set_metrics_enabled, snapshot, Counter, Gauge, LocalCounter, MetricsSnapshot,
+};
+pub use progress::Progress;
+pub use span::{span, SpanGuard};

@@ -1,0 +1,464 @@
+//! Global metrics registry: named atomic counters, monotonic gauges, and
+//! per-worker load tracking.
+//!
+//! The registry is process-global and **off by default**. Every recording
+//! entry point first does one `Relaxed` load of the enabled flag and
+//! returns immediately when metrics are off — no allocation, no locks, no
+//! clock reads — so instrumented hot loops cost a single predictable
+//! branch when nobody is watching. Hot simulators batch their updates
+//! locally (see [`LocalCounter`]) so even the enabled path touches the
+//! shared atomics only once per [`LocalCounter::FLUSH_EVERY`] events.
+//!
+//! Counters are a closed enum rather than a string-keyed map: the set of
+//! interesting events in this workspace is small and known, and a fixed
+//! `[AtomicU64; N]` array keeps recording allocation-free and snapshots
+//! deterministic (fixed iteration order).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::span::span_rows;
+
+/// Every counter the pipeline records. The `name` strings are the keys in
+/// the `counters` object of [`snapshot`] output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)] // Variant names mirror their snapshot keys below.
+pub enum Counter {
+    ExploreGroups,
+    ExplorePairsSwept,
+    ExploreCandidatesGenerated,
+    ExploreCandidatesPruned,
+    ChainsEnumerated,
+    ChainsEvaluated,
+    ParetoPointsKept,
+    ParetoPointsDropped,
+    BeladyAccesses,
+    BeladyHits,
+    BeladyEvictions,
+    BeladyBypasses,
+    StackDistSamples,
+    WorkingSetWindows,
+    CurvePoints,
+    ParSweeps,
+    ParItems,
+}
+
+impl Counter {
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; 17] = [
+        Counter::ExploreGroups,
+        Counter::ExplorePairsSwept,
+        Counter::ExploreCandidatesGenerated,
+        Counter::ExploreCandidatesPruned,
+        Counter::ChainsEnumerated,
+        Counter::ChainsEvaluated,
+        Counter::ParetoPointsKept,
+        Counter::ParetoPointsDropped,
+        Counter::BeladyAccesses,
+        Counter::BeladyHits,
+        Counter::BeladyEvictions,
+        Counter::BeladyBypasses,
+        Counter::StackDistSamples,
+        Counter::WorkingSetWindows,
+        Counter::CurvePoints,
+        Counter::ParSweeps,
+        Counter::ParItems,
+    ];
+
+    /// The counter's stable snapshot key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::ExploreGroups => "explore_groups",
+            Counter::ExplorePairsSwept => "explore_pairs_swept",
+            Counter::ExploreCandidatesGenerated => "explore_candidates_generated",
+            Counter::ExploreCandidatesPruned => "explore_candidates_pruned",
+            Counter::ChainsEnumerated => "chains_enumerated",
+            Counter::ChainsEvaluated => "chains_evaluated",
+            Counter::ParetoPointsKept => "pareto_points_kept",
+            Counter::ParetoPointsDropped => "pareto_points_dropped",
+            Counter::BeladyAccesses => "belady_accesses",
+            Counter::BeladyHits => "belady_hits",
+            Counter::BeladyEvictions => "belady_evictions",
+            Counter::BeladyBypasses => "belady_bypasses",
+            Counter::StackDistSamples => "stackdist_samples",
+            Counter::WorkingSetWindows => "workingset_windows",
+            Counter::CurvePoints => "curve_points",
+            Counter::ParSweeps => "par_sweeps",
+            Counter::ParItems => "par_items",
+        }
+    }
+}
+
+/// Monotonic high-water-mark gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+#[allow(missing_docs)] // Variant names mirror their snapshot keys below.
+pub enum Gauge {
+    ThreadsMax,
+}
+
+impl Gauge {
+    /// All gauges, in snapshot order.
+    pub const ALL: [Gauge; 1] = [Gauge::ThreadsMax];
+
+    /// The gauge's stable snapshot key.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::ThreadsMax => "threads_max",
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+    [const { AtomicU64::new(0) }; Counter::ALL.len()];
+static GAUGES: [AtomicU64; Gauge::ALL.len()] = [const { AtomicU64::new(0) }; Gauge::ALL.len()];
+static WORKER_ITEMS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Turns metrics recording on or off for the whole process.
+///
+/// Off (the default) makes every recording call a single relaxed atomic
+/// load; on makes counters accumulate and spans record wall time.
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metrics recording is currently on.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to `counter`. No-op (one relaxed load) when metrics are off.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::{add, snapshot, set_metrics_enabled, reset_metrics, Counter};
+/// reset_metrics();
+/// add(Counter::ChainsEvaluated, 5); // off: ignored
+/// set_metrics_enabled(true);
+/// add(Counter::ChainsEvaluated, 5);
+/// set_metrics_enabled(false);
+/// assert_eq!(snapshot().counter(Counter::ChainsEvaluated), 5);
+/// ```
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if metrics_enabled() {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Raises `gauge` to at least `value` (monotonic max). No-op when off.
+#[inline]
+pub fn gauge_max(gauge: Gauge, value: u64) {
+    if metrics_enabled() {
+        GAUGES[gauge as usize].fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// Reads the live value of a counter (0 when never recorded).
+pub fn counter_value(counter: Counter) -> u64 {
+    COUNTERS[counter as usize].load(Ordering::Relaxed)
+}
+
+/// Records that one parallel worker processed `items` work items.
+///
+/// Feeds the `load` section of the snapshot, which is how a skewed
+/// `parallel_map` fan-out shows up (one worker with most of the items).
+/// The per-worker distribution depends on scheduling, so it is reported
+/// separately from the deterministic `counters`.
+pub fn record_worker_items(items: u64) {
+    if !metrics_enabled() {
+        return;
+    }
+    WORKER_ITEMS
+        .lock()
+        .expect("worker-load registry poisoned")
+        .push(items);
+}
+
+/// Clears all counters, gauges, spans, and worker-load records, and turns
+/// recording off. Intended for tests and for reusing a process across
+/// independent runs.
+pub fn reset_metrics() {
+    set_metrics_enabled(false);
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for g in &GAUGES {
+        g.store(0, Ordering::Relaxed);
+    }
+    WORKER_ITEMS
+        .lock()
+        .expect("worker-load registry poisoned")
+        .clear();
+    crate::span::reset_spans();
+}
+
+/// A point-in-time copy of the registry, convertible to JSON.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` for every gauge, in [`Gauge::ALL`] order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(path, calls, total_ns)` per span path, sorted by path.
+    pub spans: Vec<(String, u64, u64)>,
+    /// Items processed per parallel worker, in completion order.
+    pub worker_items: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one counter's value in the snapshot.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(name, _)| *name == counter.name())
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Serializes the snapshot as the `datareuse-metrics-v1` JSON object.
+    ///
+    /// The `counters` section is deterministic for a given workload (it
+    /// counts work, not time); `gauges`, `spans`, and `load` report
+    /// scheduling- and clock-dependent data and vary run to run.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("datareuse-metrics-v1")),
+            (
+                "counters",
+                Json::obj(
+                    self.counters
+                        .iter()
+                        .map(|&(name, v)| (name, Json::UInt(v))),
+                ),
+            ),
+            (
+                "gauges",
+                Json::obj(self.gauges.iter().map(|&(name, v)| (name, Json::UInt(v)))),
+            ),
+            (
+                "spans",
+                Json::arr(self.spans.iter().map(|(path, calls, ns)| {
+                    Json::obj([
+                        ("path", Json::str(path.clone())),
+                        ("calls", Json::UInt(*calls)),
+                        ("ns", Json::UInt(*ns)),
+                    ])
+                })),
+            ),
+            (
+                "load",
+                Json::obj([(
+                    "worker_items",
+                    Json::arr(self.worker_items.iter().map(|&n| Json::UInt(n))),
+                )]),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_json())
+    }
+}
+
+/// Copies the current registry state into a [`MetricsSnapshot`].
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), counter_value(c)))
+            .collect(),
+        gauges: Gauge::ALL
+            .iter()
+            .map(|&g| (g.name(), GAUGES[g as usize].load(Ordering::Relaxed)))
+            .collect(),
+        spans: span_rows(),
+        worker_items: WORKER_ITEMS
+            .lock()
+            .expect("worker-load registry poisoned")
+            .clone(),
+    }
+}
+
+/// A thread-local accumulator that batches counter updates from per-item
+/// hot loops, flushing to the shared atomic every
+/// [`LocalCounter::FLUSH_EVERY`] increments (and on drop).
+///
+/// Per-access simulators (Belady, working sets) record millions of events
+/// per run; hitting the shared cache line for each one would both cost
+/// time and defeat the disabled fast path's purpose. Batching keeps the
+/// shared counter fresh enough for live progress narration while making
+/// the per-event cost one local integer add.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::{Counter, LocalCounter, set_metrics_enabled, reset_metrics, snapshot};
+/// reset_metrics();
+/// set_metrics_enabled(true);
+/// {
+///     let mut hits = LocalCounter::new(Counter::BeladyHits);
+///     for _ in 0..100_000 { hits.incr(); }
+/// } // drop flushes the remainder
+/// set_metrics_enabled(false);
+/// assert_eq!(snapshot().counter(Counter::BeladyHits), 100_000);
+/// ```
+#[derive(Debug)]
+pub struct LocalCounter {
+    counter: Counter,
+    pending: u64,
+}
+
+impl LocalCounter {
+    /// How many locally-buffered increments trigger a flush to the
+    /// shared atomic.
+    pub const FLUSH_EVERY: u64 = 65_536;
+
+    /// Creates an accumulator feeding `counter`.
+    pub fn new(counter: Counter) -> Self {
+        Self {
+            counter,
+            pending: 0,
+        }
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.pending += 1;
+        if self.pending >= Self::FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Records `n` events at once.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.pending += n;
+        if self.pending >= Self::FLUSH_EVERY {
+            self.flush();
+        }
+    }
+
+    /// Pushes buffered events to the shared counter immediately.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            add(self.counter, self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for LocalCounter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Tests that enable the global registry serialize through this lock
+    /// so their counts don't interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        add(Counter::ParItems, 10);
+        gauge_max(Gauge::ThreadsMax, 8);
+        record_worker_items(42);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::ParItems), 0);
+        assert_eq!(snap.gauges[0].1, 0);
+        assert!(snap.worker_items.is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate_when_enabled() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        add(Counter::ParetoPointsKept, 3);
+        add(Counter::ParetoPointsKept, 4);
+        gauge_max(Gauge::ThreadsMax, 2);
+        gauge_max(Gauge::ThreadsMax, 8);
+        gauge_max(Gauge::ThreadsMax, 4);
+        record_worker_items(10);
+        record_worker_items(20);
+        set_metrics_enabled(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::ParetoPointsKept), 7);
+        assert_eq!(snap.gauges[0], ("threads_max", 8));
+        assert_eq!(snap.worker_items, vec![10, 20]);
+        reset_metrics();
+        assert_eq!(snapshot().counter(Counter::ParetoPointsKept), 0);
+    }
+
+    #[test]
+    fn local_counter_flushes_in_chunks_and_on_drop() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        let mut local = LocalCounter::new(Counter::BeladyAccesses);
+        for _ in 0..LocalCounter::FLUSH_EVERY {
+            local.incr();
+        }
+        // A full chunk flushed eagerly; live value is already visible.
+        assert_eq!(counter_value(Counter::BeladyAccesses), LocalCounter::FLUSH_EVERY);
+        local.add(3);
+        assert_eq!(counter_value(Counter::BeladyAccesses), LocalCounter::FLUSH_EVERY);
+        drop(local);
+        set_metrics_enabled(false);
+        assert_eq!(
+            snapshot().counter(Counter::BeladyAccesses),
+            LocalCounter::FLUSH_EVERY + 3
+        );
+        reset_metrics();
+    }
+
+    #[test]
+    fn snapshot_json_has_all_sections_and_parses() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        add(Counter::ChainsEnumerated, 12);
+        record_worker_items(5);
+        set_metrics_enabled(false);
+        let text = snapshot().to_json().to_string();
+        let parsed = Json::parse(&text).expect("snapshot JSON must parse");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("datareuse-metrics-v1")
+        );
+        let counters = parsed.get("counters").expect("counters section");
+        assert_eq!(counters.entries().unwrap().len(), Counter::ALL.len());
+        assert_eq!(
+            counters.get("chains_enumerated").and_then(Json::as_u64),
+            Some(12)
+        );
+        assert!(parsed.get("gauges").is_some());
+        assert!(parsed.get("spans").is_some());
+        let load = parsed.get("load").unwrap().get("worker_items").unwrap();
+        assert_eq!(load.at(0).and_then(Json::as_u64), Some(5));
+        reset_metrics();
+    }
+}

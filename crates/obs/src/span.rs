@@ -1,0 +1,151 @@
+//! Hierarchical timed spans.
+//!
+//! A [`SpanGuard`] times the region between its creation and drop and
+//! charges the elapsed nanoseconds to a `/`-joined path built from the
+//! stack of open spans on the current thread (`explore/pairs`,
+//! `explore/chains/pareto`, …). Aggregation is by path: each path gets a
+//! call count and a total duration, which [`crate::snapshot`] reports in
+//! the `spans` section.
+//!
+//! When metrics are disabled ([`crate::metrics_enabled`] is false) the
+//! guard is inert: no clock read, no thread-local push, no lock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated span data: path → (calls, total nanoseconds).
+static SPANS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`span`]; charges elapsed time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when metrics were disabled at creation — drop is a no-op.
+    started: Option<Instant>,
+}
+
+/// Opens a timed span named `name`, nested under any spans already open
+/// on this thread. Returns a guard that records on drop.
+///
+/// `name` is `&'static str` by design: span names are code locations, not
+/// data, and static names keep the disabled path allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::{span, snapshot, set_metrics_enabled, reset_metrics};
+/// reset_metrics();
+/// set_metrics_enabled(true);
+/// {
+///     let _outer = span("outer");
+///     let _inner = span("inner");
+/// }
+/// set_metrics_enabled(false);
+/// let spans = snapshot().spans;
+/// let paths: Vec<&str> = spans.iter().map(|(p, _, _)| p.as_str()).collect();
+/// assert_eq!(paths, ["outer", "outer/inner"]);
+/// assert!(spans.iter().all(|&(_, calls, _)| calls == 1));
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::metrics_enabled() {
+        return SpanGuard { started: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    SpanGuard {
+        started: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else { return };
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut spans = SPANS.lock().expect("span registry poisoned");
+        let entry = spans.entry(path).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += elapsed;
+    }
+}
+
+/// Copies the aggregated spans as `(path, calls, total_ns)` rows, sorted
+/// by path (the `BTreeMap` order).
+pub(crate) fn span_rows() -> Vec<(String, u64, u64)> {
+    SPANS
+        .lock()
+        .expect("span registry poisoned")
+        .iter()
+        .map(|(path, &(calls, ns))| (path.clone(), calls, ns))
+        .collect()
+}
+
+/// Clears all aggregated span data.
+pub(crate) fn reset_spans() {
+    SPANS.lock().expect("span registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_lock;
+    use crate::{reset_metrics, set_metrics_enabled, snapshot};
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        {
+            let _s = span("ghost");
+        }
+        assert!(snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_aggregate_by_path() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        for _ in 0..3 {
+            let _outer = span("explore");
+            {
+                let _inner = span("pairs");
+            }
+            {
+                let _inner = span("chains");
+            }
+        }
+        set_metrics_enabled(false);
+        let rows = snapshot().spans;
+        let by_path: std::collections::HashMap<&str, u64> = rows
+            .iter()
+            .map(|(path, calls, _)| (path.as_str(), *calls))
+            .collect();
+        assert_eq!(by_path["explore"], 3);
+        assert_eq!(by_path["explore/pairs"], 3);
+        assert_eq!(by_path["explore/chains"], 3);
+        reset_metrics();
+    }
+
+    #[test]
+    fn span_opened_while_disabled_stays_inert_if_enabled_later() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        let guard = span("late");
+        set_metrics_enabled(true);
+        drop(guard); // must not pop a stack entry it never pushed
+        set_metrics_enabled(false);
+        assert!(snapshot().spans.is_empty());
+        reset_metrics();
+    }
+}

@@ -9,6 +9,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+use datareuse_obs::{Counter, LocalCounter};
+
 use crate::result::SimResult;
 
 /// Index used for "never accessed again".
@@ -131,11 +133,20 @@ fn opt_simulate_impl(trace: &[u64], next: &[u64], capacity: u64, bypass: bool) -
     let mut hits = 0u64;
     let mut fills = 0u64;
     let mut bypasses = 0u64;
+    // Chunked flushes keep the shared `belady_accesses` counter fresh
+    // enough for live `--progress` narration without touching the shared
+    // cache line per access (and they cost nothing when metrics are off).
+    let mut obs_accesses = LocalCounter::new(Counter::BeladyAccesses);
+    let mut obs_hits = LocalCounter::new(Counter::BeladyHits);
+    let mut obs_evictions = LocalCounter::new(Counter::BeladyEvictions);
+    let mut obs_bypasses = LocalCounter::new(Counter::BeladyBypasses);
 
     for (i, &addr) in trace.iter().enumerate() {
+        obs_accesses.incr();
         let new_key = key_of(next[i], addr);
         if let Some(old_key) = resident.remove(&addr) {
             hits += 1;
+            obs_hits.incr();
             by_key.remove(&old_key);
             resident.insert(addr, new_key);
             by_key.insert(new_key, addr);
@@ -153,11 +164,13 @@ fn opt_simulate_impl(trace: &[u64], next: &[u64], capacity: u64, bypass: bool) -
             // The incoming element is the worst candidate: serve it
             // upstream and leave the buffer untouched.
             bypasses += 1;
+            obs_bypasses.incr();
             continue;
         }
         by_key.remove(&worst_key);
         resident.remove(&worst_addr);
         fills += 1;
+        obs_evictions.incr();
         resident.insert(addr, new_key);
         by_key.insert(new_key, addr);
     }

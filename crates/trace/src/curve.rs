@@ -72,6 +72,25 @@ impl ReuseCurve {
         policy: CurvePolicy,
     ) -> Self {
         let footprint = distinct_count(trace).max(1);
+        Self::simulate_with_footprint(trace, sizes, policy, footprint)
+    }
+
+    /// Simulates the curve over an exhaustive size range `1..=footprint`.
+    /// Intended for small traces (tests, examples); use
+    /// [`ReuseCurve::simulate`] with a hand-picked size set for large ones.
+    pub fn simulate_exhaustive(trace: &[u64], policy: CurvePolicy) -> Self {
+        // The footprint computed for the size range doubles as the clamp
+        // bound, so the O(n log n) distinct count runs once, not twice.
+        let footprint = distinct_count(trace);
+        Self::simulate_with_footprint(trace, 1..=footprint, policy, footprint.max(1))
+    }
+
+    fn simulate_with_footprint(
+        trace: &[u64],
+        sizes: impl IntoIterator<Item = u64>,
+        policy: CurvePolicy,
+        footprint: u64,
+    ) -> Self {
         let mut sizes: Vec<u64> = sizes
             .into_iter()
             .filter(|&s| s > 0)
@@ -79,20 +98,13 @@ impl ReuseCurve {
             .collect();
         sizes.sort_unstable();
         sizes.dedup();
+        datareuse_obs::add(datareuse_obs::Counter::CurvePoints, sizes.len() as u64);
         let results = match policy {
             CurvePolicy::Optimal => opt_simulate_many(trace, &sizes),
             CurvePolicy::OptimalBypass => opt_simulate_bypass_many(trace, &sizes),
         };
         let points = results.into_iter().map(CurvePoint::from).collect();
         Self { policy, points }
-    }
-
-    /// Simulates the curve over an exhaustive size range `1..=footprint`.
-    /// Intended for small traces (tests, examples); use
-    /// [`ReuseCurve::simulate`] with a hand-picked size set for large ones.
-    pub fn simulate_exhaustive(trace: &[u64], policy: CurvePolicy) -> Self {
-        let footprint = distinct_count(trace);
-        Self::simulate(trace, 1..=footprint, policy)
     }
 
     /// The policy the curve was simulated with.

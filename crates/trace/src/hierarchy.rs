@@ -53,10 +53,16 @@ pub fn opt_simulate_with_stream(trace: &[u64], capacity: u64) -> (SimResult, Vec
     let mut by_key: BTreeMap<u64, u64> = BTreeMap::new();
     let mut hits = 0u64;
     let mut stream = Vec::new();
+    let mut obs_accesses = datareuse_obs::LocalCounter::new(datareuse_obs::Counter::BeladyAccesses);
+    let mut obs_hits = datareuse_obs::LocalCounter::new(datareuse_obs::Counter::BeladyHits);
+    let mut obs_evictions =
+        datareuse_obs::LocalCounter::new(datareuse_obs::Counter::BeladyEvictions);
     for (i, &addr) in trace.iter().enumerate() {
+        obs_accesses.incr();
         let new_key = key_of(next[i], addr);
         if let Some(old_key) = resident.remove(&addr) {
             hits += 1;
+            obs_hits.incr();
             by_key.remove(&old_key);
         } else {
             if resident.len() as u64 >= capacity {
@@ -64,6 +70,7 @@ pub fn opt_simulate_with_stream(trace: &[u64], capacity: u64) -> (SimResult, Vec
                     by_key.iter().next_back().expect("non-empty buffer");
                 by_key.remove(&worst_key);
                 resident.remove(&worst_addr);
+                obs_evictions.incr();
             }
             stream.push(addr);
         }

@@ -77,7 +77,10 @@ impl StackDistances {
         let mut last_pos: HashMap<u64, usize> = HashMap::new();
         let mut histogram = vec![0u64; 2];
         let mut cold = 0u64;
+        let mut obs_samples =
+            datareuse_obs::LocalCounter::new(datareuse_obs::Counter::StackDistSamples);
         for (i, &addr) in trace.iter().enumerate() {
+            obs_samples.incr();
             match last_pos.get(&addr) {
                 None => cold += 1,
                 Some(&prev) => {

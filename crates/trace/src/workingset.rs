@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use datareuse_obs::{Counter, LocalCounter};
+
 /// Distinct-elements statistics over a sliding access window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkingSetProfile {
@@ -49,6 +51,7 @@ pub fn working_set_profile(trace: &[u64], window: u64) -> WorkingSetProfile {
     let mut min = u64::MAX;
     let mut sum = 0u128;
     let mut windows = 0u64;
+    let mut obs_windows = LocalCounter::new(Counter::WorkingSetWindows);
     for (i, &addr) in trace.iter().enumerate() {
         *counts.entry(addr).or_insert(0) += 1;
         if i + 1 >= w {
@@ -57,6 +60,7 @@ pub fn working_set_profile(trace: &[u64], window: u64) -> WorkingSetProfile {
             min = min.min(size);
             sum += size as u128;
             windows += 1;
+            obs_windows.incr();
             // Retire the oldest access of the window.
             let old = trace[i + 1 - w];
             if let Some(c) = counts.get_mut(&old) {

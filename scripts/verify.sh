@@ -13,4 +13,10 @@ export CARGO_NET_OFFLINE=1
 cargo build --release --workspace
 cargo test -q
 
+# Docs must stay warning-free (missing_docs is denied in core and obs) and
+# the doctests across every crate must run — the workspace flag includes
+# each member's unit, integration, and documentation tests.
+cargo test -q --workspace
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "tier-1 verification passed"

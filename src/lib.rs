@@ -18,6 +18,7 @@
 //! | [`codegen`] | `datareuse-codegen` | Fig. 8 templates, verifying schedule interpreter, gnuplot |
 //! | [`kernels`] | `datareuse-kernels` | motion estimation, SUSAN, conv2d, matmul, … |
 //! | [`steps`] | `datareuse-steps` | downstream DTSE steps: SCBD and in-place mapping |
+//! | [`obs`] | `datareuse-obs` | counters, timed spans, JSON metrics snapshots, progress |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 
 pub use datareuse_codegen as codegen;
 pub use datareuse_core as model;
+pub use datareuse_obs as obs;
 pub use datareuse_kernels as kernels;
 pub use datareuse_loopir as loopir;
 pub use datareuse_memmodel as memmodel;
