@@ -1,0 +1,141 @@
+//! Benches of the serving layer: cold request vs cache hit, and
+//! saturation throughput of the bounded worker pool.
+//!
+//! These run against an in-process [`datareuse_server::Server`] bound to
+//! an ephemeral loopback port, so the numbers include the full path a
+//! real client pays — socket write, NDJSON parse, cache probe or
+//! exploration, envelope write, socket read — without any inter-process
+//! noise.
+//!
+//! Run with `cargo bench --bench serve`; results land in
+//! `target/figures/BENCH_*.json`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use datareuse_bench::BenchGroup;
+use datareuse_server::{Server, ServerConfig};
+
+/// Starts a server and returns its address plus the running thread.
+fn start(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(&config).expect("binds");
+    let addr = server.local_addr().expect("bound").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    (addr, handle)
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Conn {
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        Conn {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        // One write per request: split writes re-introduce Nagle stalls.
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        response
+    }
+}
+
+fn shutdown(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut conn = Conn::open(addr);
+    conn.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("clean exit");
+}
+
+/// Cold request (cache disabled) vs cache hit for the same explore body:
+/// the gap is the entire analytical exploration the cache saves.
+fn bench_cold_vs_cached() {
+    let mut group = BenchGroup::new("serve_latency");
+    let request = r#"{"op":"explore","kernel":"me-small","array":"Old"}"#;
+
+    let (addr, handle) = start(ServerConfig {
+        cache_entries: 0, // every request recomputes
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut conn = Conn::open(&addr);
+    group.bench("explore_cold", || conn.roundtrip(request).len());
+    drop(conn);
+    shutdown(&addr, handle);
+
+    let (addr, handle) = start(ServerConfig {
+        cache_entries: 64,
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut conn = Conn::open(&addr);
+    conn.roundtrip(request); // warm the cache
+    group.bench("explore_cache_hit", || conn.roundtrip(request).len());
+    group.bench("ping", || conn.roundtrip(r#"{"op":"ping"}"#).len());
+    drop(conn);
+    shutdown(&addr, handle);
+    group.finish();
+}
+
+/// Saturation throughput: 4 connections issuing distinct (uncacheable by
+/// each other) requests as fast as the pool drains them.
+fn bench_saturation() {
+    let mut group = BenchGroup::new("serve_throughput");
+    let (addr, handle) = start(ServerConfig {
+        cache_entries: 1024,
+        queue_depth: 256,
+        default_deadline: Duration::from_secs(60),
+        ..ServerConfig::default()
+    });
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 8;
+    // Warm every distinct request once so the measured loop exercises the
+    // full concurrent cache-hit path (the steady state of a busy server).
+    let mut warm = Conn::open(&addr);
+    for k in 0..PER_CLIENT {
+        warm.roundtrip(&format!(
+            r#"{{"op":"explore","kernel":"me-small","array":"Old","depth":{}}}"#,
+            2 + k % 2
+        ));
+    }
+    drop(warm);
+    group.throughput((CLIENTS * PER_CLIENT) as u64);
+    group.bench("concurrent_cache_hits", || {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut conn = Conn::open(&addr);
+                    let mut bytes = 0usize;
+                    for k in 0..PER_CLIENT {
+                        bytes += conn
+                            .roundtrip(&format!(
+                                r#"{{"op":"explore","kernel":"me-small","array":"Old","depth":{}}}"#,
+                                2 + k % 2
+                            ))
+                            .len();
+                    }
+                    bytes
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("client")).sum::<usize>()
+    });
+    shutdown(&addr, handle);
+    group.finish();
+}
+
+fn main() {
+    bench_cold_vs_cached();
+    bench_saturation();
+}

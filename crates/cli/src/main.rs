@@ -10,6 +10,9 @@
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
 //! datareuse report  <kernel> [--json] [--metrics FILE] [--progress]   # all signals
+//! datareuse serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
+//!                   [--cache-entries N] [--deadline-ms MS] [--metrics FILE] [--progress]
+//! datareuse query   --addr HOST:PORT <request-json>...
 //! ```
 //!
 //! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
@@ -19,67 +22,65 @@
 //! writes a `datareuse-metrics-v1` JSON snapshot (span timings, event
 //! counters, worker-load distribution) to FILE; `--progress` narrates the
 //! live counters to stderr once per second while the command runs.
+//!
+//! Exit codes: 0 on success, 1 on a runtime failure (unreadable kernel
+//! file, exploration error, server error response), 2 on a usage error
+//! (unknown subcommand, missing or malformed flags) — usage errors also
+//! print the usage summary to stderr.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
-use datareuse_codegen::{
-    emit_band_copy, emit_program, emit_selfcheck, emit_selfcheck_adopt, emit_selfcheck_band,
-    emit_transformed, emit_transformed_adopt, gnuplot_script, Series, Strategy, TemplateOptions,
-};
+use datareuse_codegen::{emit_program, gnuplot_script, Series};
 use datareuse_core::{
     explore_orders, explore_program, explore_signal, ExplorationReport, ExploreOptions,
 };
-use datareuse_kernels::{Conv2d, Downsample, Fir, MatMul, MotionEstimation, Sobel, Susan};
-use datareuse_loopir::{parse_program, read_addresses, AccessKind, Program};
+use datareuse_kernels::{load_kernel, BUILTINS};
+use datareuse_loopir::{read_addresses, Program};
 use datareuse_memmodel::{BitCount, MemoryTechnology};
+use datareuse_obs::Json;
+use datareuse_server::ops::{codegen_text, default_array};
+use datareuse_server::protocol::{parse_strategy, CodegenSpec};
+use datareuse_server::{Client, Server, ServerConfig};
 use datareuse_trace::{CurvePolicy, ReuseCurve, TraceStats};
 
-const BUILTINS: &[(&str, &str)] = &[
-    ("me", "full-search motion estimation, QCIF, n=m=8 (paper Fig. 3)"),
-    ("me-small", "motion estimation, 32x32 frame, n=m=4"),
-    ("susan", "SUSAN 37-pixel circular mask, QCIF (paper Sec. 6.4)"),
-    ("susan-small", "SUSAN on a 24x32 image"),
-    ("susan-unfolded", "SUSAN pre-processed to a series of loops"),
-    ("conv2d", "3x3 convolution over a 64x64 image"),
-    ("matmul", "32x32x32 matrix multiply"),
-    ("sobel", "Sobel operator over a 64x64 image"),
-    ("downsample", "4:1 box downsampler over a 64x64 image"),
-    ("fir", "64-tap FIR filter over 1024 samples"),
-];
+const USAGE: &str = "usage: datareuse <command> [args]
+  kernels                       list built-in kernels
+  emit    <kernel>              print the kernel as C
+  explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
+                   [--workingset] [--gnuplot FILE] [--metrics FILE] [--progress]
+  report  <kernel> [--json] [--metrics FILE] [--progress]
+  orders  <kernel> [--array NAME] [--limit N]
+  curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
+  codegen <kernel> [--array NAME] [--pair O,I] [--strategy max|partial:G|bypass:G]
+                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
+  serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
+          [--cache-entries N] [--deadline-ms MS] [--metrics FILE] [--progress]
+  query   --addr HOST:PORT <request-json>...
+<kernel> is a built-in name (`datareuse kernels`) or a path to a .dr file.";
 
-fn load_kernel(name: &str) -> Result<Program, String> {
-    match name {
-        "me" => Ok(MotionEstimation::QCIF.program()),
-        "me-small" => Ok(MotionEstimation::SMALL.program()),
-        "susan" => Ok(Susan::QCIF.program()),
-        "susan-small" => Ok(Susan::SMALL.program()),
-        "susan-unfolded" => Ok(Susan::QCIF.unfolded_program()),
-        "conv2d" => Ok(Conv2d {
-            height: 64,
-            width: 64,
-            tap_rows: 3,
-            tap_cols: 3,
-        }
-        .program()),
-        "matmul" => Ok(MatMul::square(32).program()),
-        "sobel" => Ok(Sobel {
-            height: 64,
-            width: 64,
-        }
-        .program()),
-        "downsample" => Ok(Downsample {
-            height: 64,
-            width: 64,
-            factor: 4,
-        }
-        .program()),
-        "fir" => Ok(Fir::AUDIO.program()),
-        path => {
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            parse_program(&src).map_err(|e| format!("{path}:{e}"))
-        }
+/// A CLI failure, split by whose fault it is: `Usage` is a malformed
+/// invocation (exit 2, prints the usage summary), `Runtime` is a
+/// failure of valid work (exit 1).
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
     }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Runtime(msg.to_string())
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
 }
 
 struct Args {
@@ -119,22 +120,12 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
-}
 
-fn default_array(program: &Program) -> Option<String> {
-    // The most-read array is the interesting signal by default.
-    let mut best: Option<(String, u64)> = None;
-    for decl in program.arrays() {
-        let reads = datareuse_loopir::trace_len(
-            program,
-            decl.name(),
-            datareuse_loopir::TraceFilter::READS,
-        );
-        if reads > 0 && best.as_ref().is_none_or(|(_, r)| reads > *r) {
-            best = Some((decl.name().to_string(), reads));
-        }
+    fn kernel(&self) -> Result<&String, CliError> {
+        self.positional
+            .first()
+            .ok_or_else(|| usage("missing kernel"))
     }
-    best.map(|(n, _)| n)
 }
 
 fn pick_array(args: &Args, program: &Program) -> Result<String, String> {
@@ -151,8 +142,8 @@ fn cmd_kernels() {
     }
 }
 
-fn cmd_emit(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_emit(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     print!("{}", emit_program(&program));
     Ok(())
 }
@@ -180,12 +171,12 @@ fn write_metrics(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explore(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_explore(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
     let mut opts = ExploreOptions::default();
     if let Some(d) = args.flag("depth") {
-        opts.max_chain_depth = d.parse().map_err(|_| "bad --depth")?;
+        opts.max_chain_depth = d.parse().map_err(|_| usage("bad --depth"))?;
     }
     let (metrics_path, progress) = start_observability(args);
     let ex = explore_signal(&program, &array, &opts).map_err(|e| e.to_string())?;
@@ -256,8 +247,8 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_report(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
     let (metrics_path, progress) = start_observability(args);
@@ -284,12 +275,12 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_orders(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_orders(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
     let limit: usize = args
         .flag("limit")
-        .map(|v| v.parse().map_err(|_| "bad --limit"))
+        .map(|v| v.parse().map_err(|_| usage("bad --limit")))
         .transpose()?
         .unwrap_or(24);
     let tech = MemoryTechnology::new();
@@ -314,19 +305,19 @@ fn cmd_orders(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_curve(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_curve(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
     let sizes: Vec<u64> = args
         .flag("sizes")
-        .ok_or("missing --sizes")?
+        .ok_or_else(|| usage("missing --sizes"))?
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad size `{s}`")))
+        .map(|s| s.trim().parse().map_err(|_| usage(format!("bad size `{s}`"))))
         .collect::<Result<_, _>>()?;
     let policy = match args.flag("policy") {
         None | Some("opt") => CurvePolicy::Optimal,
         Some("opt-bypass") => CurvePolicy::OptimalBypass,
-        Some(other) => return Err(format!("unknown policy `{other}`")),
+        Some(other) => return Err(usage(format!("unknown policy `{other}`"))),
     };
     let trace = read_addresses(&program, &array);
     let curve = ReuseCurve::simulate(&trace, sizes, policy);
@@ -334,82 +325,102 @@ fn cmd_curve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_codegen(args: &Args) -> Result<(), String> {
-    let program = load_kernel(args.positional.first().ok_or("missing kernel")?)?;
+fn cmd_codegen(args: &Args) -> Result<(), CliError> {
+    let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
-    let (nest_idx, access_idx) = program
-        .nests()
-        .iter()
-        .enumerate()
-        .find_map(|(ni, nest)| {
-            nest.accesses()
-                .iter()
-                .position(|a| a.array() == array && a.kind() == AccessKind::Read)
-                .map(|ai| (ni, ai))
-        })
-        .ok_or_else(|| format!("no read access to `{array}`"))?;
-    let depth = program.nests()[nest_idx].depth();
-    let (outer, inner) = match args.flag("pair") {
+    let pair = match args.flag("pair") {
         Some(p) => {
             let parts: Vec<&str> = p.split(',').collect();
             if parts.len() != 2 {
-                return Err("--pair expects O,I".into());
+                return Err(usage("--pair expects O,I"));
             }
-            (
-                parts[0].trim().parse().map_err(|_| "bad --pair")?,
-                parts[1].trim().parse().map_err(|_| "bad --pair")?,
-            )
+            Some((
+                parts[0].trim().parse().map_err(|_| usage("bad --pair"))?,
+                parts[1].trim().parse().map_err(|_| usage("bad --pair"))?,
+            ))
         }
-        None => (depth.saturating_sub(2), depth.saturating_sub(1)),
+        None => None,
     };
-    let strategy = match args.flag("strategy") {
-        None | Some("max") => Strategy::MaxReuse,
-        Some(s) => {
-            if let Some(g) = s.strip_prefix("partial:") {
-                Strategy::Partial {
-                    gamma: g.parse().map_err(|_| "bad gamma")?,
-                }
-            } else if let Some(g) = s.strip_prefix("bypass:") {
-                Strategy::PartialBypass {
-                    gamma: g.parse().map_err(|_| "bad gamma")?,
-                }
-            } else {
-                return Err(format!("unknown strategy `{s}`"));
-            }
-        }
-    };
-    let opts = TemplateOptions {
-        strategy,
+    let spec = CodegenSpec {
+        pair,
+        strategy: parse_strategy(args.flag("strategy")).map_err(usage)?,
+        selfcheck: args.has("selfcheck"),
+        adopt: args.has("adopt"),
         single_assignment: args.has("single-assignment"),
+        band: args
+            .flag("band")
+            .map(|d| d.parse().map_err(|_| usage("bad --band depth")))
+            .transpose()?,
     };
-    if let Some(depth) = args.flag("band") {
-        let depth: usize = depth.parse().map_err(|_| "bad --band depth")?;
-        let code = if args.has("selfcheck") {
-            emit_selfcheck_band(&program, nest_idx, access_idx, depth)
-        } else {
-            emit_band_copy(&program, nest_idx, access_idx, depth)
-        }
-        .map_err(|e| e.to_string())?;
-        print!("{code}");
-        return Ok(());
-    }
-    let code = match (args.has("selfcheck"), args.has("adopt")) {
-        (true, false) => emit_selfcheck(&program, nest_idx, access_idx, outer, inner, opts),
-        (true, true) => emit_selfcheck_adopt(&program, nest_idx, access_idx, outer, inner, opts),
-        (false, true) => emit_transformed_adopt(&program, nest_idx, access_idx, outer, inner, opts),
-        (false, false) => emit_transformed(&program, nest_idx, access_idx, outer, inner, opts),
-    }
-    .map_err(|e| e.to_string())?;
+    // The server's codegen op runs through the same function, so
+    // serve-mode output is byte-identical to this subcommand's.
+    let code = codegen_text(&program, &array, &spec)?;
     print!("{code}");
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut config = ServerConfig {
+        addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(t) = args.flag("threads") {
+        let n: usize = t.parse().map_err(|_| usage("bad --threads"))?;
+        // 0 or absurd requests are clamped with a warning, like
+        // DATAREUSE_THREADS everywhere else in the workspace.
+        config.threads = datareuse_core::sanitize_threads(n, "--threads").unwrap_or(0);
+    }
+    if let Some(q) = args.flag("queue-depth") {
+        config.queue_depth = q.parse().map_err(|_| usage("bad --queue-depth"))?;
+    }
+    if let Some(c) = args.flag("cache-entries") {
+        config.cache_entries = c.parse().map_err(|_| usage("bad --cache-entries"))?;
+    }
+    if let Some(d) = args.flag("deadline-ms") {
+        let ms: u64 = d.parse().map_err(|_| usage("bad --deadline-ms"))?;
+        config.default_deadline = std::time::Duration::from_millis(ms);
+    }
+    let (metrics_path, progress) = start_observability(args);
+    let server = Server::bind(&config)?;
+    let addr = server.local_addr()?;
+    // Single discovery line; port 0 callers parse the chosen port here.
+    println!("datareuse-serve: listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run()?;
+    drop(progress);
+    if let Some(path) = &metrics_path {
+        write_metrics(path)?;
+    }
+    eprintln!("datareuse-serve: drained, exiting");
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), CliError> {
+    let addr = args.flag("addr").ok_or_else(|| usage("missing --addr"))?;
+    if args.positional.is_empty() {
+        return Err(usage("missing request JSON (one per positional argument)"));
+    }
+    let mut client = Client::connect(addr)?;
+    let mut failed = false;
+    for line in &args.positional {
+        let response = client.send_raw(line)?;
+        println!("{response}");
+        if let Ok(doc) = Json::parse(&response) {
+            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return Err("server reported an error (see response above)".into());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        return Err(
-            "usage: datareuse <kernels|emit|explore|report|orders|curve|codegen> ...".into(),
-        );
+        return Err(usage("missing command"));
     };
     let args = Args::parse(&argv[1..]);
     match cmd.as_str() {
@@ -423,16 +434,23 @@ fn run() -> Result<(), String> {
         "report" => cmd_report(&args),
         "curve" => cmd_curve(&args),
         "codegen" => cmd_codegen(&args),
-        other => Err(format!("unknown command `{other}`")),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
+        other => Err(usage(format!("unknown command `{other}`"))),
     }
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Runtime(msg)) => {
             eprintln!("datareuse: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("datareuse: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
@@ -483,5 +501,12 @@ mod tests {
     fn unknown_kernel_reports_path_error() {
         let e = load_kernel("/no/such/file.dr").unwrap_err();
         assert!(e.contains("cannot read"));
+    }
+
+    #[test]
+    fn usage_and_runtime_errors_are_distinct() {
+        assert!(matches!(usage("x"), CliError::Usage(_)));
+        let runtime: CliError = "y".into();
+        assert!(matches!(runtime, CliError::Runtime(_)));
     }
 }

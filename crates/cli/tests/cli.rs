@@ -248,3 +248,33 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("--sizes"));
 }
+
+/// Runs the binary and returns (exit code, stderr).
+fn exit_code_of(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn usage_errors_exit_2_with_the_usage_summary() {
+    // Unknown subcommand: usage error.
+    let (code, stderr) = exit_code_of(&["explode"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    assert!(stderr.contains("usage: datareuse"), "{stderr}");
+    // Missing required flag: usage error.
+    let (code, stderr) = exit_code_of(&["curve", "me-small"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("--sizes"), "{stderr}");
+    assert!(stderr.contains("usage: datareuse"), "{stderr}");
+    // No command at all: usage error.
+    let (code, stderr) = exit_code_of(&[]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    // A *runtime* failure keeps exit code 1 and does not dump usage.
+    let (code, stderr) = exit_code_of(&["explore", "/nonexistent.dr"]);
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(!stderr.contains("usage: datareuse"), "{stderr}");
+}

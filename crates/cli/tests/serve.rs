@@ -1,0 +1,199 @@
+//! Black-box tests of `datareuse serve` / `datareuse query`.
+//!
+//! Every test spawns the real binary with `--addr 127.0.0.1:0`, reads
+//! the `listening on` discovery line for the ephemeral port, talks to
+//! the daemon over real sockets, and shuts it down gracefully.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use datareuse_core::Json;
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("discovery line");
+        let addr = line
+            .trim()
+            .strip_prefix("datareuse-serve: listening on ")
+            .unwrap_or_else(|| panic!("unexpected discovery line: {line}"))
+            .to_string();
+        ServerProc { child, addr }
+    }
+
+    /// Sends `shutdown` and asserts the daemon drains and exits 0
+    /// within a timeout.
+    fn shutdown(mut self) {
+        let responses = exchange(&self.addr, &[r#"{"op":"shutdown"}"#]);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match self.child.try_wait().expect("wait works") {
+                Some(status) => {
+                    assert_eq!(status.code(), Some(0), "graceful shutdown exits 0");
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = self.child.kill();
+                    panic!("server did not exit within the drain timeout");
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+/// Opens one connection, sends each line, returns the parsed responses.
+fn exchange(addr: &str, lines: &[&str]) -> Vec<Json> {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut out = Vec::new();
+    for line in lines {
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        out.push(Json::parse(&response).expect("response parses"));
+    }
+    out
+}
+
+fn one_shot_stdout(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "one-shot run succeeds");
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn concurrent_clients_get_results_byte_identical_to_the_one_shot_cli() {
+    let expected = one_shot_stdout(&["explore", "fir", "--json"]);
+    let expected = expected.trim();
+    let server = ServerProc::spawn(&["--threads", "2"]);
+    let addr = server.addr.clone();
+    let handles: Vec<_> = (0..4)
+        .map(|k| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let request = format!(r#"{{"op":"explore","kernel":"fir","id":{k}}}"#);
+                let responses = exchange(&addr, &[&request]);
+                let doc = &responses[0];
+                assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+                assert_eq!(doc.get("id").and_then(Json::as_u64), Some(k));
+                doc.get("result").expect("result present").to_string()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let result = handle.join().expect("client thread");
+        assert_eq!(result, expected, "server result differs from CLI output");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_queries_hit_the_cache_and_the_counters_prove_it() {
+    let metrics = std::env::temp_dir().join(format!(
+        "datareuse_serve_metrics_{}.json",
+        std::process::id()
+    ));
+    let server = ServerProc::spawn(&[
+        "--cache-entries",
+        "64",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    // Two identical requests from two *separate* `datareuse query`
+    // invocations: the cache is shared server-side, not per-connection.
+    let request = r#"{"op":"explore","kernel":"me-small","array":"Old"}"#;
+    let mut responses = Vec::new();
+    for _ in 0..2 {
+        let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+            .args(["query", "--addr", &server.addr, request])
+            .output()
+            .expect("query runs");
+        assert!(out.status.success(), "query exits 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        responses.push(Json::parse(stdout.trim()).expect("response parses"));
+    }
+    assert_eq!(responses[0].get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        responses[1].get("cached").and_then(Json::as_bool),
+        Some(true),
+        "second identical request must be served from cache"
+    );
+    assert_eq!(
+        responses[0].get("result").map(Json::to_string),
+        responses[1].get("result").map(Json::to_string),
+        "cache hit returns the same bytes"
+    );
+    // The live stats op exposes the same counters the snapshot will.
+    let stats = exchange(&server.addr, &[r#"{"op":"stats"}"#]);
+    let counters = stats[0]
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .expect("counters in stats");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert!(counter("serve_requests") >= 3, "{counters}");
+    assert!(counter("serve_cache_hits") >= 1, "{counters}");
+    assert!(counter("serve_cache_misses") >= 1, "{counters}");
+    server.shutdown();
+    // After a graceful exit the `--metrics` snapshot records the traffic.
+    let text = std::fs::read_to_string(&metrics).expect("metrics written on shutdown");
+    let _ = std::fs::remove_file(&metrics);
+    let doc = Json::parse(&text).unwrap();
+    let counters = doc.get("counters").expect("counters section");
+    assert!(
+        counters.get("serve_cache_hits").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "snapshot records the cache hit: {counters}"
+    );
+}
+
+#[test]
+fn an_expired_deadline_returns_a_structured_timeout() {
+    let server = ServerProc::spawn(&["--threads", "1"]);
+    let responses = exchange(
+        &server.addr,
+        &[r#"{"op":"report","kernel":"susan","deadline_ms":0,"id":"slow"}"#],
+    );
+    let doc = &responses[0];
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("timeout")
+    );
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some("slow"));
+    server.shutdown();
+}
+
+#[test]
+fn query_propagates_server_errors_as_a_nonzero_exit() {
+    let server = ServerProc::spawn(&[]);
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(["query", "--addr", &server.addr, r#"{"op":"frobnicate"}"#])
+        .output()
+        .expect("query runs");
+    assert_eq!(out.status.code(), Some(1), "error response exits 1");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("bad_request"), "stdout: {stdout}");
+    server.shutdown();
+}

@@ -60,7 +60,7 @@ pub use footprint::footprint_levels_merged;
 pub use levels::{dedupe_candidates, enumerate_chains, CandidatePoint, CandidateSource};
 pub use orders::{explore_orders, OrderChoice};
 pub use pairwise::{max_reuse, PairGeometry, PointKind, ReusePoint};
-pub use par::{parallel_map, resolve_threads};
+pub use par::{max_reasonable_threads, parallel_map, resolve_threads, sanitize_threads};
 pub use partial::{partial_reuse, partial_sweep};
 pub use report::{describe_source, ExplorationReport, HierarchyRow, Json, JsonParseError};
 pub use vectors::{gcd, reuse_chain_length, ReuseClass};

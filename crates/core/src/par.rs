@@ -16,8 +16,15 @@ use datareuse_obs::{add, gauge_max, metrics_enabled, record_worker_items, Counte
 ///
 /// Precedence: an explicit `requested` count, then the
 /// `DATAREUSE_THREADS` environment variable, then the machine's
-/// available parallelism. Zero or unparsable values fall through; the
-/// result is always at least 1, and 1 selects the thread-free path.
+/// available parallelism. The result is always at least 1, and 1 selects
+/// the thread-free path.
+///
+/// Out-of-range values are sanitized rather than silently obeyed or
+/// silently dropped (see [`sanitize_threads`]): `0` falls back to auto
+/// with a warning, and anything above [`max_reasonable_threads`] (4× the
+/// machine's parallelism) is clamped to that cap with a warning —
+/// oversubscribing a CPU-bound sweep hundreds-fold only adds scheduler
+/// churn.
 ///
 /// The environment variable is read once per process: the exploration
 /// resolves a thread count for every sweep (thousands per exhaustive
@@ -26,16 +33,51 @@ use datareuse_obs::{add, gauge_max, metrics_enabled, record_worker_items, Counte
 pub fn resolve_threads(requested: Option<usize>) -> usize {
     static ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
     requested
-        .filter(|&n| n > 0)
+        .and_then(|n| sanitize_threads(n, "ExploreOptions::threads"))
         .or_else(|| {
             *ENV.get_or_init(|| {
                 std::env::var("DATAREUSE_THREADS")
                     .ok()
                     .and_then(|v| v.trim().parse().ok())
-                    .filter(|&n| n > 0)
+                    .and_then(|n| sanitize_threads(n, "DATAREUSE_THREADS"))
             })
         })
         .unwrap_or_else(auto_threads)
+}
+
+/// The largest worker count a request is allowed to pin: 4× the
+/// machine's available parallelism. The sweeps are CPU-bound, so counts
+/// beyond this only add contention; the small headroom keeps deliberate
+/// mild oversubscription (I/O-adjacent callers, tests) usable.
+pub fn max_reasonable_threads() -> usize {
+    4 * auto_threads()
+}
+
+/// Validates a requested worker count: `0` is rejected (auto-detection
+/// takes over) and values above [`max_reasonable_threads`] are clamped
+/// to it. Either correction prints a one-line warning to stderr, once
+/// per process per source, so a typo'd `DATAREUSE_THREADS=0` or
+/// `--threads 10000` does not silently misconfigure a long run.
+pub fn sanitize_threads(requested: usize, source: &str) -> Option<usize> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED_ZERO: AtomicBool = AtomicBool::new(false);
+    static WARNED_CLAMP: AtomicBool = AtomicBool::new(false);
+    if requested == 0 {
+        if !WARNED_ZERO.swap(true, Ordering::Relaxed) {
+            eprintln!("datareuse: warning: {source}=0 is not a usable thread count; using auto-detection");
+        }
+        return None;
+    }
+    let cap = max_reasonable_threads();
+    if requested > cap {
+        if !WARNED_CLAMP.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "datareuse: warning: {source}={requested} exceeds 4x available parallelism; clamping to {cap}"
+            );
+        }
+        return Some(cap);
+    }
+    Some(requested)
 }
 
 /// `available_parallelism()` cached for the process lifetime: the call
@@ -132,5 +174,25 @@ mod tests {
         // Zero is not a usable count; falls through to auto (>= 1).
         assert!(resolve_threads(Some(0)) >= 1);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn sanitize_threads_rejects_zero_and_clamps_absurd_requests() {
+        let cap = max_reasonable_threads();
+        assert!(cap >= 4, "cap is at least 4x one core");
+        // Zero: rejected so auto-detection takes over.
+        assert_eq!(sanitize_threads(0, "test"), None);
+        // In-range values pass through untouched.
+        assert_eq!(sanitize_threads(1, "test"), Some(1));
+        assert_eq!(sanitize_threads(cap, "test"), Some(cap));
+        // Absurd values clamp to the cap instead of oversubscribing.
+        assert_eq!(sanitize_threads(cap + 1, "test"), Some(cap));
+        assert_eq!(sanitize_threads(usize::MAX, "test"), Some(cap));
+    }
+
+    #[test]
+    fn resolve_threads_clamps_through_the_explicit_path() {
+        let cap = max_reasonable_threads();
+        assert_eq!(resolve_threads(Some(usize::MAX)), cap);
     }
 }

@@ -31,10 +31,12 @@ mod fir;
 mod matmul;
 mod mc;
 mod me;
+mod registry;
 mod stencils;
 mod susan;
 
 pub use fir::Fir;
+pub use registry::{builtin_kernel, load_kernel, BUILTINS};
 pub use matmul::{MatMul, MatMulOrder};
 pub use mc::MotionCompensation;
 pub use me::MotionEstimation;

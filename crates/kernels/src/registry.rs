@@ -1,0 +1,109 @@
+//! Named kernel registry: one place that maps a kernel name (or a `.dr`
+//! file path) to a [`Program`].
+//!
+//! Both entry points of the workspace — the one-shot `datareuse` CLI and
+//! the long-running `datareuse serve` daemon — resolve workloads through
+//! this registry, so a request for `"me-small"` means the same program
+//! everywhere and the server's responses stay byte-identical to the
+//! equivalent CLI invocation.
+
+use datareuse_loopir::{parse_program, Program};
+
+use crate::{Conv2d, Downsample, Fir, MatMul, MotionEstimation, Sobel, Susan};
+
+/// The built-in kernels, as `(name, description)` pairs in display order.
+pub const BUILTINS: &[(&str, &str)] = &[
+    ("me", "full-search motion estimation, QCIF, n=m=8 (paper Fig. 3)"),
+    ("me-small", "motion estimation, 32x32 frame, n=m=4"),
+    ("susan", "SUSAN 37-pixel circular mask, QCIF (paper Sec. 6.4)"),
+    ("susan-small", "SUSAN on a 24x32 image"),
+    ("susan-unfolded", "SUSAN pre-processed to a series of loops"),
+    ("conv2d", "3x3 convolution over a 64x64 image"),
+    ("matmul", "32x32x32 matrix multiply"),
+    ("sobel", "Sobel operator over a 64x64 image"),
+    ("downsample", "4:1 box downsampler over a 64x64 image"),
+    ("fir", "64-tap FIR filter over 1024 samples"),
+];
+
+/// Resolves a built-in kernel name to its program, without touching the
+/// filesystem. `None` when the name is not a built-in.
+pub fn builtin_kernel(name: &str) -> Option<Program> {
+    match name {
+        "me" => Some(MotionEstimation::QCIF.program()),
+        "me-small" => Some(MotionEstimation::SMALL.program()),
+        "susan" => Some(Susan::QCIF.program()),
+        "susan-small" => Some(Susan::SMALL.program()),
+        "susan-unfolded" => Some(Susan::QCIF.unfolded_program()),
+        "conv2d" => Some(
+            Conv2d {
+                height: 64,
+                width: 64,
+                tap_rows: 3,
+                tap_cols: 3,
+            }
+            .program(),
+        ),
+        "matmul" => Some(MatMul::square(32).program()),
+        "sobel" => Some(
+            Sobel {
+                height: 64,
+                width: 64,
+            }
+            .program(),
+        ),
+        "downsample" => Some(
+            Downsample {
+                height: 64,
+                width: 64,
+                factor: 4,
+            }
+            .program(),
+        ),
+        "fir" => Some(Fir::AUDIO.program()),
+        _ => None,
+    }
+}
+
+/// Loads a kernel by built-in name, falling back to reading `name` as a
+/// path to a `.dr` DSL file.
+///
+/// # Errors
+///
+/// A human-readable message when the file cannot be read or fails to
+/// parse (prefixed with the path, as the CLI has always reported it).
+///
+/// # Examples
+///
+/// ```
+/// let p = datareuse_kernels::load_kernel("me-small").unwrap();
+/// assert!(!p.nests().is_empty());
+/// assert!(datareuse_kernels::load_kernel("/no/such/file.dr").is_err());
+/// ```
+pub fn load_kernel(name: &str) -> Result<Program, String> {
+    if let Some(program) = builtin_kernel(name) {
+        return Ok(program);
+    }
+    let src =
+        std::fs::read_to_string(name).map_err(|e| format!("cannot read `{name}`: {e}"))?;
+    parse_program(&src).map_err(|e| format!("{name}:{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_builtin_resolves() {
+        for (name, _) in BUILTINS {
+            let p = builtin_kernel(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(!p.nests().is_empty(), "{name} has nests");
+        }
+    }
+
+    #[test]
+    fn unknown_names_fall_through_to_the_filesystem() {
+        assert!(builtin_kernel("not-a-kernel").is_none());
+        let e = load_kernel("/no/such/file.dr").unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+    }
+}

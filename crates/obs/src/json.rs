@@ -142,6 +142,15 @@ impl Json {
         }
     }
 
+    /// Maximum container nesting depth accepted by [`Json::parse`].
+    ///
+    /// The parser is recursive, and once the server feeds it bytes from
+    /// the network a document like `[[[[…` becomes an attacker-controlled
+    /// stack depth. 128 is far deeper than any artifact this workspace
+    /// emits while keeping the worst-case stack usage small and
+    /// platform-independent.
+    pub const MAX_DEPTH: usize = 128;
+
     /// Parses a JSON document (the reader matching the `Display` writer).
     ///
     /// Integers without fraction/exponent parse as [`Json::UInt`] /
@@ -166,6 +175,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -197,6 +207,9 @@ impl std::error::Error for JsonParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Currently open containers (objects + arrays); bounded by
+    /// [`Json::MAX_DEPTH`] so hostile input cannot overflow the stack.
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -235,6 +248,14 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        if self.depth >= Json::MAX_DEPTH {
+            return Err(self.err("nesting deeper than Json::MAX_DEPTH"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonParseError> {
         match self.peek() {
             Some(b'{') => self.object(),
@@ -250,10 +271,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(entries));
         }
         loop {
@@ -268,6 +291,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(entries));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -277,10 +301,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -291,6 +317,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -538,6 +565,30 @@ mod tests {
             let e = Json::parse(bad).unwrap_err();
             assert!(!e.to_string().is_empty(), "no error for {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_enforces_the_depth_limit() {
+        // MAX_DEPTH containers parse; one more is an error, not a stack
+        // overflow — this is the server's first line of defense against
+        // hostile request bodies.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(Json::MAX_DEPTH),
+            "]".repeat(Json::MAX_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(Json::MAX_DEPTH + 1),
+            "]".repeat(Json::MAX_DEPTH + 1)
+        );
+        let e = Json::parse(&too_deep).unwrap_err();
+        assert!(e.message.contains("MAX_DEPTH"), "{e}");
+        // Mixed objects/arrays count against the same budget, and a huge
+        // hostile prefix must not crash even without closers.
+        let hostile = "[{\"k\":".repeat(100_000);
+        assert!(Json::parse(&hostile).is_err());
     }
 
     #[test]

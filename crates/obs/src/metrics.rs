@@ -43,11 +43,18 @@ pub enum Counter {
     CurvePoints,
     ParSweeps,
     ParItems,
+    ServeRequests,
+    ServeCacheHits,
+    ServeCacheMisses,
+    ServeCacheEvictions,
+    ServeOverloaded,
+    ServeTimeouts,
+    ServeErrors,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 24] = [
         Counter::ExploreGroups,
         Counter::ExplorePairsSwept,
         Counter::ExploreCandidatesGenerated,
@@ -65,6 +72,13 @@ impl Counter {
         Counter::CurvePoints,
         Counter::ParSweeps,
         Counter::ParItems,
+        Counter::ServeRequests,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
+        Counter::ServeCacheEvictions,
+        Counter::ServeOverloaded,
+        Counter::ServeTimeouts,
+        Counter::ServeErrors,
     ];
 
     /// The counter's stable snapshot key.
@@ -87,6 +101,13 @@ impl Counter {
             Counter::CurvePoints => "curve_points",
             Counter::ParSweeps => "par_sweeps",
             Counter::ParItems => "par_items",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::ServeCacheEvictions => "serve_cache_evictions",
+            Counter::ServeOverloaded => "serve_overloaded",
+            Counter::ServeTimeouts => "serve_timeouts",
+            Counter::ServeErrors => "serve_errors",
         }
     }
 }

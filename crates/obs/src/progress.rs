@@ -19,13 +19,17 @@ use std::time::{Duration, Instant};
 use crate::metrics::{counter_value, Counter};
 
 /// The counters worth narrating, with short human labels.
-const NARRATED: [(Counter, &str); 6] = [
+const NARRATED: [(Counter, &str); 10] = [
     (Counter::ExploreCandidatesGenerated, "candidates"),
     (Counter::ChainsEvaluated, "chains"),
     (Counter::ParetoPointsKept, "pareto"),
     (Counter::BeladyAccesses, "belady-acc"),
     (Counter::StackDistSamples, "stackdist"),
     (Counter::WorkingSetWindows, "ws-windows"),
+    (Counter::ServeRequests, "requests"),
+    (Counter::ServeCacheHits, "cache-hits"),
+    (Counter::ServeOverloaded, "overloaded"),
+    (Counter::ServeTimeouts, "timeouts"),
 ];
 
 fn status_line(elapsed: Duration) -> String {

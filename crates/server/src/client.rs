@@ -1,0 +1,103 @@
+//! A minimal blocking client for the NDJSON protocol.
+//!
+//! One [`Client`] owns one TCP connection and can issue any number of
+//! sequential requests over it. This is what `datareuse query` and the
+//! integration tests use; it is deliberately tiny — connect, write a
+//! line, read a line.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use datareuse_obs::Json;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// When the address does not resolve or the connection is refused.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+        // Line-oriented request/response traffic: disable Nagle so a
+        // request is not held back waiting for the previous ACK.
+        let _ = stream.set_nodelay(true);
+        // Bound reads so a wedged server surfaces as an error instead of
+        // hanging the caller forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// On socket failure or a server that closes without responding.
+    pub fn send_raw(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(response.trim_end_matches('\n').to_string())
+    }
+
+    /// Sends a request document and parses the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// On socket failure or an unparseable response.
+    pub fn send(&mut self, request: &Json) -> Result<Json, String> {
+        let raw = self.send_raw(&request.to_string())?;
+        Json::parse(&raw).map_err(|e| format!("bad response: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn client_talks_to_a_live_server() {
+        let server = Server::bind(&ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let pong = client
+            .send(&Json::obj([("op", Json::str("ping"))]))
+            .unwrap();
+        assert_eq!(pong.get("result").and_then(Json::as_str), Some("pong"));
+        let bye = client.send_raw(r#"{"op":"shutdown"}"#).unwrap();
+        assert!(bye.contains("draining"));
+        handle.join().unwrap();
+    }
+}

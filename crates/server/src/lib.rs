@@ -1,0 +1,39 @@
+//! `datareuse-server` — a zero-dependency TCP serving layer over the
+//! exploration engine.
+//!
+//! The paper's flow is batch: run the tool, read the report. This crate
+//! turns the same analytical engine into a long-lived daemon speaking
+//! newline-delimited JSON over TCP, so a design-space-exploration GUI,
+//! a CI job, or a fleet of scripted clients can share one warm process
+//! (and one result cache) instead of paying process startup and
+//! recomputation per query.
+//!
+//! The pieces:
+//!
+//! - [`protocol`] — the NDJSON request/response grammar, request
+//!   parsing, and the canonical FNV-1a cache key.
+//! - [`ops`] — op execution shared with the CLI subcommands, which is
+//!   what makes server responses byte-identical to one-shot runs.
+//! - [`cache`] — the sharded LRU result cache.
+//! - [`pool`] — the bounded worker pool (backpressure + drain).
+//! - [`server`] — the accept loop, deadlines, and graceful shutdown.
+//! - [`client`] — a minimal blocking client (`datareuse query`).
+//!
+//! Everything is `std`-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod ops;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use ops::OpError;
+pub use pool::WorkerPool;
+pub use protocol::{cache_key, Request};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,495 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request is one line of JSON (parsed with the workspace's
+//! [`Json`] reader, so the same depth limit and error reporting apply to
+//! network bytes as to every other artifact). The grammar:
+//!
+//! ```text
+//! request  = { "op": <op>, <op params>…,
+//!              "id"?: <any json>, "deadline_ms"?: uint }
+//! op       = "explore" | "pareto" | "report" | "codegen"
+//!          | "stats" | "ping" | "shutdown"
+//! response = { "ok": true,  "id"?: <echoed>, "cached": bool, "result": <json> }
+//!          | { "ok": false, "id"?: <echoed>,
+//!              "error": { "code": <code>, "message": string } }
+//! code     = "bad_request" | "overloaded" | "timeout"
+//!          | "shutting_down" | "internal"
+//! ```
+//!
+//! `id` is echoed back verbatim and `deadline_ms` bounds how long the
+//! client is willing to wait; neither participates in the cache key —
+//! two requests that differ only in `id`/`deadline_ms` are the same
+//! computation (see [`cache_key`]).
+
+use datareuse_codegen::Strategy;
+use datareuse_obs::Json;
+
+/// Error code for a request the server could not parse or validate.
+pub const E_BAD_REQUEST: &str = "bad_request";
+/// Error code for a request rejected because the bounded queue is full.
+pub const E_OVERLOADED: &str = "overloaded";
+/// Error code for a request whose deadline expired before completion.
+pub const E_TIMEOUT: &str = "timeout";
+/// Error code for work refused because the server is draining.
+pub const E_SHUTTING_DOWN: &str = "shutting_down";
+/// Error code for an unexpected server-side failure.
+pub const E_INTERNAL: &str = "internal";
+
+/// Parameters of an `explore` request (one signal, full sweep).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreParams {
+    /// Kernel name or `.dr` path (resolved by the kernel registry).
+    pub kernel: String,
+    /// Signal to explore; defaults to the most-read array.
+    pub array: Option<String>,
+    /// Overrides `ExploreOptions::max_chain_depth`.
+    pub depth: Option<usize>,
+}
+
+/// Parameters of a `pareto` request (chain evaluation, optionally
+/// collapsed onto a predefined memory library).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParetoParams {
+    /// Kernel name or `.dr` path.
+    pub kernel: String,
+    /// Signal to explore; defaults to the most-read array.
+    pub array: Option<String>,
+    /// Overrides `ExploreOptions::max_chain_depth`.
+    pub depth: Option<usize>,
+    /// Physical memory sizes to collapse each virtual chain onto
+    /// (`datareuse_memmodel::MemoryLibrary`); omitted = custom hierarchy.
+    pub library: Option<Vec<u64>>,
+}
+
+/// Parameters of a `codegen` request (Fig. 8 template emission).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenParams {
+    /// Kernel name or `.dr` path.
+    pub kernel: String,
+    /// Signal to buffer; defaults to the most-read array.
+    pub array: Option<String>,
+    /// The shared emission options (also used by the CLI `codegen`).
+    pub spec: CodegenSpec,
+}
+
+/// Everything `codegen` needs beyond the program and the array — shared
+/// between the CLI subcommand and the server op so both emit identical
+/// code for identical inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenSpec {
+    /// `(outer, inner)` loop pair; defaults to the innermost pair.
+    pub pair: Option<(usize, usize)>,
+    /// Copy strategy (max / partial:G / bypass:G).
+    pub strategy: Strategy,
+    /// Emit the self-checking driver around the template.
+    pub selfcheck: bool,
+    /// Adopt the copy loop into the original nest.
+    pub adopt: bool,
+    /// Emit the single-assignment template variant.
+    pub single_assignment: bool,
+    /// Emit a band copy of this depth instead of the pair template.
+    pub band: Option<usize>,
+}
+
+impl Default for CodegenSpec {
+    fn default() -> Self {
+        Self {
+            pair: None,
+            strategy: Strategy::MaxReuse,
+            selfcheck: false,
+            adopt: false,
+            single_assignment: false,
+            band: None,
+        }
+    }
+}
+
+/// Parses the CLI/protocol strategy string (`max`, `partial:G`,
+/// `bypass:G`) into a [`Strategy`].
+pub fn parse_strategy(text: Option<&str>) -> Result<Strategy, String> {
+    match text {
+        None | Some("max") => Ok(Strategy::MaxReuse),
+        Some(s) => {
+            if let Some(g) = s.strip_prefix("partial:") {
+                Ok(Strategy::Partial {
+                    gamma: g.parse().map_err(|_| "bad gamma".to_string())?,
+                })
+            } else if let Some(g) = s.strip_prefix("bypass:") {
+                Ok(Strategy::PartialBypass {
+                    gamma: g.parse().map_err(|_| "bad gamma".to_string())?,
+                })
+            } else {
+                Err(format!("unknown strategy `{s}`"))
+            }
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Pairwise reuse sweep + Pareto report for one signal.
+    Explore(ExploreParams),
+    /// Chain enumeration / library collapse for one signal.
+    Pareto(ParetoParams),
+    /// Full-program report over every read signal.
+    Report {
+        /// Kernel name or `.dr` path.
+        kernel: String,
+    },
+    /// Fig. 8 template emission.
+    Codegen(CodegenParams),
+    /// Live `datareuse-metrics-v1` snapshot (counters include the
+    /// serve/cache traffic).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful shutdown: stop accepting, drain in-flight work, exit.
+    Shutdown,
+}
+
+impl Op {
+    /// Whether results of this op are cacheable (pure functions of the
+    /// request body). Control ops are not.
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, Op::Stats | Op::Ping | Op::Shutdown)
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client correlation id, echoed back verbatim.
+    pub id: Option<Json>,
+    /// Deadline in milliseconds from receipt; `None` = server default.
+    pub deadline_ms: Option<u64>,
+    /// The requested operation.
+    pub op: Op,
+    /// Canonical FNV-1a hash of the semantic request body (excludes
+    /// `id` and `deadline_ms`); `None` for non-cacheable ops.
+    pub cache_key: Option<u64>,
+}
+
+fn get_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn get_usize(v: &Json, key: &str, what: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| format!("`{what}` must be an unsigned integer")),
+    }
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(j) => j
+            .as_bool()
+            .ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+fn require_kernel(v: &Json) -> Result<String, String> {
+    get_str(v, "kernel").ok_or_else(|| "missing `kernel` (string)".to_string())
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message suitable for a `bad_request` response:
+    /// malformed JSON, a non-object document, a missing or unknown `op`,
+    /// or ill-typed parameters.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| e.to_string())?;
+        Request::from_json(&doc)
+    }
+
+    /// Parses an already-decoded request document.
+    ///
+    /// # Errors
+    ///
+    /// See [`Request::parse_line`].
+    pub fn from_json(doc: &Json) -> Result<Request, String> {
+        if doc.entries().is_none() {
+            return Err("request must be a JSON object".to_string());
+        }
+        let op_name = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing `op` (string)".to_string())?;
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_u64()
+                    .ok_or_else(|| "`deadline_ms` must be an unsigned integer".to_string())?,
+            ),
+        };
+        let op = match op_name {
+            "explore" => Op::Explore(ExploreParams {
+                kernel: require_kernel(doc)?,
+                array: get_str(doc, "array"),
+                depth: get_usize(doc, "depth", "depth")?,
+            }),
+            "pareto" => {
+                let library = match doc.get("library") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => {
+                        let items = j
+                            .as_array()
+                            .ok_or_else(|| "`library` must be an array of sizes".to_string())?;
+                        Some(
+                            items
+                                .iter()
+                                .map(|s| {
+                                    s.as_u64().ok_or_else(|| {
+                                        "`library` sizes must be unsigned integers".to_string()
+                                    })
+                                })
+                                .collect::<Result<Vec<u64>, String>>()?,
+                        )
+                    }
+                };
+                Op::Pareto(ParetoParams {
+                    kernel: require_kernel(doc)?,
+                    array: get_str(doc, "array"),
+                    depth: get_usize(doc, "depth", "depth")?,
+                    library,
+                })
+            }
+            "report" => Op::Report {
+                kernel: require_kernel(doc)?,
+            },
+            "codegen" => {
+                let pair = match doc.get("pair") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => {
+                        let items = j.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                            "`pair` must be a two-element array [outer, inner]".to_string()
+                        })?;
+                        let outer = items[0]
+                            .as_u64()
+                            .ok_or_else(|| "`pair` entries must be unsigned".to_string())?;
+                        let inner = items[1]
+                            .as_u64()
+                            .ok_or_else(|| "`pair` entries must be unsigned".to_string())?;
+                        Some((outer as usize, inner as usize))
+                    }
+                };
+                Op::Codegen(CodegenParams {
+                    kernel: require_kernel(doc)?,
+                    array: get_str(doc, "array"),
+                    spec: CodegenSpec {
+                        pair,
+                        strategy: parse_strategy(
+                            doc.get("strategy").and_then(Json::as_str),
+                        )?,
+                        selfcheck: get_bool(doc, "selfcheck")?,
+                        adopt: get_bool(doc, "adopt")?,
+                        single_assignment: get_bool(doc, "single_assignment")?,
+                        band: get_usize(doc, "band", "band")?,
+                    },
+                })
+            }
+            "stats" => Op::Stats,
+            "ping" => Op::Ping,
+            "shutdown" => Op::Shutdown,
+            other => return Err(format!("unknown op `{other}`")),
+        };
+        let cache_key = op.cacheable().then(|| cache_key(doc));
+        Ok(Request {
+            id: doc.get("id").cloned(),
+            deadline_ms,
+            op,
+            cache_key,
+        })
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Recursively sorts object keys so semantically identical documents
+/// serialize identically (the writer preserves insertion order).
+fn canonicalize(v: &Json) -> Json {
+    match v {
+        Json::Arr(items) => Json::Arr(items.iter().map(canonicalize).collect()),
+        Json::Obj(entries) => {
+            let mut sorted: Vec<(String, Json)> = entries
+                .iter()
+                .map(|(k, val)| (k.clone(), canonicalize(val)))
+                .collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            Json::Obj(sorted)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The canonical cache key of a request document: FNV-1a over the
+/// canonical (key-sorted) serialization with the non-semantic fields
+/// `id` and `deadline_ms` removed.
+///
+/// Two requests that describe the same computation — same op and
+/// parameters, any key order, any correlation id, any deadline — hash
+/// identically; any semantic difference changes the serialization and
+/// therefore (up to 64-bit collisions) the key.
+pub fn cache_key(request: &Json) -> u64 {
+    let semantic = match request {
+        Json::Obj(entries) => Json::Obj(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "id" && k != "deadline_ms")
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        ),
+        other => other.clone(),
+    };
+    fnv1a(canonicalize(&semantic).to_string().as_bytes())
+}
+
+/// Builds a success envelope. `result_raw` is spliced in verbatim — it
+/// must already be serialized JSON (this is what lets cache hits reuse
+/// the stored bytes without reparsing).
+pub fn ok_envelope(id: Option<&Json>, cached: bool, result_raw: &str) -> String {
+    let mut out = String::with_capacity(result_raw.len() + 48);
+    out.push_str("{\"ok\":true");
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        out.push_str(&id.to_string());
+    }
+    out.push_str(",\"cached\":");
+    out.push_str(if cached { "true" } else { "false" });
+    out.push_str(",\"result\":");
+    out.push_str(result_raw);
+    out.push('}');
+    out
+}
+
+/// Builds an error envelope with a structured `code` and message.
+pub fn err_envelope(id: Option<&Json>, code: &str, message: &str) -> String {
+    let mut obj = vec![("ok".to_string(), Json::Bool(false))];
+    if let Some(id) = id {
+        obj.push(("id".to_string(), id.clone()));
+    }
+    obj.push((
+        "error".to_string(),
+        Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
+    ));
+    Json::Obj(obj).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_explore_request() {
+        let r = Request::parse_line(r#"{"op":"explore","kernel":"me-small","array":"Old"}"#)
+            .unwrap();
+        assert_eq!(
+            r.op,
+            Op::Explore(ExploreParams {
+                kernel: "me-small".into(),
+                array: Some("Old".into()),
+                depth: None,
+            })
+        );
+        assert!(r.cache_key.is_some());
+        assert!(r.id.is_none());
+    }
+
+    #[test]
+    fn cache_key_ignores_id_deadline_and_key_order() {
+        let a = Json::parse(r#"{"op":"explore","kernel":"fir","id":7,"deadline_ms":50}"#).unwrap();
+        let b = Json::parse(r#"{"kernel":"fir","op":"explore","id":"other"}"#).unwrap();
+        let c = Json::parse(r#"{"op":"explore","kernel":"me"}"#).unwrap();
+        assert_eq!(cache_key(&a), cache_key(&b));
+        assert_ne!(cache_key(&a), cache_key(&c));
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_nested_objects() {
+        let a = Json::parse(r#"{"op":"x","p":{"a":1,"b":[{"y":2,"z":3}]}}"#).unwrap();
+        let b = Json::parse(r#"{"p":{"b":[{"z":3,"y":2}],"a":1},"op":"x"}"#).unwrap();
+        assert_eq!(cache_key(&a), cache_key(&b));
+    }
+
+    #[test]
+    fn control_ops_are_not_cacheable() {
+        for op in ["stats", "ping", "shutdown"] {
+            let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
+            assert!(r.cache_key.is_none(), "{op} must not be cached");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_and_ill_typed_requests() {
+        for (line, needle) in [
+            ("", "parse error"),
+            ("42", "must be a JSON object"),
+            ("{}", "missing `op`"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"op":"explore"}"#, "missing `kernel`"),
+            (r#"{"op":"explore","kernel":"fir","depth":-1}"#, "unsigned"),
+            (r#"{"op":"explore","kernel":"fir","deadline_ms":"soon"}"#, "deadline_ms"),
+            (r#"{"op":"pareto","kernel":"fir","library":"big"}"#, "array of sizes"),
+            (r#"{"op":"codegen","kernel":"fir","pair":[1]}"#, "two-element"),
+            (r#"{"op":"codegen","kernel":"fir","strategy":"turbo"}"#, "unknown strategy"),
+        ] {
+            let e = Request::parse_line(line).unwrap_err();
+            assert!(e.contains(needle), "`{line}` -> `{e}`");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_valid_json_and_echo_the_id() {
+        let id = Json::UInt(9);
+        let ok = ok_envelope(Some(&id), true, r#"{"x":1}"#);
+        let doc = Json::parse(&ok).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("result").and_then(|r| r.get("x")).and_then(Json::as_u64),
+            Some(1)
+        );
+        let err = err_envelope(None, E_TIMEOUT, "deadline of 5ms expired");
+        let doc = Json::parse(&err).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some(E_TIMEOUT)
+        );
+        assert!(doc.get("cached").is_none());
+    }
+
+    #[test]
+    fn strategy_strings_round_trip() {
+        assert_eq!(parse_strategy(None).unwrap(), Strategy::MaxReuse);
+        assert_eq!(parse_strategy(Some("max")).unwrap(), Strategy::MaxReuse);
+        assert_eq!(
+            parse_strategy(Some("partial:3")).unwrap(),
+            Strategy::Partial { gamma: 3 }
+        );
+        assert_eq!(
+            parse_strategy(Some("bypass:2")).unwrap(),
+            Strategy::PartialBypass { gamma: 2 }
+        );
+        assert!(parse_strategy(Some("warp")).is_err());
+    }
+}

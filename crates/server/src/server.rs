@@ -1,0 +1,399 @@
+//! The TCP serving loop: accept, parse, dispatch, respond.
+//!
+//! Thread model: the acceptor thread hands each connection to its own
+//! connection thread (cheap, I/O-bound), which parses request lines and
+//! routes compute onto the shared bounded [`WorkerPool`]. The connection
+//! thread then blocks on an [`mpsc`] channel with `recv_timeout` set to
+//! the request deadline — if the worker does not finish in time the
+//! client gets a structured `timeout` error while the worker's eventual
+//! result still populates the cache for the next caller.
+//!
+//! Shutdown is cooperative: a `shutdown` request flips the stop flag,
+//! the acceptor (which polls in nonblocking mode) closes the listening
+//! socket, the pool drains everything already accepted, and
+//! [`Server::run`] returns once in-flight responses are written. Idle
+//! connections use a short read timeout so they notice the stop flag
+//! instead of pinning the process open.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use datareuse_obs::{add, span, Counter, Json};
+
+use crate::cache::ResultCache;
+use crate::ops;
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    err_envelope, ok_envelope, Op, Request, E_BAD_REQUEST, E_INTERNAL, E_OVERLOADED,
+    E_SHUTTING_DOWN, E_TIMEOUT,
+};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to listen on; port 0 picks an ephemeral port (the bound
+    /// address is reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads for compute. 0 = one per available core.
+    pub threads: usize,
+    /// Bound on jobs waiting for a worker before requests are refused
+    /// with `overloaded`.
+    pub queue_depth: usize,
+    /// Total result-cache entries across all shards; 0 disables caching.
+    pub cache_entries: usize,
+    /// Deadline applied to requests that do not carry `deadline_ms`.
+    pub default_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_depth: 64,
+            cache_entries: 256,
+            default_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    pool: WorkerPool,
+    cache: ResultCache,
+    stopping: AtomicBool,
+    in_flight: AtomicUsize,
+    default_deadline: Duration,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// When the address cannot be parsed or bound.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.threads
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pool: WorkerPool::new(threads, config.queue_depth.max(1)),
+                cache: ResultCache::new(config.cache_entries),
+                stopping: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
+                default_deadline: config.default_deadline,
+            }),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// When the OS cannot report the socket address.
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| e.to_string())
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains in-flight
+    /// work and returns.
+    ///
+    /// # Errors
+    ///
+    /// When the listener cannot be switched to nonblocking polling.
+    pub fn run(self) -> Result<(), String> {
+        // Nonblocking accept + short sleep so the acceptor notices the
+        // stop flag promptly without platform-specific socket tricks.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot poll listener: {e}"))?;
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stopping.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || serve_connection(stream, &shared)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+            connections.retain(|c| !c.is_finished());
+        }
+        drop(self.listener);
+        // Drain: complete every accepted job, then wait for connection
+        // threads still writing responses (their read timeout bounds how
+        // long an idle one takes to notice the flag).
+        self.shared.pool.drain();
+        let grace = Instant::now();
+        while self.shared.in_flight.load(Ordering::Acquire) > 0
+            && grace.elapsed() < Duration::from_secs(10)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _serve = span("serve");
+    // One request = one response line; Nagle coalescing only adds a
+    // delayed-ACK round trip (~40ms) to every exchange.
+    let _ = stream.set_nodelay(true);
+    // Periodic read timeouts let an idle connection observe shutdown.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client hung up
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                    let response = handle_line(&line, shared);
+                    let done = writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush());
+                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                    if done.is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A timeout mid-line leaves the partial bytes in `line`;
+                // the next read continues accumulating.
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Processes one request line into one response line.
+fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
+    add(Counter::ServeRequests, 1);
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            add(Counter::ServeErrors, 1);
+            // Echo the id back even for bodies that failed validation —
+            // the document may still be well-formed JSON with a bad op.
+            let id = Json::parse(line).ok().and_then(|doc| doc.get("id").cloned());
+            return err_envelope(id.as_ref(), E_BAD_REQUEST, &msg);
+        }
+    };
+    let id = request.id.clone();
+    match &request.op {
+        Op::Ping => return ok_envelope(id.as_ref(), false, r#""pong""#),
+        Op::Stats => {
+            let snap = datareuse_obs::snapshot().to_json().to_string();
+            return ok_envelope(id.as_ref(), false, &snap);
+        }
+        Op::Shutdown => {
+            shared.stopping.store(true, Ordering::Release);
+            return ok_envelope(id.as_ref(), false, r#""draining""#);
+        }
+        _ => {}
+    }
+    // Cache probe before paying for queue space or compute.
+    if let Some(key) = request.cache_key {
+        let _cache = span("cache");
+        if let Some(hit) = shared.cache.get(key) {
+            return ok_envelope(id.as_ref(), true, &hit);
+        }
+    }
+    let _request = span("request");
+    if shared.stopping.load(Ordering::Acquire) {
+        add(Counter::ServeErrors, 1);
+        return err_envelope(id.as_ref(), E_SHUTTING_DOWN, "server is draining");
+    }
+    let deadline = request
+        .deadline_ms
+        .map_or(shared.default_deadline, Duration::from_millis);
+    let expires = Instant::now() + deadline;
+    let (tx, rx) = mpsc::channel::<Result<Arc<str>, ops::OpError>>();
+    let job_shared = Arc::clone(shared);
+    let op = request.op.clone();
+    let key = request.cache_key;
+    let submitted = shared.pool.try_submit(Box::new(move || {
+        // A worker picking up an already-expired job skips the compute:
+        // the waiter is gone and the result would be wasted work. Report
+        // the expiry explicitly — dropping the channel instead would
+        // race the waiter's own timeout and read as an internal error.
+        if Instant::now() >= expires {
+            let _ = tx.send(Err(ops::OpError {
+                code: E_TIMEOUT,
+                message: "deadline expired before execution".to_string(),
+            }));
+            return;
+        }
+        let outcome = ops::execute(&op).map(|result| {
+            let raw: Arc<str> = Arc::from(result.to_string());
+            if let Some(key) = key {
+                job_shared.cache.insert(key, Arc::clone(&raw));
+            }
+            raw
+        });
+        let _ = tx.send(outcome);
+    }));
+    if submitted.is_err() {
+        add(Counter::ServeOverloaded, 1);
+        let (code, msg) = if shared.stopping.load(Ordering::Acquire) {
+            (E_SHUTTING_DOWN, "server is draining".to_string())
+        } else {
+            (
+                E_OVERLOADED,
+                format!("queue full ({} waiting); retry later", shared.pool.queued()),
+            )
+        };
+        return err_envelope(id.as_ref(), code, &msg);
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(raw)) => ok_envelope(id.as_ref(), false, &raw),
+        Ok(Err(e)) => {
+            add(
+                if e.code == E_TIMEOUT {
+                    Counter::ServeTimeouts
+                } else {
+                    Counter::ServeErrors
+                },
+                1,
+            );
+            err_envelope(id.as_ref(), e.code, &e.message)
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            add(Counter::ServeTimeouts, 1);
+            err_envelope(
+                id.as_ref(),
+                E_TIMEOUT,
+                &format!("deadline of {}ms expired", deadline.as_millis()),
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            add(Counter::ServeErrors, 1);
+            err_envelope(id.as_ref(), E_INTERNAL, "worker dropped the request")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Write};
+
+    fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let server = Server::bind(&config).unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, handle)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, lines: &[&str]) -> Vec<Json> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(Json::parse(&response).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn ping_explore_and_shutdown_over_a_real_socket() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"ping","id":1}"#,
+                r#"{"op":"explore","kernel":"fir","id":2}"#,
+                r#"{"op":"explore","kernel":"fir","id":3}"#,
+                r#"{"op":"bogus","id":4}"#,
+                r#"{"op":"shutdown","id":5}"#,
+            ],
+        );
+        assert_eq!(responses[0].get("result").and_then(Json::as_str), Some("pong"));
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(false));
+        assert!(responses[1].get("result").and_then(|r| r.get("array")).is_some());
+        // Same request again: served from cache, identical result bytes.
+        assert_eq!(responses[2].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            responses[1].get("result").map(Json::to_string),
+            responses[2].get("result").map(Json::to_string)
+        );
+        assert_eq!(responses[3].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            responses[3]
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(E_BAD_REQUEST)
+        );
+        assert_eq!(responses[3].get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn a_zero_deadline_times_out_with_a_structured_error() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"report","kernel":"susan","deadline_ms":0,"id":"t"}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            responses[0]
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(E_TIMEOUT)
+        );
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("t"));
+        handle.join().unwrap();
+    }
+}

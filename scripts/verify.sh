@@ -19,4 +19,46 @@ cargo test -q
 cargo test -q --workspace
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Serving smoke test: start the daemon on an ephemeral port, prove the
+# second identical query is a cache hit, and check it drains and exits 0
+# on `shutdown` within a timeout.
+SERVE_METRICS="$(mktemp)"
+SERVE_LOG="$(mktemp)"
+target/release/datareuse serve --addr 127.0.0.1:0 --metrics "$SERVE_METRICS" \
+    > "$SERVE_LOG" &
+SERVE_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+    ADDR="$(sed -n 's/^datareuse-serve: listening on //p' "$SERVE_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+    echo "serve smoke: daemon never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+SMOKE_REQ='{"op":"explore","kernel":"me-small","array":"Old"}'
+target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
+    | grep -q '"cached":false'
+target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
+    | grep -q '"cached":true'
+target/release/datareuse query --addr "$ADDR" '{"op":"shutdown"}' > /dev/null
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    if [ $i -ge 100 ]; then
+        echo "serve smoke: daemon did not drain within 10s" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+wait "$SERVE_PID"   # fails the script if the daemon exited nonzero
+grep -q '"serve_cache_hits":[1-9]' "$SERVE_METRICS"
+rm -f "$SERVE_METRICS" "$SERVE_LOG"
+echo "serve smoke test passed"
+
 echo "tier-1 verification passed"

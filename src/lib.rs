@@ -19,6 +19,7 @@
 //! | [`kernels`] | `datareuse-kernels` | motion estimation, SUSAN, conv2d, matmul, … |
 //! | [`steps`] | `datareuse-steps` | downstream DTSE steps: SCBD and in-place mapping |
 //! | [`obs`] | `datareuse-obs` | counters, timed spans, JSON metrics snapshots, progress |
+//! | [`server`] | `datareuse-server` | NDJSON-over-TCP serving daemon: worker pool, result cache, deadlines |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use datareuse_obs as obs;
 pub use datareuse_kernels as kernels;
 pub use datareuse_loopir as loopir;
 pub use datareuse_memmodel as memmodel;
+pub use datareuse_server as server;
 pub use datareuse_steps as steps;
 pub use datareuse_trace as trace;
 
