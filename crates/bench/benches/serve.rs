@@ -69,7 +69,9 @@ fn bench_cold_vs_cached() {
         ..ServerConfig::default()
     });
     let mut conn = Conn::open(&addr);
-    group.bench("explore_cold", || conn.roundtrip(request).len());
+    // Latency benches: request/response round-trips are tail-sensitive,
+    // so time each call individually for p50/p99 columns.
+    group.bench_latency("explore_cold", || conn.roundtrip(request).len());
     drop(conn);
     shutdown(&addr, handle);
 
@@ -80,8 +82,8 @@ fn bench_cold_vs_cached() {
     });
     let mut conn = Conn::open(&addr);
     conn.roundtrip(request); // warm the cache
-    group.bench("explore_cache_hit", || conn.roundtrip(request).len());
-    group.bench("ping", || conn.roundtrip(r#"{"op":"ping"}"#).len());
+    group.bench_latency("explore_cache_hit", || conn.roundtrip(request).len());
+    group.bench_latency("ping", || conn.roundtrip(r#"{"op":"ping"}"#).len());
     drop(conn);
     shutdown(&addr, handle);
     group.finish();

@@ -5,7 +5,10 @@
 //! its batch to the time budget, then takes a fixed number of batched
 //! samples; the table reports the min / median / mean nanoseconds per
 //! iteration (min is the least noisy estimator on a shared machine,
-//! median is what we track across runs).
+//! median is what we track across runs). Request/response style benches
+//! use [`BenchGroup::bench_latency`] instead, which times every call
+//! individually through a log-bucketed histogram and adds p50/p99
+//! columns — batching would average the tail away.
 //!
 //! Results are also written as `BENCH_<group>.json` into the figures
 //! directory so CI and scripts can diff runs — the same role Criterion's
@@ -42,6 +45,13 @@ pub struct Measurement {
     pub median_ns: f64,
     /// Mean per-iteration time, nanoseconds.
     pub mean_ns: f64,
+    /// Median (p50) of per-iteration latencies, nanoseconds. Only set by
+    /// [`BenchGroup::bench_latency`], which times iterations
+    /// individually instead of batching.
+    pub p50_ns: Option<f64>,
+    /// 99th percentile of per-iteration latencies, nanoseconds
+    /// (see [`Measurement::p50_ns`]).
+    pub p99_ns: Option<f64>,
     /// Optional element count for throughput reporting.
     pub elements: Option<u64>,
 }
@@ -141,6 +151,52 @@ impl BenchGroup {
             min_ns,
             median_ns,
             mean_ns,
+            p50_ns: None,
+            p99_ns: None,
+            elements: self.elements,
+        });
+    }
+
+    /// Times `f` one call at a time and reports latency percentiles
+    /// (p50/p99) alongside min/median/mean.
+    ///
+    /// [`BenchGroup::bench`] amortizes the clock over a batch, which is
+    /// right for nanosecond-scale kernels but erases the latency
+    /// *distribution* — exactly what matters for request/response
+    /// benches ("The Tail at Scale": percentiles, not means, govern
+    /// service behavior). Here every iteration is clocked individually
+    /// into a log-bucketed histogram, so the tail survives aggregation.
+    /// Use for operations costing ≳1µs, where the per-call `Instant`
+    /// overhead (~20ns) is noise.
+    pub fn bench_latency<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // Calibration as in `bench`: one warm-up call sizes how many
+        // iterations fit the budget; samples multiply the budget.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once_ns = start.elapsed().as_nanos().max(1);
+        let iters = ((self.budget_ns * self.samples as u128) / once_ns).clamp(1, 1_000_000) as u64;
+
+        let hist = datareuse_obs::Histogram::new();
+        let mut total_ns = 0u128;
+        let mut min_ns = u64::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let elapsed = start.elapsed().as_nanos();
+            hist.record(elapsed as u64);
+            total_ns += elapsed;
+            min_ns = min_ns.min(elapsed as u64);
+        }
+        let snap = hist.snapshot();
+        self.results.push(Measurement {
+            id: id.to_string(),
+            batch: 1,
+            samples: iters,
+            min_ns: min_ns as f64,
+            median_ns: snap.p50() as f64,
+            mean_ns: total_ns as f64 / iters as f64,
+            p50_ns: Some(snap.p50() as f64),
+            p99_ns: Some(snap.p99() as f64),
             elements: self.elements,
         });
     }
@@ -158,6 +214,8 @@ impl BenchGroup {
                     fmt_f(m.min_ns, 1),
                     fmt_f(m.median_ns, 1),
                     fmt_f(m.mean_ns, 1),
+                    m.p50_ns.map(|v| fmt_f(v, 1)).unwrap_or_else(|| "-".into()),
+                    m.p99_ns.map(|v| fmt_f(v, 1)).unwrap_or_else(|| "-".into()),
                     m.melems_per_sec()
                         .map(|v| fmt_f(v, 2))
                         .unwrap_or_else(|| "-".into()),
@@ -165,7 +223,15 @@ impl BenchGroup {
             })
             .collect();
         print_table(
-            &["bench", "min ns/iter", "median ns/iter", "mean ns/iter", "Melem/s"],
+            &[
+                "bench",
+                "min ns/iter",
+                "median ns/iter",
+                "mean ns/iter",
+                "p50 ns",
+                "p99 ns",
+                "Melem/s",
+            ],
             &rows,
         );
 
@@ -181,6 +247,8 @@ impl BenchGroup {
                         ("min_ns", Json::Num(m.min_ns)),
                         ("median_ns", Json::Num(m.median_ns)),
                         ("mean_ns", Json::Num(m.mean_ns)),
+                        ("p50_ns", m.p50_ns.map(Json::Num).unwrap_or(Json::Null)),
+                        ("p99_ns", m.p99_ns.map(Json::Num).unwrap_or(Json::Null)),
                         (
                             "elements",
                             m.elements.map(Json::UInt).unwrap_or(Json::Null),
@@ -214,16 +282,28 @@ mod tests {
         g.bench("sum_1000", || (0u64..1000).sum::<u64>());
         g.no_throughput();
         g.bench("noop", || 1u64);
+        g.bench_latency("sleepless", || {
+            std::thread::sleep(std::time::Duration::from_micros(5))
+        });
         let results = g.finish();
-        assert_eq!(results.len(), 2);
+        assert_eq!(results.len(), 3);
         assert!(results[0].min_ns > 0.0);
         assert!(results[0].min_ns <= results[0].median_ns);
         assert!(results[0].melems_per_sec().is_some());
         assert!(results[1].melems_per_sec().is_none());
+        // Batched benches carry no percentiles; latency benches do, and
+        // they must be ordered around the other estimators.
+        assert!(results[0].p50_ns.is_none() && results[0].p99_ns.is_none());
+        let lat = &results[2];
+        let (p50, p99) = (lat.p50_ns.unwrap(), lat.p99_ns.unwrap());
+        assert!(lat.min_ns <= p50, "min {} > p50 {p50}", lat.min_ns);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
         let path = figures_dir().join("BENCH_harness_selftest.json");
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.starts_with("{\"group\":\"harness_selftest\""));
         assert!(json.contains("\"id\":\"sum_1000\""));
+        assert!(json.contains("\"p50_ns\":null"));
+        assert!(json.contains("\"id\":\"sleepless\",\"batch\":1"));
         let _ = std::fs::remove_file(path);
     }
 }

@@ -11,7 +11,8 @@
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
 //! datareuse report  <kernel> [--json] [--metrics FILE] [--progress]   # all signals
 //! datareuse serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
-//!                   [--cache-entries N] [--deadline-ms MS] [--metrics FILE] [--progress]
+//!                   [--cache-entries N] [--deadline-ms MS] [--metrics FILE]
+//!                   [--trace-out FILE] [--progress]
 //! datareuse query   --addr HOST:PORT <request-json>...
 //! ```
 //!
@@ -19,14 +20,20 @@
 //! `.dr` DSL file.
 //!
 //! `--metrics FILE` enables the observability registry for the run and
-//! writes a `datareuse-metrics-v1` JSON snapshot (span timings, event
-//! counters, worker-load distribution) to FILE; `--progress` narrates the
-//! live counters to stderr once per second while the command runs.
+//! writes a `datareuse-metrics-v2` JSON snapshot (span timings, event
+//! counters, latency histograms, worker-load distribution) to FILE;
+//! `--progress` narrates the live counters to stderr once per second
+//! while the command runs. `serve` records metrics unconditionally (its
+//! `stats`/`prom` ops must have data to report); `--trace-out FILE`
+//! additionally records request traces and writes them as Chrome
+//! trace-event JSON (loadable in Perfetto) when the server drains.
 //!
 //! Exit codes: 0 on success, 1 on a runtime failure (unreadable kernel
-//! file, exploration error, server error response), 2 on a usage error
-//! (unknown subcommand, missing or malformed flags) — usage errors also
-//! print the usage summary to stderr.
+//! file, exploration error, transport failure or generic server error),
+//! 2 on a usage error (unknown subcommand, missing or malformed flags) —
+//! usage errors also print the usage summary to stderr. `query` maps
+//! structured server errors to distinct codes: 3 for `timeout`, 4 for
+//! `overloaded`, and prints any attached flight-recorder tail to stderr.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -55,16 +62,21 @@ const USAGE: &str = "usage: datareuse <command> [args]
   codegen <kernel> [--array NAME] [--pair O,I] [--strategy max|partial:G|bypass:G]
                    [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
   serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
-          [--cache-entries N] [--deadline-ms MS] [--metrics FILE] [--progress]
+          [--cache-entries N] [--deadline-ms MS] [--metrics FILE]
+          [--trace-out FILE] [--progress]
   query   --addr HOST:PORT <request-json>...
-<kernel> is a built-in name (`datareuse kernels`) or a path to a .dr file.";
+<kernel> is a built-in name (`datareuse kernels`) or a path to a .dr file.
+query exit codes: 0 ok, 1 transport/server error, 3 timeout, 4 overloaded.";
 
 /// A CLI failure, split by whose fault it is: `Usage` is a malformed
 /// invocation (exit 2, prints the usage summary), `Runtime` is a
-/// failure of valid work (exit 1).
+/// failure of valid work (exit 1), and `Server` is a structured server
+/// error response carrying its own exit code (3 timeout, 4 overloaded)
+/// so scripts can distinguish retry-later refusals from hard failures.
 enum CliError {
     Usage(String),
     Runtime(String),
+    Server { exit: u8, msg: String },
 }
 
 impl From<String> for CliError {
@@ -381,6 +393,13 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         config.default_deadline = std::time::Duration::from_millis(ms);
     }
     let (metrics_path, progress) = start_observability(args);
+    // Serving always records metrics: the `stats`/`prom` ops and the
+    // flight recorder must have data even without `--metrics FILE`.
+    datareuse_obs::set_metrics_enabled(true);
+    let trace_path = args.flag("trace-out").map(str::to_string);
+    if trace_path.is_some() {
+        datareuse_obs::set_tracing_enabled(true);
+    }
     let server = Server::bind(&config)?;
     let addr = server.local_addr()?;
     // Single discovery line; port 0 callers parse the chosen port here.
@@ -390,6 +409,14 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     drop(progress);
     if let Some(path) = &metrics_path {
         write_metrics(path)?;
+    }
+    if let Some(path) = &trace_path {
+        // Spans already drained by `trace` ops are gone; this writes
+        // whatever is still buffered at drain time.
+        let doc = datareuse_obs::chrome_trace_json(&datareuse_obs::take_trace_events());
+        std::fs::write(path, doc.to_string() + "\n")
+            .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+        eprintln!("trace written to {path}");
     }
     eprintln!("datareuse-serve: drained, exiting");
     Ok(())
@@ -401,20 +428,48 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
         return Err(usage("missing request JSON (one per positional argument)"));
     }
     let mut client = Client::connect(addr)?;
-    let mut failed = false;
+    // The first structured error decides the exit code; later requests
+    // still run so every response is printed.
+    let mut first_error: Option<CliError> = None;
     for line in &args.positional {
         let response = client.send_raw(line)?;
         println!("{response}");
-        if let Ok(doc) = Json::parse(&response) {
-            if doc.get("ok").and_then(Json::as_bool) == Some(false) {
-                failed = true;
+        let Ok(doc) = Json::parse(&response) else {
+            continue;
+        };
+        if doc.get("ok").and_then(Json::as_bool) != Some(false) {
+            continue;
+        }
+        let error = doc.get("error");
+        let code = error
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("");
+        // A refusal's context: the server attaches its flight-recorder
+        // tail to timeout/overloaded errors; surface it on stderr as
+        // NDJSON so stdout stays one clean response per line.
+        if let Some(tail) = error.and_then(|e| e.get("flight")).and_then(Json::as_array) {
+            eprintln!("datareuse: flight-recorder tail ({} events):", tail.len());
+            for event in tail {
+                eprintln!("{event}");
             }
         }
+        if first_error.is_none() {
+            let exit = match code {
+                "timeout" => 3,
+                "overloaded" => 4,
+                _ => 1,
+            };
+            first_error = Some(CliError::Server {
+                exit,
+                msg: format!("server reported `{code}` (see response above)"),
+            });
+        }
     }
-    if failed {
-        return Err("server reported an error (see response above)".into());
+    match first_error {
+        Some(err) => Err(err),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 fn run() -> Result<(), CliError> {
@@ -446,6 +501,10 @@ fn main() -> ExitCode {
         Err(CliError::Runtime(msg)) => {
             eprintln!("datareuse: {msg}");
             ExitCode::from(1)
+        }
+        Err(CliError::Server { exit, msg }) => {
+            eprintln!("datareuse: {msg}");
+            ExitCode::from(exit)
         }
         Err(CliError::Usage(msg)) => {
             eprintln!("datareuse: {msg}");

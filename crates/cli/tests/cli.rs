@@ -175,7 +175,7 @@ fn explore_metrics_emits_valid_json_covering_the_pipeline() {
     let doc = Json::parse(&text).expect("metrics JSON parses");
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("datareuse-metrics-v1")
+        Some("datareuse-metrics-v2")
     );
     let counters = doc.get("counters").expect("counters section");
     let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
@@ -185,6 +185,15 @@ fn explore_metrics_emits_valid_json_covering_the_pipeline() {
     assert!(counter("chains_evaluated") > 0);
     assert!(counter("pareto_points_kept") > 0);
     assert!(counter("belady_accesses") > 0, "Belady simulator uncovered");
+    // v2 embeds histograms: the --simulate pass ran the trace simulator,
+    // and its percentiles must be ordered.
+    let sim = doc
+        .get("hists")
+        .and_then(|h| h.get("trace_sim_run_ns"))
+        .expect("trace_sim_run_ns histogram");
+    let q = |name: &str| sim.get(name).and_then(Json::as_u64).unwrap();
+    assert!(q("count") > 0, "simulator runs recorded");
+    assert!(q("p50") <= q("p90") && q("p90") <= q("p99"), "percentiles ordered");
     // Spans timed the exploration stages.
     let spans = doc.get("spans").and_then(Json::as_array).unwrap();
     let paths: Vec<&str> = spans

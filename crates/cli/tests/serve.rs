@@ -38,6 +38,13 @@ impl ServerProc {
         ServerProc { child, addr }
     }
 
+    /// Kills the daemon without draining — for tests that deliberately
+    /// wedge the worker pool with slow jobs.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
     /// Sends `shutdown` and asserts the daemon drains and exits 0
     /// within a timeout.
     fn shutdown(mut self) {
@@ -195,5 +202,179 @@ fn query_propagates_server_errors_as_a_nonzero_exit() {
     assert_eq!(out.status.code(), Some(1), "error response exits 1");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("bad_request"), "stdout: {stdout}");
+    server.shutdown();
+}
+
+#[test]
+fn query_maps_timeouts_to_exit_3_and_prints_the_flight_tail() {
+    let server = ServerProc::spawn(&["--threads", "1"]);
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args([
+            "query",
+            "--addr",
+            &server.addr,
+            r#"{"op":"report","kernel":"susan","deadline_ms":0}"#,
+        ])
+        .output()
+        .expect("query runs");
+    assert_eq!(out.status.code(), Some(3), "timeout maps to exit 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""code":"timeout""#), "stdout: {stdout}");
+    assert!(
+        stdout.contains(r#""flight":["#),
+        "timeout response attaches the flight tail: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("flight-recorder tail"),
+        "stderr surfaces the tail: {stderr}"
+    );
+    assert!(
+        stderr.contains("request_start"),
+        "tail events print as NDJSON: {stderr}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn query_maps_overload_to_exit_4() {
+    // One worker, one queue slot. Two slow requests wedge both; the
+    // third is refused with `overloaded`.
+    let server = ServerProc::spawn(&["--threads", "1", "--queue-depth", "1"]);
+    let slow = r#"{"op":"report","kernel":"susan","deadline_ms":60000}"#;
+    let mut wedges = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(&server.addr).expect("connects");
+        writeln!(stream, "{slow}").unwrap();
+        stream.flush().unwrap();
+        wedges.push(stream); // keep open; never read the response
+        // Give the worker time to dequeue the first job so the second
+        // lands in the queue slot rather than being refused itself.
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(["query", "--addr", &server.addr, slow])
+        .output()
+        .expect("query runs");
+    assert_eq!(out.status.code(), Some(4), "overload maps to exit 4");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""code":"overloaded""#), "stdout: {stdout}");
+    assert!(
+        stdout.contains(r#""flight":["#),
+        "overload response attaches the flight tail: {stdout}"
+    );
+    // The pool is wedged on a minutes-long report; no graceful drain.
+    drop(wedges);
+    server.kill();
+}
+
+#[test]
+fn trace_out_writes_a_chrome_trace_with_nested_spans() {
+    let trace = std::env::temp_dir().join(format!(
+        "datareuse_serve_trace_{}.json",
+        std::process::id()
+    ));
+    let server = ServerProc::spawn(&["--trace-out", trace.to_str().unwrap()]);
+    let responses = exchange(
+        &server.addr,
+        &[r#"{"op":"explore","kernel":"fir","id":1}"#],
+    );
+    assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+    let text = std::fs::read_to_string(&trace).expect("trace written on shutdown");
+    let _ = std::fs::remove_file(&trace);
+    let doc = Json::parse(&text).expect("Chrome trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Every event is a complete Perfetto-loadable duration event.
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"), "{e}");
+        assert!(e.get("ts").and_then(Json::as_f64).is_some(), "{e}");
+        assert!(e.get("dur").and_then(Json::as_f64).is_some(), "{e}");
+        assert!(
+            e.get("args").and_then(|a| a.get("trace_id")).is_some(),
+            "{e}"
+        );
+    }
+    // The explore request produced a nested pair: its `execute` span
+    // points at the `request` span of the same trace.
+    let find = |name: &str, detail: &str| {
+        events.iter().find(|e| {
+            e.get("name").and_then(Json::as_str) == Some(name)
+                && e.get("args").and_then(|a| a.get("detail")).and_then(Json::as_str)
+                    == Some(detail)
+        })
+    };
+    let request = find("request", "explore").expect("request span traced");
+    let execute = find("execute", "explore").expect("execute span traced");
+    let arg = |e: &Json, key: &str| e.get("args").and_then(|a| a.get(key)).map(Json::to_string);
+    assert_eq!(
+        arg(request, "trace_id"),
+        arg(execute, "trace_id"),
+        "same trace"
+    );
+    assert_eq!(
+        arg(execute, "parent_span"),
+        arg(request, "span_id"),
+        "execute nests under request"
+    );
+}
+
+#[test]
+fn stats_derives_ratios_prom_scrapes_and_the_flight_recorder_replays() {
+    let server = ServerProc::spawn(&["--cache-entries", "64"]);
+    let request = r#"{"op":"explore","kernel":"me-small","array":"Old"}"#;
+    let responses = exchange(&server.addr, &[request, request]);
+    assert_eq!(responses[1].get("cached").and_then(Json::as_bool), Some(true));
+
+    let stats = exchange(&server.addr, &[r#"{"op":"stats","flight":true}"#]);
+    let result = stats[0].get("result").expect("stats result");
+    let derived = result.get("derived").expect("derived section");
+    assert!(
+        derived.get("requests_served").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "{derived}"
+    );
+    let ratio = derived
+        .get("cache_hit_ratio")
+        .and_then(Json::as_f64)
+        .expect("hit ratio");
+    assert!(ratio > 0.0 && ratio <= 1.0, "one hit of two probes: {ratio}");
+    assert!(derived.get("queue_depth").and_then(Json::as_u64).is_some());
+    assert!(derived.get("queue_depth_max").and_then(Json::as_u64).is_some());
+    // v2 histograms rode along, split cold vs cache-hit.
+    let hists = result.get("hists").expect("hists section");
+    let count = |h: &str| {
+        hists
+            .get(h)
+            .and_then(|x| x.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    assert!(count("serve_latency_cold_ns") >= 1, "{hists}");
+    assert!(count("serve_latency_cache_hit_ns") >= 1, "{hists}");
+    // The flight recorder replays the traffic: starts, ends, cache events.
+    let flight = result.get("flight").and_then(Json::as_array).expect("flight tail");
+    let kinds: Vec<&str> = flight
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert!(kinds.contains(&"request_start"), "{kinds:?}");
+    assert!(kinds.contains(&"request_end"), "{kinds:?}");
+    assert!(kinds.contains(&"cache_hit"), "{kinds:?}");
+    assert!(kinds.contains(&"cache_miss"), "{kinds:?}");
+
+    // A prom scrape over the same socket protocol: text format with the
+    // serve counters and at least one histogram bucket series.
+    let prom = exchange(&server.addr, &[r#"{"op":"prom"}"#]);
+    let text = prom[0]
+        .get("result")
+        .and_then(Json::as_str)
+        .expect("prom result is the text block");
+    assert!(text.contains("datareuse_serve_requests "), "{text}");
+    assert!(text.contains("datareuse_serve_cache_hits "), "{text}");
+    assert!(text.contains("_bucket{le="), "{text}");
     server.shutdown();
 }

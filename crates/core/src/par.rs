@@ -10,7 +10,10 @@
 
 use std::sync::Mutex;
 
-use datareuse_obs::{add, gauge_max, metrics_enabled, record_worker_items, Counter, Gauge};
+use datareuse_obs::{
+    add, gauge_max, metrics_enabled, record_hist, record_worker_items, Counter, Gauge, Hist,
+    TraceCtx,
+};
 
 /// Resolves the worker-thread count for a sweep.
 ///
@@ -114,22 +117,42 @@ where
     let n = items.len();
     add(Counter::ParSweeps, 1);
     add(Counter::ParItems, n as u64);
+    let observed = metrics_enabled();
     if threads <= 1 || n <= 1 {
         gauge_max(Gauge::ThreadsMax, 1);
-        return items.into_iter().map(f).collect();
+        if !observed {
+            return items.into_iter().map(f).collect();
+        }
+        return items
+            .into_iter()
+            .map(|item| {
+                let started = std::time::Instant::now();
+                let result = f(item);
+                record_hist(Hist::ExploreChunk, started.elapsed().as_nanos() as u64);
+                result
+            })
+            .collect();
     }
     gauge_max(Gauge::ThreadsMax, threads.min(n) as u64);
-    let observed = metrics_enabled();
+    // The sweep may run on a server worker carrying a request's trace
+    // context; hand it to the scoped workers so their chunk timings stay
+    // attributable to that request.
+    let ctx = TraceCtx::current();
     let queue = Mutex::new(items.into_iter().enumerate());
     let done: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|| {
+                let _attach = ctx.map(TraceCtx::attach);
                 let mut processed = 0u64;
                 loop {
                     let next = queue.lock().expect("work queue poisoned").next();
                     let Some((index, item)) = next else { break };
+                    let started = observed.then(std::time::Instant::now);
                     let result = f(item);
+                    if let Some(started) = started {
+                        record_hist(Hist::ExploreChunk, started.elapsed().as_nanos() as u64);
+                    }
                     done.lock().expect("result sink poisoned").push((index, result));
                     processed += 1;
                 }

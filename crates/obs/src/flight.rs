@@ -1,0 +1,220 @@
+//! Flight recorder: a fixed-size lock-free ring buffer of the most
+//! recent structured events on the serving path.
+//!
+//! Counters tell you *how many* requests timed out; the flight recorder
+//! tells you *what happened just before* one did. Every noteworthy
+//! moment (request start/end, cache hit/miss, queue rejection, deadline
+//! expiry) appends a small packed record; readers take the tail on
+//! demand (`stats {"flight": true}`) and error envelopes for
+//! `timeout`/`overloaded` attach the last ~32 events automatically.
+//!
+//! The buffer is an array of atomics written with a single
+//! `fetch_add`-claimed cursor, so writers never block each other or any
+//! reader. The price is that a reader racing a writer can observe a
+//! *torn* record (slot fields from two different writes). That is
+//! acceptable here — the recorder is a diagnostic aid, not an audit
+//! log — and torn reads are bounded to the records still being written
+//! while the tail is taken.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+use crate::tracing::trace_now_ns;
+
+/// Number of events retained; older events are overwritten.
+pub const FLIGHT_CAPACITY: usize = 4096;
+
+/// How many trailing events error envelopes attach.
+pub const FLIGHT_ERROR_TAIL: usize = 32;
+
+/// What happened. Packed into the top byte of a slot word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A request was accepted for processing; detail = op tag.
+    RequestStart = 1,
+    /// A request completed (ok or err); detail = duration in µs.
+    RequestEnd = 2,
+    /// The result cache served a hit; detail = cache key.
+    CacheHit = 3,
+    /// The result cache missed; detail = cache key.
+    CacheMiss = 4,
+    /// The worker pool refused a job; detail = queue length at refusal.
+    QueueReject = 5,
+    /// A request's deadline expired; detail = deadline in ms.
+    DeadlineExpiry = 6,
+}
+
+impl FlightKind {
+    /// Stable lowercase tag used in JSON output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlightKind::RequestStart => "request_start",
+            FlightKind::RequestEnd => "request_end",
+            FlightKind::CacheHit => "cache_hit",
+            FlightKind::CacheMiss => "cache_miss",
+            FlightKind::QueueReject => "queue_reject",
+            FlightKind::DeadlineExpiry => "deadline_expiry",
+        }
+    }
+
+    fn from_u8(byte: u8) -> Option<FlightKind> {
+        Some(match byte {
+            1 => FlightKind::RequestStart,
+            2 => FlightKind::RequestEnd,
+            3 => FlightKind::CacheHit,
+            4 => FlightKind::CacheMiss,
+            5 => FlightKind::QueueReject,
+            6 => FlightKind::DeadlineExpiry,
+            _ => return None,
+        })
+    }
+}
+
+/// Words per event: packed kind+timestamp, trace id, detail.
+const WORDS: usize = 3;
+const TS_MASK: u64 = (1 << 56) - 1;
+
+static CURSOR: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+static SLOTS: [AtomicU64; FLIGHT_CAPACITY * WORDS] = {
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; FLIGHT_CAPACITY * WORDS]
+};
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the process trace epoch (low 56 bits).
+    pub ts_us: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Trace id of the request this event belongs to (0 = none).
+    pub trace_id: u64,
+    /// Kind-specific payload (op tag hash / duration / key / depth).
+    pub detail: u64,
+}
+
+impl FlightEvent {
+    /// Renders the event as a small JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ts_us", Json::UInt(self.ts_us)),
+            ("event", Json::str(self.kind.name())),
+            ("trace", Json::str(format!("{:016x}", self.trace_id))),
+            ("detail", Json::UInt(self.detail)),
+        ])
+    }
+}
+
+/// Appends an event to the ring. Gated on the metrics registry flag;
+/// never blocks.
+pub fn flight_record(kind: FlightKind, trace_id: u64, detail: u64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let ts_us = (trace_now_ns() / 1_000) & TS_MASK;
+    let packed = ((kind as u64) << 56) | ts_us;
+    let seq = CURSOR.fetch_add(1, Ordering::Relaxed);
+    let base = (seq as usize % FLIGHT_CAPACITY) * WORDS;
+    SLOTS[base].store(packed, Ordering::Relaxed);
+    SLOTS[base + 1].store(trace_id, Ordering::Relaxed);
+    SLOTS[base + 2].store(detail, Ordering::Relaxed);
+}
+
+/// Returns up to `last` most recent events, oldest first. Events still
+/// being written concurrently may decode torn or not at all; such slots
+/// are skipped.
+pub fn flight_tail(last: usize) -> Vec<FlightEvent> {
+    let cursor = CURSOR.load(Ordering::Relaxed);
+    let available = cursor.min(FLIGHT_CAPACITY as u64) as usize;
+    let take = last.min(available);
+    let mut out = Vec::with_capacity(take);
+    for back in (1..=take).rev() {
+        let seq = cursor - back as u64;
+        let base = (seq as usize % FLIGHT_CAPACITY) * WORDS;
+        let packed = SLOTS[base].load(Ordering::Relaxed);
+        let Some(kind) = FlightKind::from_u8((packed >> 56) as u8) else {
+            continue;
+        };
+        out.push(FlightEvent {
+            ts_us: packed & TS_MASK,
+            kind,
+            trace_id: SLOTS[base + 1].load(Ordering::Relaxed),
+            detail: SLOTS[base + 2].load(Ordering::Relaxed),
+        });
+    }
+    out
+}
+
+/// Renders the last `last` events as a JSON array, oldest first.
+pub fn flight_tail_json(last: usize) -> Json {
+    Json::arr(flight_tail(last).iter().map(FlightEvent::to_json))
+}
+
+/// Clears the recorder (zeroes the cursor and all slots).
+pub(crate) fn reset_flight() {
+    CURSOR.store(0, Ordering::Relaxed);
+    for slot in SLOTS.iter() {
+        slot.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_lock;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        crate::set_metrics_enabled(true);
+        flight_record(FlightKind::RequestStart, 0xaa, 1);
+        flight_record(FlightKind::CacheMiss, 0xaa, 2);
+        flight_record(FlightKind::RequestEnd, 0xaa, 3);
+        let tail = flight_tail(16);
+        crate::reset_metrics();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].kind, FlightKind::RequestStart);
+        assert_eq!(tail[2].kind, FlightKind::RequestEnd);
+        assert_eq!(tail[1].detail, 2);
+        assert!(tail.iter().all(|e| e.trace_id == 0xaa));
+        assert!(tail[0].ts_us <= tail[2].ts_us);
+    }
+
+    #[test]
+    fn tail_is_bounded_and_keeps_newest() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        crate::set_metrics_enabled(true);
+        for i in 0..(FLIGHT_CAPACITY as u64 + 50) {
+            flight_record(FlightKind::RequestEnd, 0, i);
+        }
+        let all = flight_tail(usize::MAX);
+        let short = flight_tail(8);
+        crate::reset_metrics();
+        assert_eq!(all.len(), FLIGHT_CAPACITY);
+        assert_eq!(all.last().unwrap().detail, FLIGHT_CAPACITY as u64 + 49);
+        assert_eq!(short.len(), 8);
+        assert_eq!(short[0].detail, FLIGHT_CAPACITY as u64 + 42);
+    }
+
+    #[test]
+    fn disabled_registry_drops_events_and_json_shape_holds() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        flight_record(FlightKind::QueueReject, 1, 9);
+        assert!(flight_tail(4).is_empty());
+
+        crate::set_metrics_enabled(true);
+        flight_record(FlightKind::DeadlineExpiry, 0x10, 250);
+        let json = flight_tail_json(4).to_string();
+        crate::reset_metrics();
+        let doc = Json::parse(&json).unwrap();
+        let arr = doc.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("event").and_then(Json::as_str), Some("deadline_expiry"));
+        assert_eq!(arr[0].get("detail").and_then(Json::as_u64), Some(250));
+    }
+}

@@ -14,9 +14,24 @@
 //!   `/`-joined hierarchical path (`explore/pairs`, `explore/chains`).
 //! - **Worker load** ([`record_worker_items`]) — items processed per
 //!   `parallel_map` worker, for spotting a load-imbalanced sweep.
+//! - **Latency histograms** ([`Hist`], [`record_hist`], [`Histogram`]) —
+//!   atomic log-bucketed (power-of-√2) histograms with p50/p90/p99/p999
+//!   extraction, recorded on the serving path (cold vs cache-hit
+//!   separately), pool queue wait, explore chunks, and trace-simulator
+//!   runs; mergeable across threads.
+//! - **Request tracing** ([`TraceCtx`], [`trace_span`],
+//!   [`chrome_trace_json`]) — 64-bit trace ids propagated explicitly
+//!   across thread hops, spans exported as Chrome trace-event JSON
+//!   (loadable in Perfetto).
+//! - **Flight recorder** ([`flight_record`], [`flight_tail`]) — a
+//!   lock-free ring buffer of the last [`FLIGHT_CAPACITY`] structured
+//!   serving events, dumped on demand and attached to timeout/overload
+//!   error responses.
 //! - **Snapshots** ([`snapshot`], [`MetricsSnapshot`]) — serialize the
 //!   registry to the workspace's hand-rolled [`Json`] as a
-//!   `METRICS_*.json` artifact (schema `datareuse-metrics-v1`).
+//!   `METRICS_*.json` artifact (schema `datareuse-metrics-v2`, embedding
+//!   the histograms), or to Prometheus text format
+//!   ([`prometheus_text`]).
 //! - **Progress** ([`Progress`]) — a periodic stderr narrator for
 //!   long-running CLI commands.
 //!
@@ -47,21 +62,37 @@
 //! let snap = snapshot();
 //! assert_eq!(snap.counter(Counter::ChainsEnumerated), 42);
 //! let json = snap.to_json().to_string();
-//! assert!(json.starts_with("{\"schema\":\"datareuse-metrics-v1\""));
+//! assert!(json.starts_with("{\"schema\":\"datareuse-metrics-v2\""));
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod flight;
+mod hist;
 mod json;
 mod metrics;
 mod progress;
+mod prom;
 mod span;
+mod tracing;
 
+pub use flight::{
+    flight_record, flight_tail, flight_tail_json, FlightEvent, FlightKind, FLIGHT_CAPACITY,
+    FLIGHT_ERROR_TAIL,
+};
+pub use hist::{hist_snapshot, record_hist, Hist, HistSnapshot, Histogram};
 pub use json::{Json, JsonParseError};
 pub use metrics::{
-    add, counter_value, gauge_max, metrics_enabled, record_worker_items, reset_metrics,
-    set_metrics_enabled, snapshot, Counter, Gauge, LocalCounter, MetricsSnapshot,
+    add, counter_value, gauge_add, gauge_max, gauge_sub, gauge_value, metrics_enabled,
+    record_worker_items, reset_metrics, set_metrics_enabled, snapshot, Counter, Gauge,
+    LocalCounter, MetricsSnapshot,
 };
 pub use progress::Progress;
+pub use prom::prometheus_text;
 pub use span::{span, SpanGuard};
+pub use tracing::{
+    chrome_trace_json, record_span_at, set_tracing_enabled, take_trace_events, trace_now_ns,
+    trace_span, trace_span_with, tracing_enabled, AttachGuard, TraceCtx, TraceEvent, TraceSpan,
+    MAX_TRACE_EVENTS,
+};

@@ -17,6 +17,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::hist::{hist_snapshot, Hist, HistSnapshot};
 use crate::json::Json;
 use crate::span::span_rows;
 
@@ -112,22 +113,31 @@ impl Counter {
     }
 }
 
-/// Monotonic high-water-mark gauges.
+/// Gauges: instantaneous levels ([`gauge_add`] / [`gauge_sub`]) and
+/// high-water marks ([`gauge_max`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 #[allow(missing_docs)] // Variant names mirror their snapshot keys below.
 pub enum Gauge {
     ThreadsMax,
+    ServeQueueDepth,
+    ServeQueueDepthMax,
 }
 
 impl Gauge {
     /// All gauges, in snapshot order.
-    pub const ALL: [Gauge; 1] = [Gauge::ThreadsMax];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::ThreadsMax,
+        Gauge::ServeQueueDepth,
+        Gauge::ServeQueueDepthMax,
+    ];
 
     /// The gauge's stable snapshot key.
     pub const fn name(self) -> &'static str {
         match self {
             Gauge::ThreadsMax => "threads_max",
+            Gauge::ServeQueueDepth => "serve_queue_depth",
+            Gauge::ServeQueueDepthMax => "serve_queue_depth_max",
         }
     }
 }
@@ -180,6 +190,33 @@ pub fn gauge_max(gauge: Gauge, value: u64) {
     }
 }
 
+/// Increments a level gauge by `n`. No-op when off.
+#[inline]
+pub fn gauge_add(gauge: Gauge, n: u64) {
+    if metrics_enabled() {
+        GAUGES[gauge as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Decrements a level gauge by `n`, saturating at zero. Saturation (not
+/// wrapping) matters because recording can be toggled between the
+/// matching increment and decrement — e.g. a job enqueued before
+/// `reset_metrics` and dequeued after it must not wrap the gauge to
+/// 2^64-1. No-op when off.
+#[inline]
+pub fn gauge_sub(gauge: Gauge, n: u64) {
+    if metrics_enabled() {
+        let _ = GAUGES[gauge as usize].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+}
+
+/// Reads the live value of a gauge (0 when never recorded).
+pub fn gauge_value(gauge: Gauge) -> u64 {
+    GAUGES[gauge as usize].load(Ordering::Relaxed)
+}
+
 /// Reads the live value of a counter (0 when never recorded).
 pub fn counter_value(counter: Counter) -> u64 {
     COUNTERS[counter as usize].load(Ordering::Relaxed)
@@ -201,11 +238,13 @@ pub fn record_worker_items(items: u64) {
         .push(items);
 }
 
-/// Clears all counters, gauges, spans, and worker-load records, and turns
-/// recording off. Intended for tests and for reusing a process across
-/// independent runs.
+/// Clears the entire registry — counters, gauges, spans, worker-load
+/// records, latency histograms, the flight recorder, and buffered trace
+/// events — and turns recording (metrics *and* tracing) off. Intended
+/// for tests and for reusing a process across independent runs.
 pub fn reset_metrics() {
     set_metrics_enabled(false);
+    crate::tracing::set_tracing_enabled(false);
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
     }
@@ -217,6 +256,9 @@ pub fn reset_metrics() {
         .expect("worker-load registry poisoned")
         .clear();
     crate::span::reset_spans();
+    crate::hist::reset_hists();
+    crate::flight::reset_flight();
+    crate::tracing::reset_tracing();
 }
 
 /// A point-in-time copy of the registry, convertible to JSON.
@@ -230,6 +272,9 @@ pub struct MetricsSnapshot {
     pub spans: Vec<(String, u64, u64)>,
     /// Items processed per parallel worker, in completion order.
     pub worker_items: Vec<u64>,
+    /// `(name, snapshot)` for every latency histogram, in
+    /// [`Hist::ALL`] order.
+    pub hists: Vec<(&'static str, HistSnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -242,14 +287,26 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
-    /// Serializes the snapshot as the `datareuse-metrics-v1` JSON object.
+    /// Looks up one histogram's snapshot by [`Hist`].
+    pub fn hist(&self, hist: Hist) -> Option<&HistSnapshot> {
+        self.hists
+            .iter()
+            .find(|(name, _)| *name == hist.name())
+            .map(|(_, snap)| snap)
+    }
+
+    /// Serializes the snapshot as the `datareuse-metrics-v2` JSON object.
+    ///
+    /// v2 extends v1 with a `hists` section: one object per latency
+    /// histogram carrying count/min/max/mean, p50/p90/p99/p999, and the
+    /// non-empty `[upper_bound_ns, count]` bucket pairs.
     ///
     /// The `counters` section is deterministic for a given workload (it
-    /// counts work, not time); `gauges`, `spans`, and `load` report
-    /// scheduling- and clock-dependent data and vary run to run.
+    /// counts work, not time); `gauges`, `spans`, `load`, and `hists`
+    /// report scheduling- and clock-dependent data and vary run to run.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("datareuse-metrics-v1")),
+            ("schema", Json::str("datareuse-metrics-v2")),
             (
                 "counters",
                 Json::obj(
@@ -279,6 +336,10 @@ impl MetricsSnapshot {
                     Json::arr(self.worker_items.iter().map(|&n| Json::UInt(n))),
                 )]),
             ),
+            (
+                "hists",
+                Json::obj(self.hists.iter().map(|(name, snap)| (*name, snap.to_json()))),
+            ),
         ])
     }
 }
@@ -305,6 +366,10 @@ pub fn snapshot() -> MetricsSnapshot {
             .lock()
             .expect("worker-load registry poisoned")
             .clone(),
+        hists: Hist::ALL
+            .iter()
+            .map(|&h| (h.name(), hist_snapshot(h)))
+            .collect(),
     }
 }
 
@@ -468,7 +533,7 @@ mod tests {
         let parsed = Json::parse(&text).expect("snapshot JSON must parse");
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("datareuse-metrics-v1")
+            Some("datareuse-metrics-v2")
         );
         let counters = parsed.get("counters").expect("counters section");
         assert_eq!(counters.entries().unwrap().len(), Counter::ALL.len());
@@ -480,6 +545,37 @@ mod tests {
         assert!(parsed.get("spans").is_some());
         let load = parsed.get("load").unwrap().get("worker_items").unwrap();
         assert_eq!(load.at(0).and_then(Json::as_u64), Some(5));
+        let hists = parsed.get("hists").expect("hists section");
+        assert_eq!(hists.entries().unwrap().len(), Hist::ALL.len());
         reset_metrics();
+    }
+
+    #[test]
+    fn level_gauges_add_sub_and_saturate() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        gauge_add(Gauge::ServeQueueDepth, 3);
+        gauge_sub(Gauge::ServeQueueDepth, 1);
+        assert_eq!(gauge_value(Gauge::ServeQueueDepth), 2);
+        // Saturates at zero instead of wrapping when decrements outpace
+        // increments (possible across a reset).
+        gauge_sub(Gauge::ServeQueueDepth, 10);
+        assert_eq!(gauge_value(Gauge::ServeQueueDepth), 0);
+        reset_metrics();
+    }
+
+    #[test]
+    fn reset_clears_hists_and_flight_recorder() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        crate::record_hist(Hist::ServeLatencyCold, 100);
+        crate::flight_record(crate::FlightKind::RequestStart, 1, 1);
+        gauge_add(Gauge::ServeQueueDepth, 5);
+        reset_metrics();
+        assert_eq!(snapshot().hist(Hist::ServeLatencyCold).unwrap().count, 0);
+        assert!(crate::flight_tail(16).is_empty());
+        assert_eq!(gauge_value(Gauge::ServeQueueDepth), 0);
     }
 }

@@ -1,0 +1,424 @@
+//! End-to-end request tracing: trace ids, span contexts, and Chrome
+//! trace-event export.
+//!
+//! The aggregated spans of [`crate::span`] answer "where does time go
+//! on average"; this module answers "where did *this request* spend its
+//! time". A [`TraceCtx`] carries a 64-bit trace id (minted by SplitMix64
+//! from a process-seeded counter — no wall-clock reads, so tests stay
+//! deterministic-ish and hermetic) plus the id of the current span.
+//! Contexts are propagated **explicitly** across thread hops: the server
+//! captures a request's ctx into the worker-pool job, the parallel sweep
+//! captures the caller's ctx into its scoped workers, and each side
+//! re-installs it with [`TraceCtx::attach`].
+//!
+//! Completed spans are buffered in a bounded queue (oldest dropped) and
+//! exported as Chrome trace-event JSON ([`chrome_trace_json`]) — the
+//! format `chrome://tracing` and <https://ui.perfetto.dev> load
+//! directly. Recording is gated on its own flag
+//! ([`set_tracing_enabled`]), independent of the metrics registry, so a
+//! server can run with counters on and tracing off.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+/// Completed spans awaiting export, oldest first.
+static EVENTS: Mutex<VecDeque<TraceEvent>> = Mutex::new(VecDeque::new());
+/// Monotonic span-id allocator (0 means "no span" / root).
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+/// Monotonic trace-id counter, mixed with the process seed.
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Bound on buffered completed spans; beyond it the oldest are dropped
+/// so an unscraped long-running server cannot grow without limit.
+pub const MAX_TRACE_EVENTS: usize = 65_536;
+
+thread_local! {
+    /// Stack of contexts installed on this thread (attach guards and
+    /// open trace spans), innermost last.
+    static CTX_STACK: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+    /// Small dense per-thread id for trace export (ThreadId's integer
+    /// form is unstable).
+    static TID: u64 = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        NEXT_TID.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// SplitMix64 output function — the same mixer `datareuse-proptest`
+/// uses, re-declared here to keep `obs` a leaf crate.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The process-wide trace epoch: all event timestamps are nanoseconds
+/// since the first call. Monotonic, no wall clock involved.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch. Use this (not `Instant`
+/// arithmetic of your own) when feeding [`record_span_at`] so all spans
+/// share one timeline.
+pub fn trace_now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Turns trace-event recording on or off for the whole process.
+pub fn set_tracing_enabled(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether trace-event recording is currently on.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// A trace context: which trace this work belongs to and which span is
+/// its parent. `Copy`, 16 bytes — made to be captured into closures
+/// that hop threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The 64-bit trace id shared by every span of one request.
+    pub trace_id: u64,
+    /// The span new children should report as their parent (0 = root).
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// Mints a context with a fresh trace id and no parent span.
+    ///
+    /// Ids come from SplitMix64 over a process-seeded counter (seeded
+    /// with the process id), so they are unique within a process,
+    /// collision-resistant across concurrent processes, and involve no
+    /// wall-clock read.
+    pub fn root() -> TraceCtx {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        let seed = *SEED.get_or_init(|| splitmix64(u64::from(std::process::id())));
+        let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        TraceCtx {
+            trace_id: splitmix64(seed ^ n),
+            span_id: 0,
+        }
+    }
+
+    /// The context currently installed on this thread (by
+    /// [`TraceCtx::attach`] or an open [`TraceSpan`]), if any.
+    pub fn current() -> Option<TraceCtx> {
+        CTX_STACK.with(|stack| stack.borrow().last().copied())
+    }
+
+    /// Installs this context as the thread's current one until the
+    /// returned guard drops. This is the explicit propagation primitive:
+    /// capture a ctx into a closure, attach it on the thread that runs
+    /// the closure, and spans opened there nest under the right parent.
+    pub fn attach(self) -> AttachGuard {
+        CTX_STACK.with(|stack| stack.borrow_mut().push(self));
+        AttachGuard(())
+    }
+}
+
+/// RAII guard from [`TraceCtx::attach`]; restores the previous context
+/// on drop.
+#[derive(Debug)]
+pub struct AttachGuard(());
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CTX_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// One completed span, ready for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a code location, like [`crate::span`] names).
+    pub name: &'static str,
+    /// Free-form detail (op name, kernel) shown in the trace viewer.
+    pub detail: String,
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's own id.
+    pub span_id: u64,
+    /// Parent span id (0 = root span of its trace).
+    pub parent_span: u64,
+    /// Dense per-thread id of the recording thread.
+    pub tid: u64,
+    /// Start, nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+fn push_event(event: TraceEvent) {
+    let mut events = EVENTS.lock().expect("trace event buffer poisoned");
+    if events.len() >= MAX_TRACE_EVENTS {
+        events.pop_front();
+    }
+    events.push_back(event);
+}
+
+/// An open traced region; records a [`TraceEvent`] on drop. Created by
+/// [`trace_span`] / [`trace_span_with`].
+#[derive(Debug)]
+pub struct TraceSpan {
+    /// `None` when tracing was disabled at creation — drop is a no-op.
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    name: &'static str,
+    detail: String,
+    ctx: TraceCtx,
+    parent_span: u64,
+    started: Instant,
+    ts_ns: u64,
+}
+
+impl TraceSpan {
+    /// The context children of this span should inherit (this span as
+    /// parent). `None` when tracing is disabled.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.live.as_ref().map(|l| l.ctx)
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        CTX_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        push_event(TraceEvent {
+            name: live.name,
+            detail: live.detail,
+            trace_id: live.ctx.trace_id,
+            span_id: live.ctx.span_id,
+            parent_span: live.parent_span,
+            tid: TID.with(|t| *t),
+            ts_ns: live.ts_ns,
+            dur_ns: live.started.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+/// Opens a traced span named `name` under the thread's current context
+/// (a fresh root trace if none is installed). Inert when tracing is
+/// disabled.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::{trace_span, take_trace_events, set_tracing_enabled};
+/// set_tracing_enabled(true);
+/// {
+///     let _outer = trace_span("request");
+///     let _inner = trace_span("execute");
+/// }
+/// set_tracing_enabled(false);
+/// let events = take_trace_events();
+/// assert_eq!(events.len(), 2);
+/// // Inner completes first and points at the outer span.
+/// assert_eq!(events[0].parent_span, events[1].span_id);
+/// assert_eq!(events[0].trace_id, events[1].trace_id);
+/// ```
+pub fn trace_span(name: &'static str) -> TraceSpan {
+    trace_span_with(name, String::new())
+}
+
+/// Like [`trace_span`], with a free-form `detail` string exported in the
+/// event's `args` (op name, kernel, …).
+pub fn trace_span_with(name: &'static str, detail: impl Into<String>) -> TraceSpan {
+    if !tracing_enabled() {
+        return TraceSpan { live: None };
+    }
+    let parent = TraceCtx::current().unwrap_or_else(TraceCtx::root);
+    let ctx = TraceCtx {
+        trace_id: parent.trace_id,
+        span_id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+    };
+    CTX_STACK.with(|stack| stack.borrow_mut().push(ctx));
+    TraceSpan {
+        live: Some(LiveSpan {
+            name,
+            detail: detail.into(),
+            ctx,
+            parent_span: parent.span_id,
+            started: Instant::now(),
+            ts_ns: trace_now_ns(),
+        }),
+    }
+}
+
+/// Records a completed span directly, for intervals whose start and end
+/// live on different threads (queue wait: submitted on the connection
+/// thread, picked up on a worker). `ts_ns` must come from
+/// [`trace_now_ns`]. No-op when tracing is disabled.
+pub fn record_span_at(name: &'static str, ctx: TraceCtx, ts_ns: u64, dur_ns: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        name,
+        detail: String::new(),
+        trace_id: ctx.trace_id,
+        span_id: NEXT_SPAN.fetch_add(1, Ordering::Relaxed),
+        parent_span: ctx.span_id,
+        tid: TID.with(|t| *t),
+        ts_ns,
+        dur_ns,
+    });
+}
+
+/// Drains and returns all buffered completed spans, oldest first.
+pub fn take_trace_events() -> Vec<TraceEvent> {
+    EVENTS
+        .lock()
+        .expect("trace event buffer poisoned")
+        .drain(..)
+        .collect()
+}
+
+/// Clears the event buffer without returning it.
+pub(crate) fn reset_tracing() {
+    EVENTS.lock().expect("trace event buffer poisoned").clear();
+}
+
+/// Renders completed spans as a Chrome trace-event document
+/// (`{"traceEvents": [...]}` with `ph: "X"` duration events), loadable
+/// in `chrome://tracing` and Perfetto. Timestamps are microseconds with
+/// sub-µs fractions preserved; trace and span ids ride in `args`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    Json::obj([
+        ("displayTimeUnit", Json::str("ns")),
+        (
+            "traceEvents",
+            Json::arr(events.iter().map(|e| {
+                let mut args = vec![
+                    ("trace_id".to_string(), Json::str(format!("{:016x}", e.trace_id))),
+                    ("span_id".to_string(), Json::UInt(e.span_id)),
+                    ("parent_span".to_string(), Json::UInt(e.parent_span)),
+                ];
+                if !e.detail.is_empty() {
+                    args.push(("detail".to_string(), Json::str(e.detail.clone())));
+                }
+                Json::obj([
+                    ("name", Json::str(e.name)),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::UInt(1)),
+                    ("tid", Json::UInt(e.tid)),
+                    ("ts", Json::Num(e.ts_ns as f64 / 1_000.0)),
+                    ("dur", Json::Num((e.dur_ns.max(1)) as f64 / 1_000.0)),
+                    ("args", Json::Obj(args)),
+                ])
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::test_lock;
+
+    #[test]
+    fn root_ids_are_distinct_and_nonzero() {
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_ne!(a.trace_id, 0);
+        assert_eq!(a.span_id, 0);
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing_and_has_no_ctx() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        {
+            let s = trace_span("ghost");
+            assert!(s.ctx().is_none());
+        }
+        assert!(take_trace_events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_across_an_explicit_thread_hop() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        set_tracing_enabled(true);
+        let child_ctx;
+        {
+            let request = trace_span_with("request", "explore");
+            child_ctx = request.ctx().expect("tracing on");
+            let handle = std::thread::spawn(move || {
+                let _attach = child_ctx.attach();
+                let _exec = trace_span("execute");
+            });
+            handle.join().unwrap();
+        }
+        set_tracing_enabled(false);
+        let events = take_trace_events();
+        assert_eq!(events.len(), 2);
+        let exec = events.iter().find(|e| e.name == "execute").unwrap();
+        let request = events.iter().find(|e| e.name == "request").unwrap();
+        assert_eq!(exec.trace_id, request.trace_id);
+        assert_eq!(exec.parent_span, request.span_id);
+        assert_eq!(request.parent_span, 0);
+        assert_eq!(request.detail, "explore");
+        crate::reset_metrics();
+    }
+
+    #[test]
+    fn chrome_export_parses_and_carries_ids() {
+        let events = vec![TraceEvent {
+            name: "request",
+            detail: "explore".to_string(),
+            trace_id: 0xabcd,
+            span_id: 7,
+            parent_span: 0,
+            tid: 3,
+            ts_ns: 2_500,
+            dur_ns: 1_000,
+        }];
+        let text = chrome_trace_json(&events).to_string();
+        let doc = Json::parse(&text).unwrap();
+        let items = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(items[0].get("ts").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(
+            items[0]
+                .get("args")
+                .and_then(|a| a.get("trace_id"))
+                .and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let _guard = test_lock::hold();
+        crate::reset_metrics();
+        set_tracing_enabled(true);
+        let ctx = TraceCtx::root();
+        for _ in 0..(MAX_TRACE_EVENTS + 10) {
+            record_span_at("tick", ctx, 0, 1);
+        }
+        set_tracing_enabled(false);
+        assert_eq!(take_trace_events().len(), MAX_TRACE_EVENTS);
+        crate::reset_metrics();
+    }
+}

@@ -13,12 +13,14 @@
 //! threads do not serialize on one mutex. Each shard runs its own LRU:
 //! entries carry a logical tick refreshed on hit, and when a shard is
 //! full the oldest tick is evicted. Hit / miss / eviction counts feed
-//! the `serve_cache_*` counters of the `datareuse-metrics-v1` snapshot.
+//! the `serve_cache_*` counters of the `datareuse-metrics-v2` snapshot,
+//! and each probe drops a `cache_hit`/`cache_miss` event (keyed by the
+//! request's trace id) into the flight recorder.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use datareuse_obs::{add, Counter};
+use datareuse_obs::{add, flight_record, Counter, FlightKind, TraceCtx};
 
 struct Entry {
     tick: u64,
@@ -72,17 +74,23 @@ impl ResultCache {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
+        // The flight recorder correlates the probe with the request via
+        // the trace id installed by the connection thread (0 when the
+        // probe happens outside a request, e.g. in unit tests).
+        let trace_id = TraceCtx::current().map_or(0, |c| c.trace_id);
         match shard.entries.get_mut(&key) {
             Some(entry) => {
                 entry.tick = tick;
                 let value = Arc::clone(&entry.value);
                 drop(shard);
                 add(Counter::ServeCacheHits, 1);
+                flight_record(FlightKind::CacheHit, trace_id, key);
                 Some(value)
             }
             None => {
                 drop(shard);
                 add(Counter::ServeCacheMisses, 1);
+                flight_record(FlightKind::CacheMiss, trace_id, key);
                 None
             }
         }

@@ -224,15 +224,15 @@ pub fn codegen(params: &CodegenParams) -> Result<Json, OpError> {
     Ok(Json::obj([("code", Json::Str(code))]))
 }
 
-/// Executes a work op (not `stats`/`ping`/`shutdown`, which the server
-/// answers inline) into its `result` document.
+/// Executes a work op (not the control/introspection ops, which the
+/// server answers inline) into its `result` document.
 pub fn execute(op: &Op) -> Result<Json, OpError> {
     match op {
         Op::Explore(params) => explore(params),
         Op::Pareto(params) => pareto(params),
         Op::Report { kernel } => report(kernel),
         Op::Codegen(params) => codegen(params),
-        Op::Stats | Op::Ping | Op::Shutdown => Err(OpError {
+        Op::Stats { .. } | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown => Err(OpError {
             code: E_INTERNAL,
             message: "control op reached the worker pool".to_string(),
         }),

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use datareuse_obs::{gauge_add, gauge_max, gauge_sub, Gauge};
+
 /// A unit of queued work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -52,6 +54,10 @@ impl WorkerPool {
                         let mut jobs = queue.jobs.lock().expect("job queue poisoned");
                         loop {
                             if let Some(job) = jobs.pop_front() {
+                                // The depth gauge tracks *waiting* jobs:
+                                // decremented the moment a worker takes
+                                // one, not when it finishes.
+                                gauge_sub(Gauge::ServeQueueDepth, 1);
                                 break Some(job);
                             }
                             if queue.draining.load(Ordering::Acquire) {
@@ -89,6 +95,11 @@ impl WorkerPool {
             return Err(job);
         }
         jobs.push_back(job);
+        // Recorded under the lock: the matching decrement also runs
+        // under it (in the worker's pop), so increments can never be
+        // overtaken by their own decrement and the gauge cannot drift.
+        gauge_add(Gauge::ServeQueueDepth, 1);
+        gauge_max(Gauge::ServeQueueDepthMax, jobs.len() as u64);
         drop(jobs);
         self.queue.ready.notify_one();
         Ok(())

@@ -8,13 +8,21 @@
 //! request  = { "op": <op>, <op params>…,
 //!              "id"?: <any json>, "deadline_ms"?: uint }
 //! op       = "explore" | "pareto" | "report" | "codegen"
-//!          | "stats" | "ping" | "shutdown"
+//!          | "stats" | "trace" | "prom" | "ping" | "shutdown"
 //! response = { "ok": true,  "id"?: <echoed>, "cached": bool, "result": <json> }
 //!          | { "ok": false, "id"?: <echoed>,
-//!              "error": { "code": <code>, "message": string } }
+//!              "error": { "code": <code>, "message": string,
+//!                         "flight"?: [<flight event>…] } }
 //! code     = "bad_request" | "overloaded" | "timeout"
 //!          | "shutting_down" | "internal"
 //! ```
+//!
+//! `timeout` and `overloaded` errors attach the flight-recorder tail
+//! (the last ~32 structured serving events) under `error.flight` so a
+//! refusal can be debugged after the fact. `stats` accepts an optional
+//! `"flight": true` to include the full recorder tail; `trace` drains
+//! buffered spans as a Chrome trace-event document; `prom` returns the
+//! Prometheus text exposition as a JSON string.
 //!
 //! `id` is echoed back verbatim and `deadline_ms` bounds how long the
 //! client is willing to wait; neither participates in the cache key —
@@ -139,9 +147,16 @@ pub enum Op {
     },
     /// Fig. 8 template emission.
     Codegen(CodegenParams),
-    /// Live `datareuse-metrics-v1` snapshot (counters include the
-    /// serve/cache traffic).
-    Stats,
+    /// Live `datareuse-metrics-v2` snapshot (counters include the
+    /// serve/cache traffic, histograms the latency distributions).
+    Stats {
+        /// Include the full flight-recorder tail in the response.
+        flight: bool,
+    },
+    /// Drain buffered trace spans as Chrome trace-event JSON.
+    Trace,
+    /// Prometheus text-format scrape of the metrics registry.
+    Prom,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: stop accepting, drain in-flight work, exit.
@@ -150,9 +165,28 @@ pub enum Op {
 
 impl Op {
     /// Whether results of this op are cacheable (pure functions of the
-    /// request body). Control ops are not.
+    /// request body). Control/introspection ops are not.
     pub fn cacheable(&self) -> bool {
-        !matches!(self, Op::Stats | Op::Ping | Op::Shutdown)
+        !matches!(
+            self,
+            Op::Stats { .. } | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown
+        )
+    }
+
+    /// Stable lowercase tag (the wire `op` string), used as span detail
+    /// and flight-recorder payload.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Explore(_) => "explore",
+            Op::Pareto(_) => "pareto",
+            Op::Report { .. } => "report",
+            Op::Codegen(_) => "codegen",
+            Op::Stats { .. } => "stats",
+            Op::Trace => "trace",
+            Op::Prom => "prom",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -296,7 +330,11 @@ impl Request {
                     },
                 })
             }
-            "stats" => Op::Stats,
+            "stats" => Op::Stats {
+                flight: get_bool(doc, "flight")?,
+            },
+            "trace" => Op::Trace,
+            "prom" => Op::Prom,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             other => return Err(format!("unknown op `{other}`")),
@@ -382,14 +420,30 @@ pub fn ok_envelope(id: Option<&Json>, cached: bool, result_raw: &str) -> String 
 
 /// Builds an error envelope with a structured `code` and message.
 pub fn err_envelope(id: Option<&Json>, code: &str, message: &str) -> String {
+    err_envelope_with_flight(id, code, message, None)
+}
+
+/// Like [`err_envelope`], optionally attaching a flight-recorder tail
+/// (a JSON array of events) under `error.flight` — used for `timeout`
+/// and `overloaded` responses so the refusal's context survives.
+pub fn err_envelope_with_flight(
+    id: Option<&Json>,
+    code: &str,
+    message: &str,
+    flight: Option<Json>,
+) -> String {
     let mut obj = vec![("ok".to_string(), Json::Bool(false))];
     if let Some(id) = id {
         obj.push(("id".to_string(), id.clone()));
     }
-    obj.push((
-        "error".to_string(),
-        Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
-    ));
+    let mut error = vec![
+        ("code".to_string(), Json::str(code)),
+        ("message".to_string(), Json::str(message)),
+    ];
+    if let Some(tail) = flight {
+        error.push(("flight".to_string(), tail));
+    }
+    obj.push(("error".to_string(), Json::Obj(error)));
     Json::Obj(obj).to_string()
 }
 
@@ -431,10 +485,42 @@ mod tests {
 
     #[test]
     fn control_ops_are_not_cacheable() {
-        for op in ["stats", "ping", "shutdown"] {
+        for op in ["stats", "trace", "prom", "ping", "shutdown"] {
             let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(r.cache_key.is_none(), "{op} must not be cached");
         }
+    }
+
+    #[test]
+    fn stats_accepts_a_flight_flag() {
+        let r = Request::parse_line(r#"{"op":"stats","flight":true}"#).unwrap();
+        assert_eq!(r.op, Op::Stats { flight: true });
+        let r = Request::parse_line(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(r.op, Op::Stats { flight: false });
+        assert!(Request::parse_line(r#"{"op":"stats","flight":3}"#).is_err());
+    }
+
+    #[test]
+    fn error_envelopes_can_attach_a_flight_tail() {
+        let tail = Json::arr([Json::obj([("event", Json::str("queue_reject"))])]);
+        let err = err_envelope_with_flight(None, E_OVERLOADED, "queue full", Some(tail));
+        let doc = Json::parse(&err).unwrap();
+        let flight = doc
+            .get("error")
+            .and_then(|e| e.get("flight"))
+            .and_then(Json::as_array)
+            .expect("flight array attached");
+        assert_eq!(
+            flight[0].get("event").and_then(Json::as_str),
+            Some("queue_reject")
+        );
+        // The plain form attaches nothing.
+        let plain = err_envelope(None, E_TIMEOUT, "late");
+        assert!(Json::parse(&plain)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("flight"))
+            .is_none());
     }
 
     #[test]

@@ -21,14 +21,18 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use datareuse_obs::{add, span, Counter, Json};
+use datareuse_obs::{
+    add, chrome_trace_json, flight_record, flight_tail_json, gauge_value, prometheus_text,
+    record_hist, record_span_at, span, take_trace_events, trace_now_ns, trace_span_with, Counter,
+    FlightKind, Gauge, Hist, Json, TraceCtx, FLIGHT_ERROR_TAIL,
+};
 
 use crate::cache::ResultCache;
 use crate::ops;
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    err_envelope, ok_envelope, Op, Request, E_BAD_REQUEST, E_INTERNAL, E_OVERLOADED,
-    E_SHUTTING_DOWN, E_TIMEOUT,
+    err_envelope, err_envelope_with_flight, ok_envelope, Op, Request, E_BAD_REQUEST, E_INTERNAL,
+    E_OVERLOADED, E_SHUTTING_DOWN, E_TIMEOUT,
 };
 
 /// Tuning knobs for [`Server::bind`].
@@ -199,9 +203,81 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Flight-recorder detail payload for a `request_start` event: the op's
+/// position in the wire grammar (1-based), documented in
+/// docs/ARCHITECTURE.md. The op *name* travels in the trace span; the
+/// flight slot only has a u64.
+fn op_ordinal(op: &Op) -> u64 {
+    match op {
+        Op::Explore(_) => 1,
+        Op::Pareto(_) => 2,
+        Op::Report { .. } => 3,
+        Op::Codegen(_) => 4,
+        Op::Stats { .. } => 5,
+        Op::Trace => 6,
+        Op::Prom => 7,
+        Op::Ping => 8,
+        Op::Shutdown => 9,
+    }
+}
+
+/// Builds the `stats` result: the metrics-v2 snapshot plus a `derived`
+/// section (hit ratio, queue depths, requests served) and, on request,
+/// the full flight-recorder tail.
+fn stats_result(shared: &Shared, flight: bool) -> String {
+    let snap = datareuse_obs::snapshot();
+    let hits = snap.counter(Counter::ServeCacheHits);
+    let misses = snap.counter(Counter::ServeCacheMisses);
+    let probes = hits + misses;
+    let ratio = if probes > 0 {
+        hits as f64 / probes as f64
+    } else {
+        0.0
+    };
+    let derived = Json::obj([
+        ("requests_served", Json::UInt(snap.counter(Counter::ServeRequests))),
+        ("cache_hit_ratio", Json::Num(ratio)),
+        ("queue_depth", Json::UInt(shared.pool.queued() as u64)),
+        (
+            "queue_depth_max",
+            Json::UInt(gauge_value(Gauge::ServeQueueDepthMax)),
+        ),
+    ]);
+    let Json::Obj(mut entries) = snap.to_json() else {
+        unreachable!("snapshot JSON is always an object");
+    };
+    entries.push(("derived".to_string(), derived));
+    if flight {
+        entries.push(("flight".to_string(), flight_tail_json(usize::MAX)));
+    }
+    Json::Obj(entries).to_string()
+}
+
 /// Processes one request line into one response line.
 fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
     add(Counter::ServeRequests, 1);
+    let started = Instant::now();
+    // Every request gets a trace id even when tracing is off: the flight
+    // recorder uses it to correlate events, and it is free to mint.
+    let root = TraceCtx::root();
+    let _attach = root.attach();
+    let (response, cache_hit) = handle_request(line, shared, root);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    record_hist(
+        if cache_hit {
+            Hist::ServeLatencyCacheHit
+        } else {
+            Hist::ServeLatencyCold
+        },
+        elapsed_ns,
+    );
+    flight_record(FlightKind::RequestEnd, root.trace_id, elapsed_ns / 1_000);
+    response
+}
+
+/// The request body of [`handle_line`]; returns the response line and
+/// whether it was served from the result cache (for the latency split).
+fn handle_request(line: &str, shared: &Arc<Shared>, root: TraceCtx) -> (String, bool) {
     let request = match Request::parse_line(line) {
         Ok(r) => r,
         Err(msg) => {
@@ -209,19 +285,32 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
             // Echo the id back even for bodies that failed validation —
             // the document may still be well-formed JSON with a bad op.
             let id = Json::parse(line).ok().and_then(|doc| doc.get("id").cloned());
-            return err_envelope(id.as_ref(), E_BAD_REQUEST, &msg);
+            return (err_envelope(id.as_ref(), E_BAD_REQUEST, &msg), false);
         }
     };
     let id = request.id.clone();
+    // The request span nests every child (cache probe, queue wait,
+    // execute) under one trace; its ctx is what crosses to the worker.
+    let request_span = trace_span_with("request", request.op.name());
+    let ctx = request_span.ctx().unwrap_or(root);
+    flight_record(FlightKind::RequestStart, ctx.trace_id, op_ordinal(&request.op));
     match &request.op {
-        Op::Ping => return ok_envelope(id.as_ref(), false, r#""pong""#),
-        Op::Stats => {
-            let snap = datareuse_obs::snapshot().to_json().to_string();
-            return ok_envelope(id.as_ref(), false, &snap);
+        Op::Ping => return (ok_envelope(id.as_ref(), false, r#""pong""#), false),
+        Op::Stats { flight } => {
+            let result = stats_result(shared, *flight);
+            return (ok_envelope(id.as_ref(), false, &result), false);
+        }
+        Op::Trace => {
+            let result = chrome_trace_json(&take_trace_events()).to_string();
+            return (ok_envelope(id.as_ref(), false, &result), false);
+        }
+        Op::Prom => {
+            let result = Json::str(prometheus_text(&datareuse_obs::snapshot())).to_string();
+            return (ok_envelope(id.as_ref(), false, &result), false);
         }
         Op::Shutdown => {
             shared.stopping.store(true, Ordering::Release);
-            return ok_envelope(id.as_ref(), false, r#""draining""#);
+            return (ok_envelope(id.as_ref(), false, r#""draining""#), false);
         }
         _ => {}
     }
@@ -229,34 +318,50 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
     if let Some(key) = request.cache_key {
         let _cache = span("cache");
         if let Some(hit) = shared.cache.get(key) {
-            return ok_envelope(id.as_ref(), true, &hit);
+            return (ok_envelope(id.as_ref(), true, &hit), true);
         }
     }
     let _request = span("request");
     if shared.stopping.load(Ordering::Acquire) {
         add(Counter::ServeErrors, 1);
-        return err_envelope(id.as_ref(), E_SHUTTING_DOWN, "server is draining");
+        return (
+            err_envelope(id.as_ref(), E_SHUTTING_DOWN, "server is draining"),
+            false,
+        );
     }
     let deadline = request
         .deadline_ms
         .map_or(shared.default_deadline, Duration::from_millis);
+    let deadline_ms = deadline.as_millis() as u64;
     let expires = Instant::now() + deadline;
     let (tx, rx) = mpsc::channel::<Result<Arc<str>, ops::OpError>>();
     let job_shared = Arc::clone(shared);
     let op = request.op.clone();
     let key = request.cache_key;
+    let submitted_at = Instant::now();
+    let submitted_ts = trace_now_ns();
     let submitted = shared.pool.try_submit(Box::new(move || {
+        // Re-install the request's trace context on the worker thread so
+        // spans opened here nest under the request.
+        let _attach = ctx.attach();
+        let wait_ns = submitted_at.elapsed().as_nanos() as u64;
+        record_hist(Hist::ServeQueueWait, wait_ns);
+        // The wait starts on the connection thread and ends here, so it
+        // is recorded directly rather than via a guard.
+        record_span_at("queue_wait", ctx, submitted_ts, wait_ns);
         // A worker picking up an already-expired job skips the compute:
         // the waiter is gone and the result would be wasted work. Report
         // the expiry explicitly — dropping the channel instead would
         // race the waiter's own timeout and read as an internal error.
         if Instant::now() >= expires {
+            flight_record(FlightKind::DeadlineExpiry, ctx.trace_id, deadline_ms);
             let _ = tx.send(Err(ops::OpError {
                 code: E_TIMEOUT,
                 message: "deadline expired before execution".to_string(),
             }));
             return;
         }
+        let _exec = trace_span_with("execute", op.name());
         let outcome = ops::execute(&op).map(|result| {
             let raw: Arc<str> = Arc::from(result.to_string());
             if let Some(key) = key {
@@ -268,17 +373,23 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
     }));
     if submitted.is_err() {
         add(Counter::ServeOverloaded, 1);
+        let queued = shared.pool.queued();
+        flight_record(FlightKind::QueueReject, ctx.trace_id, queued as u64);
         let (code, msg) = if shared.stopping.load(Ordering::Acquire) {
             (E_SHUTTING_DOWN, "server is draining".to_string())
         } else {
             (
                 E_OVERLOADED,
-                format!("queue full ({} waiting); retry later", shared.pool.queued()),
+                format!("queue full ({queued} waiting); retry later"),
             )
         };
-        return err_envelope(id.as_ref(), code, &msg);
+        let flight = (code == E_OVERLOADED).then(|| flight_tail_json(FLIGHT_ERROR_TAIL));
+        return (
+            err_envelope_with_flight(id.as_ref(), code, &msg, flight),
+            false,
+        );
     }
-    match rx.recv_timeout(deadline) {
+    let response = match rx.recv_timeout(deadline) {
         Ok(Ok(raw)) => ok_envelope(id.as_ref(), false, &raw),
         Ok(Err(e)) => {
             add(
@@ -289,21 +400,25 @@ fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
                 },
                 1,
             );
-            err_envelope(id.as_ref(), e.code, &e.message)
+            let flight = (e.code == E_TIMEOUT).then(|| flight_tail_json(FLIGHT_ERROR_TAIL));
+            err_envelope_with_flight(id.as_ref(), e.code, &e.message, flight)
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             add(Counter::ServeTimeouts, 1);
-            err_envelope(
+            flight_record(FlightKind::DeadlineExpiry, ctx.trace_id, deadline_ms);
+            err_envelope_with_flight(
                 id.as_ref(),
                 E_TIMEOUT,
-                &format!("deadline of {}ms expired", deadline.as_millis()),
+                &format!("deadline of {deadline_ms}ms expired"),
+                Some(flight_tail_json(FLIGHT_ERROR_TAIL)),
             )
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             add(Counter::ServeErrors, 1);
             err_envelope(id.as_ref(), E_INTERNAL, "worker dropped the request")
         }
-    }
+    };
+    (response, false)
 }
 
 #[cfg(test)]

@@ -99,10 +99,19 @@ impl ReuseCurve {
         sizes.sort_unstable();
         sizes.dedup();
         datareuse_obs::add(datareuse_obs::Counter::CurvePoints, sizes.len() as u64);
+        // Gated clock: the simulators are the hottest code in the
+        // workspace, so the run timer only exists when someone watches.
+        let started = datareuse_obs::metrics_enabled().then(std::time::Instant::now);
         let results = match policy {
             CurvePolicy::Optimal => opt_simulate_many(trace, &sizes),
             CurvePolicy::OptimalBypass => opt_simulate_bypass_many(trace, &sizes),
         };
+        if let Some(started) = started {
+            datareuse_obs::record_hist(
+                datareuse_obs::Hist::TraceSimRun,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         let points = results.into_iter().map(CurvePoint::from).collect();
         Self { policy, points }
     }

@@ -21,11 +21,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 # Serving smoke test: start the daemon on an ephemeral port, prove the
 # second identical query is a cache hit, and check it drains and exits 0
-# on `shutdown` within a timeout.
+# on `shutdown` within a timeout. Tracing is on (--trace-out) so the
+# drain also exercises the Chrome trace export.
 SERVE_METRICS="$(mktemp)"
 SERVE_LOG="$(mktemp)"
+SERVE_TRACE="$(mktemp)"
+SERVE_PROM="$(mktemp)"
 target/release/datareuse serve --addr 127.0.0.1:0 --metrics "$SERVE_METRICS" \
-    > "$SERVE_LOG" &
+    --trace-out "$SERVE_TRACE" > "$SERVE_LOG" &
 SERVE_PID=$!
 ADDR=""
 i=0
@@ -45,6 +48,8 @@ target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
     | grep -q '"cached":false'
 target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
     | grep -q '"cached":true'
+# Scrape the Prometheus exposition while the daemon is still up.
+target/release/datareuse query --addr "$ADDR" '{"op":"prom"}' > "$SERVE_PROM"
 target/release/datareuse query --addr "$ADDR" '{"op":"shutdown"}' > /dev/null
 i=0
 while kill -0 "$SERVE_PID" 2>/dev/null; do
@@ -58,7 +63,50 @@ while kill -0 "$SERVE_PID" 2>/dev/null; do
 done
 wait "$SERVE_PID"   # fails the script if the daemon exited nonzero
 grep -q '"serve_cache_hits":[1-9]' "$SERVE_METRICS"
-rm -f "$SERVE_METRICS" "$SERVE_LOG"
+
+# The metrics artifact is a v2 snapshot whose embedded serve-latency
+# histogram must report ordered percentiles.
+grep -q '"schema":"datareuse-metrics-v2"' "$SERVE_METRICS"
+hist_q() {
+    sed -n 's/.*"serve_latency_cold_ns":{[^}]*"'"$1"'":\([0-9]*\).*/\1/p' \
+        "$SERVE_METRICS"
+}
+P50="$(hist_q p50)"; P90="$(hist_q p90)"; P99="$(hist_q p99)"
+if [ -z "$P50" ] || [ "$P50" -gt "$P90" ] || [ "$P90" -gt "$P99" ]; then
+    echo "serve smoke: cold-latency percentiles missing or unordered" \
+        "(p50=$P50 p90=$P90 p99=$P99)" >&2
+    exit 1
+fi
+
+# The Chrome trace written at drain must hold at least one complete
+# request/execute span pair with ids (loadable in Perfetto as-is).
+for needle in '"traceEvents":[{' '"ph":"X"' '"name":"request"' \
+    '"name":"execute"' '"trace_id":"' '"parent_span":'; do
+    if ! grep -qF "$needle" "$SERVE_TRACE"; then
+        echo "serve smoke: trace output lacks $needle" >&2
+        exit 1
+    fi
+done
+
+# Exposition drift gate: every counter the registry reported in the
+# snapshot must appear in the Prometheus scrape, plus at least one
+# histogram bucket series. A Counter variant added without a prom row
+# (or renamed in one place only) fails here.
+COUNTERS="$(sed -n 's/.*"counters":{\([^}]*\)}.*/\1/p' "$SERVE_METRICS" \
+    | tr ',' '\n' | sed -n 's/^"\([a-z0-9_]*\)":.*/\1/p')"
+if [ -z "$COUNTERS" ]; then
+    echo "serve smoke: no counters found in metrics snapshot" >&2
+    exit 1
+fi
+for name in $COUNTERS; do
+    if ! grep -qF "datareuse_$name " "$SERVE_PROM"; then
+        echo "serve smoke: prom scrape is missing counter $name" >&2
+        exit 1
+    fi
+done
+grep -qF '_bucket{le=' "$SERVE_PROM"
+
+rm -f "$SERVE_METRICS" "$SERVE_LOG" "$SERVE_TRACE" "$SERVE_PROM"
 echo "serve smoke test passed"
 
 echo "tier-1 verification passed"
