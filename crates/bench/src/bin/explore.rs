@@ -1,0 +1,70 @@
+//! `BENCH_explore` — the audit-hook regression guard.
+//!
+//! The explain layer threads an `Option<&Explain>` through the whole
+//! exploration; its contract is *zero cost when disabled* — no
+//! allocation, no annotation bookkeeping, nothing on the hot path. This
+//! harness times three variants of the same sweep:
+//!
+//! - `baseline`: the public `explore_signal` entry point (what every
+//!   caller used before the audit layer existed),
+//! - `explain_off`: `explore_signal_explained` with `None` — the new
+//!   plumbing with the sink disabled,
+//! - `explain_on`: the audited sweep into a live sink (its overhead is
+//!   reported, not guarded — emitting records is allowed to cost).
+//!
+//! The guard asserts `explain_off` stays within noise of `baseline`
+//! (generous 1.5x on the median: they share ~everything, so a real
+//! hot-path regression shows up far above that) and exits nonzero on
+//! violation so `scripts/verify.sh` can gate on it.
+//!
+//! Run: `cargo run --release -p datareuse-bench --bin explore`
+
+use datareuse_bench::BenchGroup;
+use datareuse_core::{explore_signal, explore_signal_explained, ExploreOptions};
+use datareuse_kernels::load_kernel;
+use datareuse_obs::Explain;
+
+fn main() {
+    let program = load_kernel("me-small").expect("builtin kernel loads");
+    // Single-threaded so the guard measures the algorithm, not the
+    // thread pool's scheduling noise.
+    let opts = ExploreOptions {
+        threads: Some(1),
+        ..ExploreOptions::default()
+    };
+
+    let mut group = BenchGroup::new("explore");
+    group.bench("baseline", || {
+        explore_signal(&program, "Old", &opts).expect("explores")
+    });
+    group.bench("explain_off", || {
+        explore_signal_explained(&program, "Old", &opts, None).expect("explores")
+    });
+    group.bench("explain_on", || {
+        let sink = Explain::new();
+        explore_signal_explained(&program, "Old", &opts, Some(&sink)).expect("explores")
+    });
+    let results = group.finish();
+
+    let median = |id: &str| {
+        results
+            .iter()
+            .find(|m| m.id == id)
+            .map(|m| m.median_ns)
+            .expect("bench ran")
+    };
+    let (baseline, off, on) = (median("baseline"), median("explain_off"), median("explain_on"));
+    println!(
+        "\nexplain-off overhead: {:+.1}%   explain-on overhead: {:+.1}%",
+        (off / baseline - 1.0) * 100.0,
+        (on / baseline - 1.0) * 100.0,
+    );
+    // The guard: a disabled sink must not slow the sweep down. 1.5x is
+    // far outside timer noise for a sweep this size but well inside any
+    // accidental always-on allocation or cloning of the pool.
+    assert!(
+        off <= baseline * 1.5,
+        "explain-off sweep regressed: {off:.0}ns vs baseline {baseline:.0}ns"
+    );
+    println!("guard ok: explain-off within noise of the baseline sweep");
+}

@@ -4,16 +4,18 @@
 //! datareuse kernels
 //! datareuse emit    <kernel>
 //! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--workingset]
-//!                   [--gnuplot FILE] [--json] [--metrics FILE] [--progress]
+//!                   [--gnuplot FILE] [--json] [--explain FILE] [--metrics FILE] [--progress]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
-//! datareuse report  <kernel> [--json] [--metrics FILE] [--progress]   # all signals
+//! datareuse report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
 //! datareuse serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
 //!                   [--cache-entries N] [--deadline-ms MS] [--metrics FILE]
-//!                   [--trace-out FILE] [--progress]
+//!                   [--trace-out FILE] [--series-out FILE] [--scrape-ms MS]
+//!                   [--slo-p99-ms MS] [--slo-hit-ratio R] [--slo-queue F] [--progress]
 //! datareuse query   --addr HOST:PORT <request-json>...
+//! datareuse top     --addr HOST:PORT [--interval-ms MS] [--once] [--ascii]
 //! ```
 //!
 //! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
@@ -28,19 +30,31 @@
 //! additionally records request traces and writes them as Chrome
 //! trace-event JSON (loadable in Perfetto) when the server drains.
 //!
+//! `--explain FILE` runs the exploration through the audit sink and
+//! writes one NDJSON record per copy-candidate and per evaluated
+//! hierarchy — the `(c', b')` reuse vector, the eq. 1 `C_tot`/`C_R`/
+//! `F_R` terms, the eq. 2–3 cost terms, and the terminal verdict
+//! (`kept`, `bypass`, `pruned`, or `dominated-by <id>`). The report's
+//! `why` section is distilled from the same log.
+//!
 //! Exit codes: 0 on success, 1 on a runtime failure (unreadable kernel
 //! file, exploration error, transport failure or generic server error),
 //! 2 on a usage error (unknown subcommand, missing or malformed flags) —
 //! usage errors also print the usage summary to stderr. `query` maps
 //! structured server errors to distinct codes: 3 for `timeout`, 4 for
-//! `overloaded`, and prints any attached flight-recorder tail to stderr.
+//! `overloaded`, and prints any attached flight-recorder tail to stderr;
+//! a `health` response maps its status to 5 (`degraded`) or 6
+//! (`failing`) so probes can alert without parsing JSON.
+
+mod top;
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use datareuse_codegen::{emit_program, gnuplot_script, Series};
 use datareuse_core::{
-    explore_orders, explore_program, explore_signal, ExplorationReport, ExploreOptions,
+    explore_orders, explore_program_explained, explore_signal_explained, ExplorationReport,
+    ExploreOptions,
 };
 use datareuse_kernels::{load_kernel, BUILTINS};
 use datareuse_loopir::{read_addresses, Program};
@@ -55,18 +69,22 @@ const USAGE: &str = "usage: datareuse <command> [args]
   kernels                       list built-in kernels
   emit    <kernel>              print the kernel as C
   explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
-                   [--workingset] [--gnuplot FILE] [--metrics FILE] [--progress]
-  report  <kernel> [--json] [--metrics FILE] [--progress]
+                   [--workingset] [--gnuplot FILE] [--explain FILE]
+                   [--metrics FILE] [--progress]
+  report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
   orders  <kernel> [--array NAME] [--limit N]
   curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
   codegen <kernel> [--array NAME] [--pair O,I] [--strategy max|partial:G|bypass:G]
                    [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
   serve   [--addr HOST:PORT] [--threads N] [--queue-depth N]
           [--cache-entries N] [--deadline-ms MS] [--metrics FILE]
-          [--trace-out FILE] [--progress]
+          [--trace-out FILE] [--series-out FILE] [--scrape-ms MS]
+          [--slo-p99-ms MS] [--slo-hit-ratio R] [--slo-queue F] [--progress]
   query   --addr HOST:PORT <request-json>...
+  top     --addr HOST:PORT [--interval-ms MS] [--once] [--ascii]
 <kernel> is a built-in name (`datareuse kernels`) or a path to a .dr file.
-query exit codes: 0 ok, 1 transport/server error, 3 timeout, 4 overloaded.";
+query exit codes: 0 ok, 1 transport/server error, 3 timeout, 4 overloaded,
+5 health degraded, 6 health failing.";
 
 /// A CLI failure, split by whose fault it is: `Usage` is a malformed
 /// invocation (exit 2, prints the usage summary), `Runtime` is a
@@ -183,6 +201,23 @@ fn write_metrics(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Creates the exploration audit sink when `--explain FILE` is given.
+fn explain_sink(args: &Args) -> Result<Option<(String, datareuse_obs::Explain)>, CliError> {
+    match args.flag("explain") {
+        Some(path) => Ok(Some((path.to_string(), datareuse_obs::Explain::new()))),
+        None if args.has("explain") => Err(usage("--explain expects a file path")),
+        None => Ok(None),
+    }
+}
+
+/// Writes the accumulated audit log as NDJSON to `path`.
+fn write_explain(path: &str, sink: &datareuse_obs::Explain) -> Result<(), String> {
+    std::fs::write(path, sink.to_ndjson())
+        .map_err(|e| format!("cannot write explain log to `{path}`: {e}"))?;
+    eprintln!("explain log ({} records) written to {path}", sink.len());
+    Ok(())
+}
+
 fn cmd_explore(args: &Args) -> Result<(), CliError> {
     let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
@@ -191,12 +226,26 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
         opts.max_chain_depth = d.parse().map_err(|_| usage("bad --depth"))?;
     }
     let (metrics_path, progress) = start_observability(args);
-    let ex = explore_signal(&program, &array, &opts).map_err(|e| e.to_string())?;
+    let explain = explain_sink(args)?;
+    let sink = explain.as_ref().map(|(_, s)| s);
+    let ex = explore_signal_explained(&program, &array, &opts, sink).map_err(|e| e.to_string())?;
     let tech = MemoryTechnology::new();
-    let report = ExplorationReport::build(&ex, &opts, &tech, &BitCount);
+    // The report builds its own (unexplained) front; when auditing, run
+    // the explained front once so the sink gets the chain records, then
+    // distill the report's `why` section from the same log.
+    if let Some(s) = sink {
+        ex.pareto_explained(&opts, &tech, &BitCount, Some(s));
+    }
+    let mut report = ExplorationReport::build(&ex, &opts, &tech, &BitCount);
+    if let Some(s) = sink {
+        report = report.with_why(s);
+    }
     if args.has("json") {
         println!("{}", report.to_json());
         drop(progress);
+        if let Some((path, s)) = &explain {
+            write_explain(path, s)?;
+        }
         if let Some(path) = &metrics_path {
             write_metrics(path)?;
         }
@@ -253,6 +302,9 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
         println!("\ngnuplot script written to {path}");
     }
     drop(progress);
+    if let Some((path, s)) = &explain {
+        write_explain(path, s)?;
+    }
     if let Some(path) = &metrics_path {
         write_metrics(path)?;
     }
@@ -264,23 +316,37 @@ fn cmd_report(args: &Args) -> Result<(), CliError> {
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
     let (metrics_path, progress) = start_observability(args);
-    let explorations = explore_program(&program, &opts).map_err(|e| e.to_string())?;
+    let explain = explain_sink(args)?;
+    let sink = explain.as_ref().map(|(_, s)| s);
+    let explorations =
+        explore_program_explained(&program, &opts, sink).map_err(|e| e.to_string())?;
+    // One sink serves all signals: `why_lines` filters by array, so each
+    // report distills only its own records.
+    let build = |ex: &datareuse_core::SignalExploration| {
+        if let Some(s) = sink {
+            ex.pareto_explained(&opts, &tech, &BitCount, Some(s));
+        }
+        let report = ExplorationReport::build(ex, &opts, &tech, &BitCount);
+        match sink {
+            Some(s) => report.with_why(s),
+            None => report,
+        }
+    };
     if args.has("json") {
-        let docs: Vec<String> = explorations
-            .iter()
-            .map(|ex| ExplorationReport::build(ex, &opts, &tech, &BitCount).to_json())
-            .collect();
+        let docs: Vec<String> = explorations.iter().map(|ex| build(ex).to_json()).collect();
         println!("[{}]", docs.join(","));
     } else {
         for (i, ex) in explorations.iter().enumerate() {
             if i > 0 {
                 println!();
             }
-            let report = ExplorationReport::build(ex, &opts, &tech, &BitCount);
-            print!("{report}");
+            print!("{}", build(ex));
         }
     }
     drop(progress);
+    if let Some((path, s)) = &explain {
+        write_explain(path, s)?;
+    }
     if let Some(path) = &metrics_path {
         write_metrics(path)?;
     }
@@ -392,6 +458,29 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         let ms: u64 = d.parse().map_err(|_| usage("bad --deadline-ms"))?;
         config.default_deadline = std::time::Duration::from_millis(ms);
     }
+    if let Some(s) = args.flag("scrape-ms") {
+        let ms: u64 = s.parse().map_err(|_| usage("bad --scrape-ms"))?;
+        config.scrape_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(p) = args.flag("slo-p99-ms") {
+        let ms: u64 = p.parse().map_err(|_| usage("bad --slo-p99-ms"))?;
+        config.slo.p99_latency = std::time::Duration::from_millis(ms);
+    }
+    if let Some(r) = args.flag("slo-hit-ratio") {
+        let ratio: f64 = r.parse().map_err(|_| usage("bad --slo-hit-ratio"))?;
+        if !(0.0..=1.0).contains(&ratio) {
+            return Err(usage("--slo-hit-ratio must be in 0..=1"));
+        }
+        config.slo.min_hit_ratio = ratio;
+    }
+    if let Some(q) = args.flag("slo-queue") {
+        let frac: f64 = q.parse().map_err(|_| usage("bad --slo-queue"))?;
+        if !(0.0..=1.0).contains(&frac) {
+            return Err(usage("--slo-queue must be in 0..=1"));
+        }
+        config.slo.max_queue_saturation = frac;
+    }
+    let series_path = args.flag("series-out").map(str::to_string);
     let (metrics_path, progress) = start_observability(args);
     // Serving always records metrics: the `stats`/`prom` ops and the
     // flight recorder must have data even without `--metrics FILE`.
@@ -409,6 +498,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     drop(progress);
     if let Some(path) = &metrics_path {
         write_metrics(path)?;
+    }
+    if let Some(path) = &series_path {
+        // The ring survives the drain; this is the full retained window
+        // (up to SERIES_CAPACITY points), one NDJSON line per scrape.
+        std::fs::write(path, datareuse_obs::series_ndjson())
+            .map_err(|e| format!("cannot write series to `{path}`: {e}"))?;
+        eprintln!(
+            "series ({} points) written to {path}",
+            datareuse_obs::series_len()
+        );
     }
     if let Some(path) = &trace_path {
         // Spans already drained by `trace` ops are gone; this writes
@@ -438,6 +537,28 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
             continue;
         };
         if doc.get("ok").and_then(Json::as_bool) != Some(false) {
+            // A successful `health` response still decides the exit
+            // code: degraded → 5, failing → 6, so probes can alert on
+            // the code alone.
+            let status = doc
+                .get("result")
+                .filter(|r| r.get("checks").is_some())
+                .and_then(|r| r.get("status"))
+                .and_then(Json::as_str);
+            let exit = match status {
+                Some("degraded") => Some(5),
+                Some("failing") => Some(6),
+                _ => None,
+            };
+            if let (Some(exit), None) = (exit, &first_error) {
+                first_error = Some(CliError::Server {
+                    exit,
+                    msg: format!(
+                        "server health is {} (see response above)",
+                        status.unwrap_or("unknown")
+                    ),
+                });
+            }
             continue;
         }
         let error = doc.get("error");
@@ -491,8 +612,25 @@ fn run() -> Result<(), CliError> {
         "codegen" => cmd_codegen(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
+        "top" => cmd_top(&args),
         other => Err(usage(format!("unknown command `{other}`"))),
     }
+}
+
+fn cmd_top(args: &Args) -> Result<(), CliError> {
+    let addr = args.flag("addr").ok_or_else(|| usage("missing --addr"))?;
+    let interval_ms: u64 = args
+        .flag("interval-ms")
+        .map(|v| v.parse().map_err(|_| usage("bad --interval-ms")))
+        .transpose()?
+        .unwrap_or(1000);
+    top::run_top(&top::TopOptions {
+        addr: addr.to_string(),
+        interval: std::time::Duration::from_millis(interval_ms.max(50)),
+        once: args.has("once"),
+        ascii: args.has("ascii"),
+    })
+    .map_err(CliError::Runtime)
 }
 
 fn main() -> ExitCode {

@@ -287,3 +287,63 @@ fn usage_errors_exit_2_with_the_usage_summary() {
     assert_eq!(code, Some(1), "stderr: {stderr}");
     assert!(!stderr.contains("usage: datareuse"), "{stderr}");
 }
+
+#[test]
+fn explain_log_reproduces_the_papers_fir_numbers() {
+    let path = temp_path("fir_explain.ndjson");
+    let (ok, stdout, stderr) = datareuse(&["explore", "fir", "--explain", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    // The report distills a `why` section from the same log.
+    assert!(stdout.contains("why:"), "no why section in:\n{stdout}");
+    assert!(stdout.contains("candidates:"), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("explain log written");
+    std::fs::remove_file(&path).ok();
+    let records: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("every explain line is JSON"))
+        .collect();
+    // Completeness: the summary tallies cover every candidate record.
+    let candidates = records
+        .iter()
+        .filter(|r| r.get("record").and_then(Json::as_str) == Some("candidate"))
+        .count() as u64;
+    let summary = records
+        .iter()
+        .find(|r| r.get("record").and_then(Json::as_str) == Some("candidate-summary"))
+        .expect("candidate-summary record");
+    let tally = |k: &str| summary.get(k).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(
+        tally("kept") + tally("bypass") + tally("pruned") + tally("dominated"),
+        candidates
+    );
+    // The eq. 12–15 point of the paper: fir's maximum-reuse pair has
+    // reuse vector (c', b') = (1, 1) with an anti-dependency over
+    // (j_range, k_range) = (1024, 64), giving C_tot = 65536,
+    // C_R = (j−c')(k−b') = 64449, fills = 1087, and A_Max = 64.
+    let max = records
+        .iter()
+        .find(|r| {
+            r.get("source")
+                .and_then(|s| s.get("kind"))
+                .and_then(Json::as_str)
+                == Some("pair-max")
+        })
+        .expect("pair-max record");
+    let field = |r: &Json, k: &str| r.get(k).and_then(Json::as_u64).expect(k);
+    let vector = max.get("vector").expect("pair-max carries its vector");
+    let (c, b) = (field(vector, "c_prime"), field(vector, "b_prime"));
+    let (j, k) = (field(vector, "j_range"), field(vector, "k_range"));
+    assert_eq!((c, b, j, k), (1, 1, 1024, 64));
+    assert_eq!(vector.get("anti").and_then(Json::as_bool), Some(true));
+    assert_eq!(field(max, "c_tot"), 65536);
+    assert_eq!(field(max, "c_r"), 64449);
+    assert_eq!(field(max, "fills"), 1087);
+    assert_eq!(field(max, "a"), 64);
+    // The record is self-consistent against its own reuse vector:
+    // C_tot = j·k, C_R = (j−c')(k−b'), A = c'(k−b') + b' (anti-dep).
+    assert_eq!(field(max, "c_tot"), j * k);
+    assert_eq!(field(max, "c_r"), (j - c) * (k - b));
+    assert_eq!(field(max, "a"), c * (k - b) + b);
+    let f_r = max.get("f_r").and_then(Json::as_f64).expect("f_r");
+    assert!((f_r - 65536.0 / 1087.0).abs() < 1e-9, "F_RMax = {f_r}");
+}

@@ -378,3 +378,72 @@ fn stats_derives_ratios_prom_scrapes_and_the_flight_recorder_replays() {
     assert!(text.contains("_bucket{le="), "{text}");
     server.shutdown();
 }
+
+#[test]
+fn health_maps_to_exit_codes_and_top_renders_the_series() {
+    let series_path = std::env::temp_dir().join(format!(
+        "datareuse_serve_{}_series.ndjson",
+        std::process::id()
+    ));
+    // Fast scraper so a short-lived test server retains several points.
+    let server = ServerProc::spawn(&[
+        "--scrape-ms",
+        "20",
+        "--series-out",
+        series_path.to_str().unwrap(),
+    ]);
+    // A healthy server: `query health` exits 0.
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(["query", "--addr", &server.addr, r#"{"op":"health"}"#])
+        .output()
+        .expect("query runs");
+    assert_eq!(out.status.code(), Some(0), "healthy server exits 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""status":"ok""#), "stdout: {stdout}");
+    // Generate some traffic, give the scraper a couple of windows, then
+    // render one dashboard frame.
+    exchange(
+        &server.addr,
+        &[
+            r#"{"op":"explore","kernel":"fir"}"#,
+            r#"{"op":"explore","kernel":"fir"}"#,
+        ],
+    );
+    std::thread::sleep(Duration::from_millis(80));
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(["top", "--addr", &server.addr, "--once", "--ascii"])
+        .output()
+        .expect("top runs");
+    assert_eq!(out.status.code(), Some(0), "top --once exits 0");
+    let frame = String::from_utf8(out.stdout).unwrap();
+    assert!(frame.contains("datareuse top"), "frame:\n{frame}");
+    assert!(frame.contains("req/win"), "frame has sparklines:\n{frame}");
+    assert!(!frame.contains('\x1b'), "--once/--ascii frame is ANSI-free");
+    server.shutdown();
+    // The drain dumped the retained series window as NDJSON.
+    let dump = std::fs::read_to_string(&series_path).expect("series dump written");
+    std::fs::remove_file(&series_path).ok();
+    assert!(dump.lines().count() >= 2, "several points retained:\n{dump}");
+    for line in dump.lines() {
+        let point = Json::parse(line).expect("series line parses");
+        assert!(point.get("counters").is_some());
+        assert!(point.get("hists").is_some());
+    }
+}
+
+#[test]
+fn an_unmeetable_slo_maps_health_to_exit_6() {
+    // A zero p99 SLO fails as soon as any request has been served.
+    let server = ServerProc::spawn(&["--slo-p99-ms", "0"]);
+    exchange(&server.addr, &[r#"{"op":"ping"}"#]);
+    let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
+        .args(["query", "--addr", &server.addr, r#"{"op":"health"}"#])
+        .output()
+        .expect("query runs");
+    assert_eq!(out.status.code(), Some(6), "failing health exits 6");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains(r#""status":"failing""#), "stdout: {stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("health is failing"), "stderr: {stderr}");
+    server.shutdown();
+}

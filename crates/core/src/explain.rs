@@ -1,0 +1,429 @@
+//! Structured audit records for the exploration ("why did the tool keep
+//! this copy-candidate?").
+//!
+//! When an [`Explain`] sink is passed to
+//! [`explore_signal_explained`](crate::explore_signal_explained) or
+//! [`SignalExploration::pareto_explained`](crate::SignalExploration::pareto_explained),
+//! every candidate and every evaluated hierarchy gets one NDJSON record
+//! carrying the paper's cost terms — the `(c', b')` reuse vector, `C_tot`,
+//! `C_R`, `F_R`, `A` for candidates (eq. 12–22) and the eq. 2–3 power/area
+//! terms for chains — plus a terminal verdict: `kept`, `bypass`, `pruned`,
+//! or `dominated-by <id>` naming the winning record by id. The sink is
+//! optional end to end: with `None` no record is built and no allocation
+//! happens.
+//!
+//! Record kinds, one JSON object per line:
+//!
+//! - `candidate` — one per offered copy-candidate, `id` = offer index;
+//! - `candidate-summary` — verdict tallies for the signal;
+//! - `chain` — one per enumerated hierarchy with its evaluated cost;
+//! - `chain-summary` — how many hierarchies survived the Pareto filter.
+
+use datareuse_memmodel::{ChainCost, CopyChain, ParetoVerdict};
+use datareuse_obs::{Explain, Json};
+
+use crate::levels::{CandidatePoint, CandidateSource, CandidateVerdict};
+use crate::pairwise::PairGeometry;
+use crate::partial::gamma_interval;
+use crate::report::describe_source;
+use crate::vectors::ReuseClass;
+
+/// The reuse-vector geometry of a loop pair, captured once per pair and
+/// attached to every candidate the pair produced. Footprint and simulated
+/// candidates have no pair geometry (`vector: null` in the record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairVector {
+    /// Elements consumed per `j` iteration (`c'`).
+    pub c_prime: i64,
+    /// Reuse distance in `k` iterations (`b'`).
+    pub b_prime: i64,
+    /// Anti-diagonal orientation (extends occupancy by `b'`).
+    pub anti: bool,
+    /// Outer loop trip count (`jRANGE`).
+    pub j_range: i64,
+    /// Inner loop trip count (`kRANGE`).
+    pub k_range: i64,
+    /// The γ validity interval `[min, sup)` of the partial family, when
+    /// one exists.
+    pub gamma: Option<(i64, i64)>,
+}
+
+impl PairVector {
+    /// Extracts the vector from a pair geometry; `None` when the pair
+    /// carries no reuse at all.
+    pub fn from_geometry(geom: &PairGeometry) -> Option<Self> {
+        match geom.class {
+            ReuseClass::Vector { bp, cp, anti } => Some(Self {
+                c_prime: cp,
+                b_prime: bp,
+                anti,
+                j_range: geom.j_range,
+                k_range: geom.k_range,
+                gamma: gamma_interval(geom),
+            }),
+            ReuseClass::SameElement => Some(Self {
+                c_prime: 0,
+                b_prime: 0,
+                anti: false,
+                j_range: geom.j_range,
+                k_range: geom.k_range,
+                gamma: None,
+            }),
+            ReuseClass::NoReuse => None,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        let mut entries = vec![
+            ("c_prime".to_string(), Json::Int(self.c_prime)),
+            ("b_prime".to_string(), Json::Int(self.b_prime)),
+            ("anti".to_string(), Json::Bool(self.anti)),
+            ("j_range".to_string(), Json::Int(self.j_range)),
+            ("k_range".to_string(), Json::Int(self.k_range)),
+        ];
+        if let Some((min, sup)) = self.gamma {
+            entries.push(("gamma_min".to_string(), Json::Int(min)));
+            entries.push(("gamma_sup".to_string(), Json::Int(sup)));
+        }
+        Json::Obj(entries)
+    }
+}
+
+fn source_json(source: CandidateSource) -> Json {
+    match source {
+        CandidateSource::Footprint { depth_from_inner } => Json::obj([
+            ("kind", Json::str("footprint")),
+            ("depth_from_inner", Json::UInt(depth_from_inner as u64)),
+        ]),
+        CandidateSource::MergedFootprint { depth_from_inner } => Json::obj([
+            ("kind", Json::str("merged-footprint")),
+            ("depth_from_inner", Json::UInt(depth_from_inner as u64)),
+        ]),
+        CandidateSource::PairMax => Json::obj([("kind", Json::str("pair-max"))]),
+        CandidateSource::PairPartial { gamma, bypass } => Json::obj([
+            ("kind", Json::str("pair-partial")),
+            ("gamma", Json::Int(gamma)),
+            ("bypass", Json::Bool(bypass)),
+        ]),
+        CandidateSource::Simulated => Json::obj([("kind", Json::str("simulated"))]),
+    }
+}
+
+/// One `candidate` audit record. `id` is the candidate's index in the
+/// offered pool, which is what `dominated-by` verdicts refer to.
+pub fn candidate_record(
+    array: &str,
+    id: usize,
+    c: &CandidatePoint,
+    vector: Option<PairVector>,
+    verdict: CandidateVerdict,
+) -> Json {
+    // C_R = C_tot − C_j − bypasses: the reads the candidate absorbs.
+    let c_r = c.c_tot - c.fills - c.bypasses;
+    Json::obj([
+        ("record", Json::str("candidate")),
+        ("array", Json::str(array)),
+        ("id", Json::UInt(id as u64)),
+        ("source", source_json(c.source)),
+        ("size", Json::UInt(c.size)),
+        ("fills", Json::UInt(c.fills)),
+        ("bypasses", Json::UInt(c.bypasses)),
+        ("c_tot", Json::UInt(c.c_tot)),
+        ("c_r", Json::UInt(c_r)),
+        ("f_r", Json::Num(c.reuse_factor())),
+        ("a", Json::UInt(c.size)),
+        ("exact", Json::Bool(c.exact)),
+        ("vector", vector.map_or(Json::Null, PairVector::to_json)),
+        ("verdict", Json::str(verdict.to_string())),
+    ])
+}
+
+/// One `chain` audit record with the evaluated eq. 2–3 cost terms. `id`
+/// is the chain's index in the enumeration order.
+pub fn chain_record(
+    array: &str,
+    id: usize,
+    chain: &CopyChain,
+    cost: &ChainCost,
+    verdict: ParetoVerdict,
+) -> Json {
+    let levels = Json::arr(chain.levels.iter().map(|l| {
+        Json::obj([
+            ("words", Json::UInt(l.words)),
+            ("fills", Json::UInt(l.fills)),
+            ("bypasses", Json::UInt(l.bypasses)),
+        ])
+    }));
+    let Json::Obj(cost_entries) = cost.to_json() else {
+        unreachable!("ChainCost::to_json is always an object");
+    };
+    let mut entries = vec![
+        ("record".to_string(), Json::str("chain")),
+        ("array".to_string(), Json::str(array)),
+        ("id".to_string(), Json::UInt(id as u64)),
+        ("levels".to_string(), levels),
+    ];
+    entries.extend(cost_entries);
+    entries.push(("verdict".to_string(), Json::str(verdict.to_string())));
+    Json::Obj(entries)
+}
+
+/// Emits one record per offered candidate plus the `candidate-summary`
+/// tally. `pool`, `annots` (empty allowed), and `verdicts` are parallel.
+pub fn emit_candidate_records(
+    sink: &Explain,
+    array: &str,
+    c_tot: u64,
+    background_words: u64,
+    pool: &[CandidatePoint],
+    annots: &[Option<PairVector>],
+    verdicts: &[CandidateVerdict],
+) {
+    let mut kept = 0u64;
+    let mut bypass = 0u64;
+    let mut pruned = 0u64;
+    let mut dominated = 0u64;
+    let mut lines = Vec::with_capacity(pool.len() + 1);
+    for (id, (c, verdict)) in pool.iter().zip(verdicts).enumerate() {
+        match verdict {
+            CandidateVerdict::Kept => kept += 1,
+            CandidateVerdict::Bypass => bypass += 1,
+            CandidateVerdict::Pruned => pruned += 1,
+            CandidateVerdict::DominatedBy(_) => dominated += 1,
+        }
+        let vector = annots.get(id).copied().flatten();
+        lines.push(candidate_record(array, id, c, vector, *verdict).to_string());
+    }
+    lines.push(
+        Json::obj([
+            ("record", Json::str("candidate-summary")),
+            ("array", Json::str(array)),
+            ("c_tot", Json::UInt(c_tot)),
+            ("background_words", Json::UInt(background_words)),
+            ("offered", Json::UInt(pool.len() as u64)),
+            ("kept", Json::UInt(kept)),
+            ("bypass", Json::UInt(bypass)),
+            ("pruned", Json::UInt(pruned)),
+            ("dominated", Json::UInt(dominated)),
+        ])
+        .to_string(),
+    );
+    sink.emit_lines(lines);
+}
+
+/// Emits one record per evaluated hierarchy plus the `chain-summary`.
+pub fn emit_chain_records(
+    sink: &Explain,
+    array: &str,
+    chains: &[(CopyChain, ChainCost)],
+    verdicts: &[ParetoVerdict],
+) {
+    let mut lines = Vec::with_capacity(chains.len() + 1);
+    let mut front = 0u64;
+    for (id, ((chain, cost), verdict)) in chains.iter().zip(verdicts).enumerate() {
+        if *verdict == ParetoVerdict::Kept {
+            front += 1;
+        }
+        lines.push(chain_record(array, id, chain, cost, *verdict).to_string());
+    }
+    lines.push(
+        Json::obj([
+            ("record", Json::str("chain-summary")),
+            ("array", Json::str(array)),
+            ("chains", Json::UInt(chains.len() as u64)),
+            ("front", Json::UInt(front)),
+        ])
+        .to_string(),
+    );
+    sink.emit_lines(lines);
+}
+
+fn source_from_json(source: &Json) -> Option<CandidateSource> {
+    let depth = || {
+        source
+            .get("depth_from_inner")
+            .and_then(Json::as_u64)
+            .map(|d| d as usize)
+    };
+    match source.get("kind").and_then(Json::as_str)? {
+        "footprint" => Some(CandidateSource::Footprint {
+            depth_from_inner: depth()?,
+        }),
+        "merged-footprint" => Some(CandidateSource::MergedFootprint {
+            depth_from_inner: depth()?,
+        }),
+        "pair-max" => Some(CandidateSource::PairMax),
+        "pair-partial" => Some(CandidateSource::PairPartial {
+            gamma: source.get("gamma").and_then(Json::as_f64)? as i64,
+            bypass: source.get("bypass").and_then(Json::as_bool)?,
+        }),
+        "simulated" => Some(CandidateSource::Simulated),
+        _ => None,
+    }
+}
+
+/// Renders the audit records of one signal as human "why" lines for the
+/// report: one line per surviving candidate and per Pareto-front
+/// hierarchy, plus the verdict tallies. Unparseable or foreign-array
+/// lines are skipped.
+pub fn why_lines(records: &[String], array: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in records {
+        let Ok(doc) = Json::parse(line) else {
+            continue;
+        };
+        if doc.get("array").and_then(Json::as_str) != Some(array) {
+            continue;
+        }
+        match doc.get("record").and_then(Json::as_str) {
+            Some("candidate") => {
+                let verdict = doc.get("verdict").and_then(Json::as_str).unwrap_or("");
+                if verdict != "kept" && verdict != "bypass" {
+                    continue;
+                }
+                let label = doc
+                    .get("source")
+                    .and_then(source_from_json)
+                    .map_or_else(|| "candidate".to_string(), describe_source);
+                let num = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let f_r = doc.get("f_r").and_then(Json::as_f64).unwrap_or(0.0);
+                out.push(format!(
+                    "{verdict}: {} elements ({label}) — F_R = {f_r:.2}, \
+                     fills {} + bypass {} of {} reads",
+                    num("a"),
+                    num("fills"),
+                    num("bypasses"),
+                    num("c_tot"),
+                ));
+            }
+            Some("candidate-summary") => {
+                let num = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+                out.push(format!(
+                    "candidates: {} offered → {} kept ({} bypassing), \
+                     {} dominated, {} pruned as useless",
+                    num("offered"),
+                    num("kept") + num("bypass"),
+                    num("bypass"),
+                    num("dominated"),
+                    num("pruned"),
+                ));
+            }
+            Some("chain") => {
+                if doc.get("verdict").and_then(Json::as_str) != Some("kept") {
+                    continue;
+                }
+                let sizes: Vec<String> = doc
+                    .get("levels")
+                    .and_then(Json::as_array)
+                    .map(|ls| {
+                        ls.iter()
+                            .filter_map(|l| l.get("words").and_then(Json::as_u64))
+                            .map(|w| w.to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.push(format!(
+                    "front: [{}] — normalized power {:.4}, {} words on-chip",
+                    sizes.join(" > "),
+                    doc.get("normalized_energy").and_then(Json::as_f64).unwrap_or(0.0),
+                    doc.get("onchip_words").and_then(Json::as_u64).unwrap_or(0),
+                ));
+            }
+            Some("chain-summary") => {
+                let num = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+                out.push(format!(
+                    "hierarchies: {} evaluated → {} on the Pareto front",
+                    num("chains"),
+                    num("front"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_record_carries_the_paper_terms() {
+        let c = CandidatePoint {
+            size: 64,
+            fills: 1087,
+            bypasses: 0,
+            c_tot: 65536,
+            source: CandidateSource::PairMax,
+            exact: true,
+        };
+        let vector = PairVector {
+            c_prime: 1,
+            b_prime: 1,
+            anti: true,
+            j_range: 1024,
+            k_range: 64,
+            gamma: Some((1, 63)),
+        };
+        let rec = candidate_record("x", 7, &c, Some(vector), CandidateVerdict::Kept);
+        let doc = Json::parse(&rec.to_string()).unwrap();
+        assert_eq!(doc.get("record").and_then(Json::as_str), Some("candidate"));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("c_r").and_then(Json::as_u64), Some(65536 - 1087));
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(64));
+        let f_r = doc.get("f_r").and_then(Json::as_f64).unwrap();
+        assert!((f_r - 65536.0 / 1087.0).abs() < 1e-9);
+        let v = doc.get("vector").unwrap();
+        assert_eq!(v.get("c_prime").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("gamma_sup").and_then(Json::as_u64), Some(63));
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("kept"));
+        // Round-trip: the structured source reconstructs the enum.
+        assert_eq!(
+            doc.get("source").and_then(source_from_json),
+            Some(CandidateSource::PairMax)
+        );
+    }
+
+    #[test]
+    fn structured_sources_round_trip() {
+        let all = [
+            CandidateSource::Footprint { depth_from_inner: 1 },
+            CandidateSource::MergedFootprint { depth_from_inner: 2 },
+            CandidateSource::PairMax,
+            CandidateSource::PairPartial { gamma: 3, bypass: false },
+            CandidateSource::PairPartial { gamma: 5, bypass: true },
+            CandidateSource::Simulated,
+        ];
+        for s in all {
+            assert_eq!(source_from_json(&source_json(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn why_lines_pick_survivors_and_tallies() {
+        let sink = Explain::new();
+        let c = CandidatePoint {
+            size: 9,
+            fills: 10,
+            bypasses: 0,
+            c_tot: 128,
+            source: CandidateSource::PairMax,
+            exact: true,
+        };
+        emit_candidate_records(
+            &sink,
+            "A",
+            128,
+            23,
+            &[c],
+            &[],
+            &[CandidateVerdict::Kept],
+        );
+        let lines = why_lines(&sink.records(), "A");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("kept: 9 elements (pairwise maximum reuse)"));
+        assert!(lines[1].contains("1 offered → 1 kept"));
+        // Foreign arrays are filtered out.
+        assert!(why_lines(&sink.records(), "B").is_empty());
+    }
+}

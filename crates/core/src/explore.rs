@@ -9,13 +9,17 @@
 
 use datareuse_loopir::{AccessKind, Program};
 use datareuse_memmodel::{
-    evaluate_chain, pareto_front, AreaModel, ChainCost, CopyChain, MemoryTechnology, ParetoPoint,
+    evaluate_chain, pareto_front, pareto_front_explained, AreaModel, ChainCost, CopyChain,
+    MemoryTechnology, ParetoPoint,
 };
-use datareuse_obs::{add, span, Counter};
+use datareuse_obs::{add, span, Counter, Explain};
 
 use crate::error::AnalyzeError;
+use crate::explain::{emit_candidate_records, emit_chain_records, PairVector};
 use crate::footprint::{footprint_levels, footprint_levels_merged, guarded_count};
-use crate::levels::{dedupe_candidates, enumerate_chains, CandidatePoint};
+use crate::levels::{
+    dedupe_candidates, dedupe_candidates_explained, enumerate_chains, CandidatePoint,
+};
 use crate::pairwise::{max_reuse, PairGeometry};
 use crate::partial::partial_sweep;
 
@@ -83,7 +87,8 @@ fn pair_candidates(
     nest: &datareuse_loopir::LoopNest,
     access: usize,
     opts: &ExploreOptions,
-) -> Vec<CandidatePoint> {
+    annotate: bool,
+) -> (Vec<CandidatePoint>, Vec<Option<PairVector>>) {
     let depth = nest.depth();
     let mut pairs = Vec::new();
     for outer in 0..depth.saturating_sub(1) {
@@ -100,7 +105,7 @@ fn pair_candidates(
     let threads = crate::par::resolve_threads(opts.threads);
     let per_pair = crate::par::parallel_map(threads, pairs, |(outer, inner)| {
         let Ok(geom) = PairGeometry::from_access(nest, access, outer, inner) else {
-            return Vec::new();
+            return (Vec::new(), None);
         };
         let exact = !geom.approximate;
         let mut out = Vec::new();
@@ -129,9 +134,20 @@ fn pair_candidates(
                 ));
             }
         }
-        out
+        // The pair's geometry annotates every point it produced; skipped
+        // entirely when no audit sink is attached.
+        let vector = annotate.then(|| PairVector::from_geometry(&geom)).flatten();
+        (out, vector)
     });
-    per_pair.into_iter().flatten().collect()
+    let mut points = Vec::new();
+    let mut annots = Vec::new();
+    for (pts, vector) in per_pair {
+        if annotate {
+            annots.resize(annots.len() + pts.len(), vector);
+        }
+        points.extend(pts);
+    }
+    (points, annots)
 }
 
 // Candidate sources from the pairwise model do not record the pair; for
@@ -181,11 +197,32 @@ pub fn explore_signal(
     array: &str,
     opts: &ExploreOptions,
 ) -> Result<SignalExploration, AnalyzeError> {
+    explore_signal_explained(program, array, opts, None)
+}
+
+/// [`explore_signal`] with an optional audit sink: when `explain` is
+/// `Some`, one audit NDJSON record is emitted per offered
+/// copy-candidate (the eq. 12–22 cost terms plus a terminal verdict).
+/// The exploration result is identical either way, and with `None` no
+/// record is built at all.
+///
+/// # Errors
+///
+/// Same as [`explore_signal`].
+pub fn explore_signal_explained(
+    program: &Program,
+    array: &str,
+    opts: &ExploreOptions,
+    explain: Option<&Explain>,
+) -> Result<SignalExploration, AnalyzeError> {
     let _timer = span("explore");
     let decl = program
         .array(array)
         .ok_or_else(|| AnalyzeError::UnknownArray(array.to_string()))?;
     let mut groups = Vec::new();
+    // Cross-group combination sums by source over group 0's seeds, so the
+    // pair-geometry annotations of the first group cover the whole pool.
+    let mut first_annots: Vec<Option<PairVector>> = Vec::new();
     for (nest_idx, nest) in program.nests().iter().enumerate() {
         let mut seen: Vec<&[datareuse_loopir::AffineExpr]> = Vec::new();
         for (access_idx, acc) in nest.accesses().iter().enumerate() {
@@ -204,11 +241,17 @@ pub fn explore_signal(
             // Guard-aware C_tot: guarded accesses (the SUSAN circular
             // mask) execute on a subset of the iteration space.
             let c_tot: u64 = members.iter().map(|a| guarded_count(nest, a).0).sum();
+            let annotate = explain.is_some() && groups.is_empty();
             let mut candidates = Vec::new();
             for level in footprint_levels(nest, access_idx)? {
                 candidates.push(CandidatePoint::from_footprint(&level, nest.depth()));
             }
-            candidates.extend(pair_candidates(nest, access_idx, opts));
+            let (pair_points, pair_annots) = pair_candidates(nest, access_idx, opts, annotate);
+            if annotate {
+                first_annots = vec![None; candidates.len()];
+                first_annots.extend(pair_annots);
+            }
+            candidates.extend(pair_points);
             groups.push(AccessGroup {
                 nest: nest_idx,
                 access: access_idx,
@@ -227,7 +270,15 @@ pub fn explore_signal(
         groups.iter().map(|g| g.candidates.len() as u64).sum(),
     );
     let c_tot: u64 = groups.iter().map(|g| g.c_tot).sum();
-    let mut candidates = combine_groups(&groups, c_tot);
+    let (mut pool, seed_map) = combine_groups_raw(&groups, c_tot);
+    let mut pool_annots: Vec<Option<PairVector>> = if explain.is_some() {
+        seed_map
+            .iter()
+            .map(|&i| first_annots.get(i).copied().flatten())
+            .collect()
+    } else {
+        Vec::new()
+    };
     // Shared candidates over translated accesses within one nest — the
     // paper's merged copy-candidates (Section 6.4). A single buffer
     // holding the union footprint serves all mask rows at once, turning
@@ -245,11 +296,33 @@ pub fn explore_signal(
         }
         if let Ok(levels) = footprint_levels_merged(nest, &members) {
             for level in levels {
-                candidates.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
+                pool.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
+                if explain.is_some() {
+                    pool_annots.push(None);
+                }
             }
         }
     }
-    let candidates = crate::levels::dedupe_candidates(candidates);
+    // One final dedupe over the whole pool. This is equivalent to the
+    // nested dedupe-then-dedupe the combination used to do — dominance
+    // is transitive, so dropping a point early or late never changes the
+    // survivor set or the pruned-counter total — and it gives every
+    // offered candidate exactly one verdict against pool-wide ids.
+    let candidates = if let Some(sink) = explain {
+        let (kept, verdicts) = dedupe_candidates_explained(&pool);
+        emit_candidate_records(
+            sink,
+            array,
+            c_tot,
+            decl.len(),
+            &pool,
+            &pool_annots,
+            &verdicts,
+        );
+        kept
+    } else {
+        dedupe_candidates(pool)
+    };
     Ok(SignalExploration {
         array: array.to_string(),
         bits: decl.elem_bits(),
@@ -260,18 +333,24 @@ pub fn explore_signal(
     })
 }
 
-/// Combines per-group candidates into signal-level candidates.
+/// Combines per-group candidates into one signal-level pool, *without*
+/// deduplicating (the caller runs the single final dedupe).
 ///
 /// With a single group, its candidates pass through. With several (the
 /// SUSAN shape: one nest per mask row), candidates whose
 /// [`CandidateSource`] appears in *every* group are summed — each group
-/// keeps its own buffer partition, so sizes and traffic add.
-fn combine_groups(groups: &[AccessGroup], c_tot: u64) -> Vec<CandidatePoint> {
+/// keeps its own buffer partition, so sizes and traffic add. The second
+/// vector maps each pooled candidate back to its seed index in group 0
+/// (the identity for a single group), which carries the annotations.
+fn combine_groups_raw(groups: &[AccessGroup], c_tot: u64) -> (Vec<CandidatePoint>, Vec<usize>) {
     if groups.len() == 1 {
-        return dedupe_candidates(groups[0].candidates.clone());
+        let pool = groups[0].candidates.clone();
+        let seeds = (0..pool.len()).collect();
+        return (pool, seeds);
     }
     let mut combined = Vec::new();
-    for seed in &groups[0].candidates {
+    let mut seeds = Vec::new();
+    for (seed_idx, seed) in groups[0].candidates.iter().enumerate() {
         let mut size = 0u64;
         let mut fills = 0u64;
         let mut bypasses = 0u64;
@@ -300,9 +379,10 @@ fn combine_groups(groups: &[AccessGroup], c_tot: u64) -> Vec<CandidatePoint> {
                 source: seed.source,
                 exact,
             });
+            seeds.push(seed_idx);
         }
     }
-    dedupe_candidates(combined)
+    (combined, seeds)
 }
 
 impl SignalExploration {
@@ -332,13 +412,36 @@ impl SignalExploration {
         tech: &MemoryTechnology,
         area: &(impl AreaModel + Sync),
     ) -> Vec<ParetoPoint<(CopyChain, ChainCost)>> {
+        self.pareto_explained(opts, tech, area, None)
+    }
+
+    /// [`SignalExploration::pareto`] with an optional audit sink: when
+    /// `explain` is `Some`, every enumerated hierarchy gets one `chain`
+    /// NDJSON record with its eq. 2–3 cost terms and its Pareto verdict.
+    /// The front is identical either way.
+    pub fn pareto_explained(
+        &self,
+        opts: &ExploreOptions,
+        tech: &MemoryTechnology,
+        area: &(impl AreaModel + Sync),
+        explain: Option<&Explain>,
+    ) -> Vec<ParetoPoint<(CopyChain, ChainCost)>> {
         let _timer = span("pareto");
         let threads = crate::par::resolve_threads(opts.threads);
         let points = crate::par::parallel_map(threads, self.chains(opts), |chain| {
             let cost = evaluate_chain(&chain, tech, area);
             ParetoPoint::new(cost.onchip_words as f64, cost.normalized_energy, (chain, cost))
         });
-        pareto_front(points)
+        let Some(sink) = explain else {
+            return pareto_front(points);
+        };
+        // Record every evaluated chain in enumeration order; the clone
+        // only happens on the audited path.
+        let inputs: Vec<(CopyChain, ChainCost)> =
+            points.iter().map(|p| p.payload.clone()).collect();
+        let (front, verdicts) = pareto_front_explained(points);
+        emit_chain_records(sink, &self.array, &inputs, &verdicts);
+        front
     }
 
     /// The hierarchy minimizing the eq. 2 weighted cost
@@ -408,6 +511,20 @@ pub fn explore_program(
     program: &Program,
     opts: &ExploreOptions,
 ) -> Result<Vec<SignalExploration>, AnalyzeError> {
+    explore_program_explained(program, opts, None)
+}
+
+/// [`explore_program`] with an optional audit sink shared by all signals
+/// (records carry the array name for filtering).
+///
+/// # Errors
+///
+/// Propagates the first per-signal [`AnalyzeError`].
+pub fn explore_program_explained(
+    program: &Program,
+    opts: &ExploreOptions,
+    explain: Option<&Explain>,
+) -> Result<Vec<SignalExploration>, AnalyzeError> {
     let mut out = Vec::new();
     for decl in program.arrays() {
         let read = program.nests().iter().any(|n| {
@@ -418,7 +535,7 @@ pub fn explore_program(
         if !read {
             continue;
         }
-        out.push(explore_signal(program, decl.name(), opts)?);
+        out.push(explore_signal_explained(program, decl.name(), opts, explain)?);
     }
     Ok(out)
 }

@@ -128,35 +128,96 @@ impl CandidatePoint {
     }
 }
 
+/// The fate of one offered candidate in [`dedupe_candidates_explained`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateVerdict {
+    /// Survived deduplication and the dominance filter.
+    Kept,
+    /// Survived, and routes part of the traffic around the buffer
+    /// (Section 6.2 bypass variants).
+    Bypass,
+    /// Dropped by the Section 3 usefulness rule: upstream traffic not
+    /// strictly below `C_tot`.
+    Pruned,
+    /// Dropped because the candidate at the given *input index* offers
+    /// the same size for less traffic, or strictly dominates it.
+    DominatedBy(usize),
+}
+
+impl std::fmt::Display for CandidateVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CandidateVerdict::Kept => f.write_str("kept"),
+            CandidateVerdict::Bypass => f.write_str("bypass"),
+            CandidateVerdict::Pruned => f.write_str("pruned"),
+            CandidateVerdict::DominatedBy(i) => write!(f, "dominated-by {i}"),
+        }
+    }
+}
+
 /// Deduplicates candidates by size (keeping the least upstream traffic),
 /// drops useless points, and removes *dominated* candidates — those with
 /// both a larger size and no less upstream traffic than another candidate
 /// are never preferable at any chain position. Returned sorted by
 /// decreasing size.
-pub fn dedupe_candidates(mut candidates: Vec<CandidatePoint>) -> Vec<CandidatePoint> {
+pub fn dedupe_candidates(candidates: Vec<CandidatePoint>) -> Vec<CandidatePoint> {
+    dedupe_candidates_explained(&candidates).0
+}
+
+/// [`dedupe_candidates`] with a per-input verdict: the returned vector is
+/// parallel to `candidates` and records why each offered point survived
+/// or fell. The kept list is byte-identical to what `dedupe_candidates`
+/// returns for the same input.
+pub fn dedupe_candidates_explained(
+    candidates: &[CandidatePoint],
+) -> (Vec<CandidatePoint>, Vec<CandidateVerdict>) {
     let offered = candidates.len();
-    candidates.retain(CandidatePoint::is_useful);
-    // Ascending size; ties resolved toward less upstream traffic.
-    candidates.sort_by(|a, b| {
-        a.size
-            .cmp(&b.size)
-            .then((a.fills + a.bypasses).cmp(&(b.fills + b.bypasses)))
+    let mut verdicts = vec![CandidateVerdict::Pruned; offered];
+    // Indices of the useful candidates, in ascending size order with ties
+    // resolved toward less upstream traffic (the stable sort preserves
+    // offer order among exact duplicates, matching `dedup_by_key`).
+    let upstream = |i: usize| candidates[i].fills + candidates[i].bypasses;
+    let mut order: Vec<usize> = (0..offered)
+        .filter(|&i| candidates[i].is_useful())
+        .collect();
+    order.sort_by(|&a, &b| {
+        candidates[a]
+            .size
+            .cmp(&candidates[b].size)
+            .then(upstream(a).cmp(&upstream(b)))
     });
-    candidates.dedup_by_key(|c| c.size);
+    // Per size class the first entry wins; later ones lose to it.
+    let mut survivors: Vec<usize> = Vec::with_capacity(order.len());
+    for &i in &order {
+        match survivors.last() {
+            Some(&w) if candidates[w].size == candidates[i].size => {
+                verdicts[i] = CandidateVerdict::DominatedBy(w);
+            }
+            _ => survivors.push(i),
+        }
+    }
     // Pareto filter on (size, upstream): growing the buffer must strictly
-    // reduce traffic.
-    let mut kept: Vec<CandidatePoint> = Vec::with_capacity(candidates.len());
+    // reduce traffic, else the last strictly-better point dominates.
+    let mut kept: Vec<usize> = Vec::with_capacity(survivors.len());
     let mut best_upstream = u64::MAX;
-    for c in candidates {
-        let upstream = c.fills + c.bypasses;
-        if upstream < best_upstream {
-            best_upstream = upstream;
-            kept.push(c);
+    for i in survivors {
+        if upstream(i) < best_upstream {
+            best_upstream = upstream(i);
+            verdicts[i] = if candidates[i].bypasses > 0 {
+                CandidateVerdict::Bypass
+            } else {
+                CandidateVerdict::Kept
+            };
+            kept.push(i);
+        } else {
+            // `kept` is non-empty here: the first useful point always
+            // beats the u64::MAX sentinel.
+            verdicts[i] = CandidateVerdict::DominatedBy(*kept.last().unwrap());
         }
     }
     kept.reverse();
     add(Counter::ExploreCandidatesPruned, (offered - kept.len()) as u64);
-    kept
+    (kept.into_iter().map(|i| candidates[i]).collect(), verdicts)
 }
 
 /// Enumerates every copy-candidate chain of at most `max_depth` sub-levels
@@ -267,6 +328,34 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!((d[0].size, d[0].fills), (64, 100));
         assert_eq!(d[1].size, 16);
+    }
+
+    #[test]
+    fn explained_dedupe_names_the_winner_for_every_loser() {
+        let pts = vec![
+            pt(64, 300, 0),  // size-tie loser to index 1
+            pt(64, 100, 0),  // kept
+            pt(8, 1000, 0),  // useless: fills == c_tot
+            pt(16, 500, 0),  // kept
+            pt(128, 200, 0), // Pareto-dominated: bigger than 64 yet more traffic
+            pt(4, 600, 300), // kept, bypassing
+        ];
+        let (kept, verdicts) = dedupe_candidates_explained(&pts);
+        assert_eq!(kept, dedupe_candidates(pts.clone()));
+        assert_eq!(verdicts.len(), pts.len());
+        assert_eq!(verdicts[0], CandidateVerdict::DominatedBy(1));
+        assert_eq!(verdicts[1], CandidateVerdict::Kept);
+        assert_eq!(verdicts[2], CandidateVerdict::Pruned);
+        assert_eq!(verdicts[3], CandidateVerdict::Kept);
+        assert_eq!(verdicts[4], CandidateVerdict::DominatedBy(1));
+        assert_eq!(verdicts[5], CandidateVerdict::Bypass);
+        // Kept verdicts count exactly the surviving candidates.
+        let survivors = verdicts
+            .iter()
+            .filter(|v| matches!(v, CandidateVerdict::Kept | CandidateVerdict::Bypass))
+            .count();
+        assert_eq!(survivors, kept.len());
+        assert_eq!(CandidateVerdict::DominatedBy(1).to_string(), "dominated-by 1");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 mod assign;
 mod error;
+mod explain;
 mod explore;
 mod footprint;
 mod levels;
@@ -54,13 +55,23 @@ mod vectors;
 
 pub use assign::{assign_layers, Assignment, SignalOptions};
 pub use error::AnalyzeError;
-pub use explore::{assignment_menu, explore_program, explore_signal, AccessGroup, ExploreOptions, SignalExploration};
+pub use explain::{
+    candidate_record, chain_record, emit_candidate_records, emit_chain_records, why_lines,
+    PairVector,
+};
+pub use explore::{
+    assignment_menu, explore_program, explore_program_explained, explore_signal,
+    explore_signal_explained, AccessGroup, ExploreOptions, SignalExploration,
+};
 pub use footprint::{footprint_levels, LevelCandidate};
 pub use footprint::footprint_levels_merged;
-pub use levels::{dedupe_candidates, enumerate_chains, CandidatePoint, CandidateSource};
+pub use levels::{
+    dedupe_candidates, dedupe_candidates_explained, enumerate_chains, CandidatePoint,
+    CandidateSource, CandidateVerdict,
+};
 pub use orders::{explore_orders, OrderChoice};
 pub use pairwise::{max_reuse, PairGeometry, PointKind, ReusePoint};
 pub use par::{max_reasonable_threads, parallel_map, resolve_threads, sanitize_threads};
-pub use partial::{partial_reuse, partial_sweep};
+pub use partial::{gamma_interval, partial_reuse, partial_sweep};
 pub use report::{describe_source, ExplorationReport, HierarchyRow, Json, JsonParseError};
 pub use vectors::{gcd, reuse_chain_length, ReuseClass};

@@ -103,12 +103,20 @@ pub fn partial_reuse(geom: &PairGeometry, gamma: i64, bypass: bool) -> Option<Re
     }
 }
 
+/// The paper's γ validity interval `[b', kRANGE − b')` for a geometry, or
+/// `None` when the pair carries no reuse vector. The interval may be
+/// empty (start ≥ end) for narrow `k` ranges.
+pub fn gamma_interval(geom: &PairGeometry) -> Option<(i64, i64)> {
+    let (bp, _cp) = geom.class.vector()?;
+    Some((bp, geom.k_range - bp))
+}
+
 /// Evaluates every valid `γ` for a geometry, smallest size first.
 pub fn partial_sweep(geom: &PairGeometry, bypass: bool) -> Vec<ReusePoint> {
-    let Some((bp, _cp)) = geom.class.vector() else {
+    let Some((start, end)) = gamma_interval(geom) else {
         return Vec::new();
     };
-    (bp..geom.k_range - bp)
+    (start..end)
         .filter_map(|gamma| partial_reuse(geom, gamma, bypass))
         .collect()
 }

@@ -47,6 +47,9 @@ pub struct ExplorationReport {
     pub candidates: Vec<(String, u64, f64, bool)>,
     /// The Pareto-front hierarchies, smallest first.
     pub pareto: Vec<HierarchyRow>,
+    /// Human "why" lines distilled from the exploration audit log
+    /// (empty unless populated via [`ExplorationReport::with_why`]).
+    pub why: Vec<String>,
 }
 
 /// Describes a candidate source with the paper's vocabulary.
@@ -129,7 +132,16 @@ impl ExplorationReport {
             background_words: exploration.background_words,
             candidates,
             pareto,
+            why: Vec::new(),
         }
+    }
+
+    /// Fills the `why` section from an exploration audit sink: records of
+    /// other arrays are ignored, so one sink can serve a whole-program
+    /// report.
+    pub fn with_why(mut self, explain: &datareuse_obs::Explain) -> Self {
+        self.why = crate::explain::why_lines(&explain.records(), &self.array);
+        self
     }
 }
 
@@ -187,6 +199,7 @@ impl ExplorationReport {
                     ])
                 })),
             ),
+            ("why", Json::arr(self.why.iter().map(Json::str))),
         ])
         .to_string()
     }
@@ -218,6 +231,12 @@ impl fmt::Display for ExplorationReport {
                 100.0 * row.background_share,
                 levels.join(" > ")
             )?;
+        }
+        if !self.why.is_empty() {
+            writeln!(f, "\nwhy:")?;
+            for line in &self.why {
+                writeln!(f, "  {line}")?;
+            }
         }
         Ok(())
     }
@@ -282,6 +301,34 @@ mod tests {
         assert_eq!(
             parsed.get("pareto").and_then(Json::as_array).unwrap().len(),
             r.pareto.len()
+        );
+    }
+
+    #[test]
+    fn why_section_matches_the_audit_log() {
+        let p = parse_program("array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }")
+            .unwrap();
+        let sink = datareuse_obs::Explain::new();
+        let opts = ExploreOptions::default();
+        let ex = crate::explore::explore_signal_explained(&p, "A", &opts, Some(&sink)).unwrap();
+        let tech = MemoryTechnology::new();
+        let front = ex.pareto_explained(&opts, &tech, &BitCount, Some(&sink));
+        let r = ExplorationReport::build(&ex, &opts, &tech, &BitCount).with_why(&sink);
+        // One line per kept candidate + tally, one per front chain + tally.
+        assert_eq!(
+            r.why.len(),
+            ex.candidates.len() + front.len() + 2,
+            "{:#?}",
+            r.why
+        );
+        let text = r.to_string();
+        assert!(text.contains("\nwhy:"));
+        assert!(text.contains("hierarchies:"));
+        // The why lines ride along in the JSON artifact too.
+        let parsed = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            parsed.get("why").and_then(Json::as_array).unwrap().len(),
+            r.why.len()
         );
     }
 

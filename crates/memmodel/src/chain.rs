@@ -221,6 +221,19 @@ impl ChainCost {
     pub fn average_power(&self, frame_rate: f64) -> f64 {
         self.energy * frame_rate
     }
+
+    /// Serializes the eq. 2–3 cost terms for the audit log.
+    pub fn to_json(&self) -> datareuse_obs::Json {
+        datareuse_obs::Json::obj([
+            ("energy", datareuse_obs::Json::Num(self.energy)),
+            (
+                "normalized_energy",
+                datareuse_obs::Json::Num(self.normalized_energy),
+            ),
+            ("size_cost", datareuse_obs::Json::Num(self.size_cost)),
+            ("onchip_words", datareuse_obs::Json::UInt(self.onchip_words)),
+        ])
+    }
 }
 
 /// Evaluates a chain after collapsing its virtual levels onto a physical

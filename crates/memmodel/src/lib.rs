@@ -51,5 +51,5 @@ pub use chain::{
     evaluate_chain, evaluate_on_platform, ChainCost, ChainLevel, CopyChain, ValidateChainError,
 };
 pub use library::MemoryLibrary;
-pub use pareto::{pareto_front, ParetoPoint};
+pub use pareto::{pareto_front, pareto_front_explained, ParetoPoint, ParetoVerdict};
 pub use power::{MemoryTechnology, OffChipMemory, ParametricSram, PowerModel};

@@ -54,27 +54,72 @@ impl<T> ParetoPoint<T> {
 /// let labels: Vec<&str> = front.iter().map(|p| p.payload).collect();
 /// assert_eq!(labels, ["a", "b"]);
 /// ```
-pub fn pareto_front<T>(mut points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
-    let offered = points.len();
-    points.sort_by(|a, b| {
-        a.size
-            .total_cmp(&b.size)
-            .then(a.power.total_cmp(&b.power))
-    });
-    let mut front: Vec<ParetoPoint<T>> = Vec::new();
-    let mut best_power = f64::INFINITY;
-    for p in points {
-        if p.power < best_power {
-            best_power = p.power;
-            front.push(p);
+pub fn pareto_front<T>(points: Vec<ParetoPoint<T>>) -> Vec<ParetoPoint<T>> {
+    pareto_front_explained(points).0
+}
+
+/// The fate of one offered point in [`pareto_front_explained`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParetoVerdict {
+    /// The point sits on the front.
+    Kept,
+    /// Dominated by the front point at the given *input index*.
+    DominatedBy(usize),
+}
+
+impl std::fmt::Display for ParetoVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParetoVerdict::Kept => f.write_str("kept"),
+            ParetoVerdict::DominatedBy(i) => write!(f, "dominated-by {i}"),
         }
     }
+}
+
+/// [`pareto_front`] with a per-input verdict: the second vector is
+/// parallel to `points` and names, for every dropped point, the front
+/// point (by input index) that beats it on both axes. The front itself
+/// is identical to what `pareto_front` returns for the same input.
+pub fn pareto_front_explained<T>(
+    mut points: Vec<ParetoPoint<T>>,
+) -> (Vec<ParetoPoint<T>>, Vec<ParetoVerdict>) {
+    let offered = points.len();
+    // Sort an index permutation with the same stable comparator the
+    // unexplained path used on the values, so tie order is preserved.
+    let mut order: Vec<usize> = (0..offered).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .size
+            .total_cmp(&points[b].size)
+            .then(points[a].power.total_cmp(&points[b].power))
+    });
+    let mut verdicts = vec![ParetoVerdict::Kept; offered];
+    let mut kept_order: Vec<usize> = Vec::new();
+    let mut best_power = f64::INFINITY;
+    for i in order {
+        if points[i].power < best_power {
+            best_power = points[i].power;
+            verdicts[i] = ParetoVerdict::Kept;
+            kept_order.push(i);
+        } else {
+            // Dominated by the most recent front point: same-or-smaller
+            // size (sort order) with same-or-lower power. An empty front
+            // is impossible here — the first point beats infinity.
+            verdicts[i] = ParetoVerdict::DominatedBy(*kept_order.last().unwrap());
+        }
+    }
+    // Extract the front in sorted order without cloning payloads.
+    let mut slots: Vec<Option<ParetoPoint<T>>> = points.drain(..).map(Some).collect();
+    let front: Vec<ParetoPoint<T>> = kept_order
+        .iter()
+        .map(|&i| slots[i].take().expect("each front index is unique"))
+        .collect();
     datareuse_obs::add(datareuse_obs::Counter::ParetoPointsKept, front.len() as u64);
     datareuse_obs::add(
         datareuse_obs::Counter::ParetoPointsDropped,
         (offered - front.len()) as u64,
     );
-    front
+    (front, verdicts)
 }
 
 #[cfg(test)]
@@ -128,5 +173,40 @@ mod tests {
         assert!(pareto_front::<()>(Vec::new()).is_empty());
         let one = pareto_front(vec![ParetoPoint::new(2.0, 2.0, "x")]);
         assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn explained_front_matches_and_names_dominators() {
+        let pts = vec![
+            ParetoPoint::new(10.0, 1.0, 0),
+            ParetoPoint::new(5.0, 2.0, 1),
+            ParetoPoint::new(7.0, 3.0, 2), // dominated by 1
+            ParetoPoint::new(1.0, 8.0, 3),
+            ParetoPoint::new(1.0, 9.0, 4), // dominated by 3
+        ];
+        let (front, verdicts) = pareto_front_explained(pts.clone());
+        assert_eq!(front, pareto_front(pts));
+        assert_eq!(verdicts.len(), 5);
+        assert_eq!(verdicts[0], ParetoVerdict::Kept);
+        assert_eq!(verdicts[1], ParetoVerdict::Kept);
+        assert_eq!(verdicts[2], ParetoVerdict::DominatedBy(1));
+        assert_eq!(verdicts[3], ParetoVerdict::Kept);
+        assert_eq!(verdicts[4], ParetoVerdict::DominatedBy(3));
+        // Every named dominator actually dominates its victim.
+        let inputs = [
+            (10.0, 1.0),
+            (5.0, 2.0),
+            (7.0, 3.0),
+            (1.0, 8.0),
+            (1.0, 9.0),
+        ];
+        for (i, v) in verdicts.iter().enumerate() {
+            if let ParetoVerdict::DominatedBy(w) = v {
+                let winner = ParetoPoint::new(inputs[*w].0, inputs[*w].1, ());
+                let loser = ParetoPoint::new(inputs[i].0, inputs[i].1, ());
+                assert!(winner.dominates(&loser), "{w} does not dominate {i}");
+            }
+        }
+        assert_eq!(ParetoVerdict::DominatedBy(3).to_string(), "dominated-by 3");
     }
 }

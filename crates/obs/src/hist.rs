@@ -283,16 +283,28 @@ impl HistSnapshot {
     /// Serializes the snapshot as the `hists` entry of a
     /// `datareuse-metrics-v2` document: summary statistics followed by
     /// the non-empty buckets as `[upper_bound, count]` pairs.
+    ///
+    /// An empty histogram has no percentiles, so a zero-count snapshot
+    /// serializes them as `null` and the mean as `0` — never `NaN` or
+    /// `inf`, which are not JSON and would poison any consumer doing
+    /// arithmetic on the document.
     pub fn to_json(&self) -> Json {
+        let pct = |v: u64| {
+            if self.count == 0 {
+                Json::Null
+            } else {
+                Json::UInt(v)
+            }
+        };
         Json::obj([
             ("count", Json::UInt(self.count)),
             ("min", Json::UInt(self.min)),
             ("max", Json::UInt(self.max)),
             ("mean", Json::Num(self.mean())),
-            ("p50", Json::UInt(self.p50())),
-            ("p90", Json::UInt(self.p90())),
-            ("p99", Json::UInt(self.p99())),
-            ("p999", Json::UInt(self.p999())),
+            ("p50", pct(self.p50())),
+            ("p90", pct(self.p90())),
+            ("p99", pct(self.p99())),
+            ("p999", pct(self.p999())),
             (
                 "buckets",
                 Json::arr(self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(
@@ -408,6 +420,29 @@ mod tests {
         let (sa, sb) = (a.snapshot(), b.snapshot());
         assert_eq!(sa.merge(&sb), both.snapshot());
         assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn empty_snapshot_json_has_null_percentiles_and_zero_mean() {
+        // Regression: a zero-count histogram must serialize to clean
+        // JSON — percentiles null, mean 0 — never NaN/inf tokens that
+        // would make the whole metrics document unparseable.
+        let text = Histogram::new().snapshot().to_json().to_string();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        let parsed = Json::parse(&text).expect("empty-hist JSON must parse");
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(0));
+        assert_eq!(parsed.get("mean").and_then(Json::as_f64), Some(0.0));
+        for key in ["p50", "p90", "p99", "p999"] {
+            assert!(
+                matches!(parsed.get(key), Some(Json::Null)),
+                "{key} of an empty histogram must be null, got {:?}",
+                parsed.get(key)
+            );
+        }
+        assert_eq!(
+            parsed.get("buckets").and_then(Json::as_array).map(<[Json]>::len),
+            Some(0)
+        );
     }
 
     #[test]

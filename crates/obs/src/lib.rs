@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod explain;
 mod flight;
 mod hist;
 mod json;
@@ -75,7 +76,10 @@ mod metrics;
 mod progress;
 mod prom;
 mod span;
+mod timeseries;
 mod tracing;
+
+pub use explain::Explain;
 
 pub use flight::{
     flight_record, flight_tail, flight_tail_json, FlightEvent, FlightKind, FLIGHT_CAPACITY,
@@ -91,6 +95,10 @@ pub use metrics::{
 pub use progress::Progress;
 pub use prom::prometheus_text;
 pub use span::{span, SpanGuard};
+pub use timeseries::{
+    reset_series, scrape_series, series_json, series_len, series_ndjson, series_points,
+    SeriesHist, SeriesPoint, SERIES_CAPACITY,
+};
 pub use tracing::{
     chrome_trace_json, record_span_at, set_tracing_enabled, take_trace_events, trace_now_ns,
     trace_span, trace_span_with, tracing_enabled, AttachGuard, TraceCtx, TraceEvent, TraceSpan,

@@ -259,6 +259,11 @@ pub fn reset_metrics() {
     crate::hist::reset_hists();
     crate::flight::reset_flight();
     crate::tracing::reset_tracing();
+    // Under the same call as the counter wipe so a scraper thread racing
+    // this reset sees either (old counters, old baseline) or (zeroed
+    // counters, zeroed baseline) — never a stale baseline above fresh
+    // counters, which would read as a negative delta.
+    crate::timeseries::reset_series();
 }
 
 /// A point-in-time copy of the registry, convertible to JSON.

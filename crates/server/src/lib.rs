@@ -36,4 +36,4 @@ pub use client::Client;
 pub use ops::OpError;
 pub use pool::WorkerPool;
 pub use protocol::{cache_key, Request};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, SloThresholds};

@@ -232,10 +232,12 @@ pub fn execute(op: &Op) -> Result<Json, OpError> {
         Op::Pareto(params) => pareto(params),
         Op::Report { kernel } => report(kernel),
         Op::Codegen(params) => codegen(params),
-        Op::Stats { .. } | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown => Err(OpError {
-            code: E_INTERNAL,
-            message: "control op reached the worker pool".to_string(),
-        }),
+        Op::Stats { .. } | Op::Health | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown => {
+            Err(OpError {
+                code: E_INTERNAL,
+                message: "control op reached the worker pool".to_string(),
+            })
+        }
     }
 }
 

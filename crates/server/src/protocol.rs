@@ -8,7 +8,7 @@
 //! request  = { "op": <op>, <op params>…,
 //!              "id"?: <any json>, "deadline_ms"?: uint }
 //! op       = "explore" | "pareto" | "report" | "codegen"
-//!          | "stats" | "trace" | "prom" | "ping" | "shutdown"
+//!          | "stats" | "health" | "trace" | "prom" | "ping" | "shutdown"
 //! response = { "ok": true,  "id"?: <echoed>, "cached": bool, "result": <json> }
 //!          | { "ok": false, "id"?: <echoed>,
 //!              "error": { "code": <code>, "message": string,
@@ -20,9 +20,12 @@
 //! `timeout` and `overloaded` errors attach the flight-recorder tail
 //! (the last ~32 structured serving events) under `error.flight` so a
 //! refusal can be debugged after the fact. `stats` accepts an optional
-//! `"flight": true` to include the full recorder tail; `trace` drains
-//! buffered spans as a Chrome trace-event document; `prom` returns the
-//! Prometheus text exposition as a JSON string.
+//! `"flight": true` to include the full recorder tail and an optional
+//! `"series": true` to include the scraped metrics time-series ring;
+//! `health` evaluates the server's SLO thresholds into
+//! `ok`/`degraded`/`failing`; `trace` drains buffered spans as a Chrome
+//! trace-event document; `prom` returns the Prometheus text exposition
+//! as a JSON string.
 //!
 //! `id` is echoed back verbatim and `deadline_ms` bounds how long the
 //! client is willing to wait; neither participates in the cache key —
@@ -152,7 +155,12 @@ pub enum Op {
     Stats {
         /// Include the full flight-recorder tail in the response.
         flight: bool,
+        /// Include the scraped metrics time-series ring in the response.
+        series: bool,
     },
+    /// SLO evaluation: `ok` / `degraded` / `failing` with per-check
+    /// detail (p99 latency, cache hit ratio, queue saturation).
+    Health,
     /// Drain buffered trace spans as Chrome trace-event JSON.
     Trace,
     /// Prometheus text-format scrape of the metrics registry.
@@ -169,7 +177,7 @@ impl Op {
     pub fn cacheable(&self) -> bool {
         !matches!(
             self,
-            Op::Stats { .. } | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown
+            Op::Stats { .. } | Op::Health | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown
         )
     }
 
@@ -182,6 +190,7 @@ impl Op {
             Op::Report { .. } => "report",
             Op::Codegen(_) => "codegen",
             Op::Stats { .. } => "stats",
+            Op::Health => "health",
             Op::Trace => "trace",
             Op::Prom => "prom",
             Op::Ping => "ping",
@@ -332,7 +341,9 @@ impl Request {
             }
             "stats" => Op::Stats {
                 flight: get_bool(doc, "flight")?,
+                series: get_bool(doc, "series")?,
             },
+            "health" => Op::Health,
             "trace" => Op::Trace,
             "prom" => Op::Prom,
             "ping" => Op::Ping,
@@ -485,19 +496,26 @@ mod tests {
 
     #[test]
     fn control_ops_are_not_cacheable() {
-        for op in ["stats", "trace", "prom", "ping", "shutdown"] {
+        for op in ["stats", "health", "trace", "prom", "ping", "shutdown"] {
             let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(r.cache_key.is_none(), "{op} must not be cached");
         }
     }
 
     #[test]
-    fn stats_accepts_a_flight_flag() {
+    fn stats_accepts_flight_and_series_flags() {
         let r = Request::parse_line(r#"{"op":"stats","flight":true}"#).unwrap();
-        assert_eq!(r.op, Op::Stats { flight: true });
+        assert_eq!(r.op, Op::Stats { flight: true, series: false });
+        let r = Request::parse_line(r#"{"op":"stats","series":true}"#).unwrap();
+        assert_eq!(r.op, Op::Stats { flight: false, series: true });
         let r = Request::parse_line(r#"{"op":"stats"}"#).unwrap();
-        assert_eq!(r.op, Op::Stats { flight: false });
+        assert_eq!(r.op, Op::Stats { flight: false, series: false });
         assert!(Request::parse_line(r#"{"op":"stats","flight":3}"#).is_err());
+        assert!(Request::parse_line(r#"{"op":"stats","series":"yes"}"#).is_err());
+        assert_eq!(
+            Request::parse_line(r#"{"op":"health"}"#).unwrap().op,
+            Op::Health
+        );
     }
 
     #[test]

@@ -22,9 +22,10 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use datareuse_obs::{
-    add, chrome_trace_json, flight_record, flight_tail_json, gauge_value, prometheus_text,
-    record_hist, record_span_at, span, take_trace_events, trace_now_ns, trace_span_with, Counter,
-    FlightKind, Gauge, Hist, Json, TraceCtx, FLIGHT_ERROR_TAIL,
+    add, chrome_trace_json, flight_record, flight_tail_json, gauge_value, hist_snapshot,
+    prometheus_text, record_hist, record_span_at, scrape_series, series_json, span,
+    take_trace_events, trace_now_ns, trace_span_with, Counter, FlightKind, Gauge, Hist, Json,
+    TraceCtx, FLIGHT_ERROR_TAIL,
 };
 
 use crate::cache::ResultCache;
@@ -50,6 +51,11 @@ pub struct ServerConfig {
     pub cache_entries: usize,
     /// Deadline applied to requests that do not carry `deadline_ms`.
     pub default_deadline: Duration,
+    /// Interval between metrics-series scrapes (the background thread
+    /// that feeds `stats {"series":true}`). Zero disables the scraper.
+    pub scrape_interval: Duration,
+    /// SLO thresholds evaluated by the `health` op.
+    pub slo: SloThresholds,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +66,40 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_entries: 256,
             default_deadline: Duration::from_secs(30),
+            scrape_interval: Duration::from_secs(1),
+            slo: SloThresholds::default(),
+        }
+    }
+}
+
+/// Service-level objectives the `health` op checks. Each check grades
+/// `ok`/`degraded`/`failing`; the overall status is the worst of them.
+#[derive(Debug, Clone)]
+pub struct SloThresholds {
+    /// Request latency p99 (cache hits and misses merged) must stay at
+    /// or under this for `ok`; up to 4x is `degraded`, beyond is
+    /// `failing`. An empty histogram passes vacuously.
+    pub p99_latency: Duration,
+    /// Minimum cache hit ratio for `ok`; half of it is the `degraded`
+    /// floor. Ignored until [`SloThresholds::MIN_HIT_PROBES`] cache
+    /// probes have happened, so a cold server is not penalized.
+    pub min_hit_ratio: f64,
+    /// Queue saturation (`queued / queue_depth`) allowed for `ok`;
+    /// anything short of full is `degraded`, a full queue is `failing`.
+    pub max_queue_saturation: f64,
+}
+
+impl SloThresholds {
+    /// Cache probes required before the hit-ratio check counts.
+    pub const MIN_HIT_PROBES: u64 = 20;
+}
+
+impl Default for SloThresholds {
+    fn default() -> Self {
+        Self {
+            p99_latency: Duration::from_millis(250),
+            min_hit_ratio: 0.0,
+            max_queue_saturation: 0.75,
         }
     }
 }
@@ -70,12 +110,15 @@ struct Shared {
     stopping: AtomicBool,
     in_flight: AtomicUsize,
     default_deadline: Duration,
+    queue_depth: usize,
+    slo: SloThresholds,
 }
 
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    scrape_interval: Duration,
 }
 
 impl Server {
@@ -100,7 +143,10 @@ impl Server {
                 stopping: AtomicBool::new(false),
                 in_flight: AtomicUsize::new(0),
                 default_deadline: config.default_deadline,
+                queue_depth: config.queue_depth.max(1),
+                slo: config.slo.clone(),
             }),
+            scrape_interval: config.scrape_interval,
         })
     }
 
@@ -125,6 +171,26 @@ impl Server {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot poll listener: {e}"))?;
+        let scraper = (self.scrape_interval > Duration::ZERO).then(|| {
+            let shared = Arc::clone(&self.shared);
+            let interval = self.scrape_interval;
+            std::thread::spawn(move || {
+                // Scrape immediately so even a short-lived server leaves
+                // at least one point, then on the interval. Sleeping in
+                // small slices keeps shutdown prompt without condvars.
+                scrape_series();
+                while !shared.stopping.load(Ordering::Acquire) {
+                    let start = Instant::now();
+                    while start.elapsed() < interval {
+                        if shared.stopping.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(25).min(interval));
+                    }
+                    scrape_series();
+                }
+            })
+        });
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shared.stopping.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -152,6 +218,9 @@ impl Server {
         }
         for c in connections {
             let _ = c.join();
+        }
+        if let Some(scraper) = scraper {
+            let _ = scraper.join();
         }
         Ok(())
     }
@@ -218,13 +287,14 @@ fn op_ordinal(op: &Op) -> u64 {
         Op::Prom => 7,
         Op::Ping => 8,
         Op::Shutdown => 9,
+        Op::Health => 10,
     }
 }
 
 /// Builds the `stats` result: the metrics-v2 snapshot plus a `derived`
 /// section (hit ratio, queue depths, requests served) and, on request,
-/// the full flight-recorder tail.
-fn stats_result(shared: &Shared, flight: bool) -> String {
+/// the full flight-recorder tail and the scraped metrics series.
+fn stats_result(shared: &Shared, flight: bool, series: bool) -> String {
     let snap = datareuse_obs::snapshot();
     let hits = snap.counter(Counter::ServeCacheHits);
     let misses = snap.counter(Counter::ServeCacheMisses);
@@ -250,7 +320,127 @@ fn stats_result(shared: &Shared, flight: bool) -> String {
     if flight {
         entries.push(("flight".to_string(), flight_tail_json(usize::MAX)));
     }
+    if series {
+        entries.push(("series".to_string(), series_json()));
+    }
     Json::Obj(entries).to_string()
+}
+
+/// One health check's grade. Ordered so `max` picks the worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Grade {
+    Ok,
+    Degraded,
+    Failing,
+}
+
+impl Grade {
+    fn name(self) -> &'static str {
+        match self {
+            Grade::Ok => "ok",
+            Grade::Degraded => "degraded",
+            Grade::Failing => "failing",
+        }
+    }
+}
+
+/// Builds the `health` result: each SLO check graded individually plus
+/// the worst grade overall. The thresholds come from [`ServerConfig`];
+/// `datareuse query` maps the overall status onto exit codes so probes
+/// can alert without parsing JSON.
+fn health_result(shared: &Shared) -> String {
+    let slo = &shared.slo;
+    // Latency: p99 over all requests, cache hits and misses merged —
+    // the client cares about the answer's latency, not where it came
+    // from. An empty histogram (no requests yet) passes vacuously.
+    let lat = hist_snapshot(Hist::ServeLatencyCold).merge(&hist_snapshot(Hist::ServeLatencyCacheHit));
+    let p99_ms = lat.p99() as f64 / 1e6;
+    let slo_ms = slo.p99_latency.as_secs_f64() * 1e3;
+    let latency = if lat.count == 0 || p99_ms <= slo_ms {
+        Grade::Ok
+    } else if p99_ms <= 4.0 * slo_ms {
+        Grade::Degraded
+    } else {
+        Grade::Failing
+    };
+    // Hit ratio: only meaningful once enough probes have happened; a
+    // server that has barely been asked anything is not unhealthy.
+    let snap = datareuse_obs::snapshot();
+    let hits = snap.counter(Counter::ServeCacheHits);
+    let probes = hits + snap.counter(Counter::ServeCacheMisses);
+    let ratio = if probes > 0 {
+        hits as f64 / probes as f64
+    } else {
+        0.0
+    };
+    let hit_ratio = if probes < SloThresholds::MIN_HIT_PROBES || ratio >= slo.min_hit_ratio {
+        Grade::Ok
+    } else if ratio >= slo.min_hit_ratio / 2.0 {
+        Grade::Degraded
+    } else {
+        Grade::Failing
+    };
+    // Queue: a full queue is already refusing work (`overloaded`), so
+    // it grades `failing`; past the SLO fraction but not full is the
+    // early warning.
+    let depth = shared.pool.queued();
+    let saturation = depth as f64 / shared.queue_depth as f64;
+    let queue = if saturation <= slo.max_queue_saturation {
+        Grade::Ok
+    } else if saturation < 1.0 {
+        Grade::Degraded
+    } else {
+        Grade::Failing
+    };
+    let overall = latency.max(hit_ratio).max(queue);
+    let check = |grade: Grade, detail: Vec<(&str, Json)>| {
+        let mut entries = vec![("status", Json::str(grade.name()))];
+        entries.extend(detail);
+        Json::obj(entries)
+    };
+    Json::obj([
+        ("status", Json::str(overall.name())),
+        (
+            "checks",
+            Json::obj([
+                (
+                    "latency",
+                    check(
+                        latency,
+                        vec![
+                            ("p99_ms", Json::Num(p99_ms)),
+                            ("slo_ms", Json::Num(slo_ms)),
+                            ("samples", Json::UInt(lat.count)),
+                        ],
+                    ),
+                ),
+                (
+                    "hit_ratio",
+                    check(
+                        hit_ratio,
+                        vec![
+                            ("ratio", Json::Num(ratio)),
+                            ("slo", Json::Num(slo.min_hit_ratio)),
+                            ("probes", Json::UInt(probes)),
+                        ],
+                    ),
+                ),
+                (
+                    "queue",
+                    check(
+                        queue,
+                        vec![
+                            ("depth", Json::UInt(depth as u64)),
+                            ("capacity", Json::UInt(shared.queue_depth as u64)),
+                            ("saturation", Json::Num(saturation)),
+                            ("slo", Json::Num(slo.max_queue_saturation)),
+                        ],
+                    ),
+                ),
+            ]),
+        ),
+    ])
+    .to_string()
 }
 
 /// Processes one request line into one response line.
@@ -296,8 +486,12 @@ fn handle_request(line: &str, shared: &Arc<Shared>, root: TraceCtx) -> (String, 
     flight_record(FlightKind::RequestStart, ctx.trace_id, op_ordinal(&request.op));
     match &request.op {
         Op::Ping => return (ok_envelope(id.as_ref(), false, r#""pong""#), false),
-        Op::Stats { flight } => {
-            let result = stats_result(shared, *flight);
+        Op::Stats { flight, series } => {
+            let result = stats_result(shared, *flight, *series);
+            return (ok_envelope(id.as_ref(), false, &result), false);
+        }
+        Op::Health => {
+            let result = health_result(shared);
             return (ok_envelope(id.as_ref(), false, &result), false);
         }
         Op::Trace => {
@@ -484,6 +678,83 @@ mod tests {
         );
         assert_eq!(responses[3].get("id").and_then(Json::as_u64), Some(4));
         assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_series_and_health_report_on_a_live_server() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 1,
+            scrape_interval: Duration::from_millis(10),
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"ping","id":1}"#,
+                r#"{"op":"stats","series":true,"id":2}"#,
+                r#"{"op":"health","id":3}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        let series = responses[1]
+            .get("result")
+            .and_then(|r| r.get("series"))
+            .expect("series section present when requested");
+        assert_eq!(
+            series.get("schema").and_then(Json::as_str),
+            Some("datareuse-series-v1")
+        );
+        let points = series
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("points array");
+        assert!(!points.is_empty(), "scraper left at least one point");
+        // The health envelope grades every check; a freshly started
+        // server under default SLOs is `ok` across the board.
+        let health = responses[2].get("result").expect("health result");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        let checks = health.get("checks").expect("checks section");
+        for name in ["latency", "hit_ratio", "queue"] {
+            let check = checks.get(name).unwrap_or_else(|| panic!("{name} check"));
+            assert!(check.get("status").and_then(Json::as_str).is_some());
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn an_unmeetable_latency_slo_grades_failing() {
+        // Latency histograms only record while metrics are on (the CLI
+        // turns them on for `serve`; unit tests must opt in).
+        datareuse_obs::set_metrics_enabled(true);
+        let (addr, handle) = start(ServerConfig {
+            threads: 1,
+            slo: SloThresholds {
+                p99_latency: Duration::ZERO,
+                ..SloThresholds::default()
+            },
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"ping","id":1}"#,
+                r#"{"op":"health","id":2}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        let health = responses[1].get("result").expect("health result");
+        // The ping above put at least one sample in the latency
+        // histogram, and any positive p99 busts a zero-latency SLO.
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("failing"));
+        assert_eq!(
+            health
+                .get("checks")
+                .and_then(|c| c.get("latency"))
+                .and_then(|l| l.get("status"))
+                .and_then(Json::as_str),
+            Some("failing")
+        );
         handle.join().unwrap();
     }
 

@@ -27,8 +27,11 @@ SERVE_METRICS="$(mktemp)"
 SERVE_LOG="$(mktemp)"
 SERVE_TRACE="$(mktemp)"
 SERVE_PROM="$(mktemp)"
+SERVE_SERIES="$(mktemp)"
+TOP_FRAME="$(mktemp)"
 target/release/datareuse serve --addr 127.0.0.1:0 --metrics "$SERVE_METRICS" \
-    --trace-out "$SERVE_TRACE" > "$SERVE_LOG" &
+    --trace-out "$SERVE_TRACE" --series-out "$SERVE_SERIES" \
+    --scrape-ms 50 > "$SERVE_LOG" &
 SERVE_PID=$!
 ADDR=""
 i=0
@@ -50,6 +53,45 @@ target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
     | grep -q '"cached":true'
 # Scrape the Prometheus exposition while the daemon is still up.
 target/release/datareuse query --addr "$ADDR" '{"op":"prom"}' > "$SERVE_PROM"
+
+# Health gate: a freshly exercised daemon under default SLOs must grade
+# ok, and the probe contract is the exit code itself (0 ok, 5 degraded,
+# 6 failing) — under `set -e` a degraded/failing grade aborts here.
+target/release/datareuse query --addr "$ADDR" '{"op":"health"}' \
+    | grep -q '"status":"ok"'
+
+# Dashboard gate: one `top` frame over the live series. Give the 50ms
+# scraper a beat so the sparklines have points, then diff the frame's
+# shape — numbers collapsed to N, sparkline cells to SPARK — against
+# the golden skeleton. `--once --ascii` output must carry no ANSI.
+sleep 0.3
+target/release/datareuse top --addr "$ADDR" --once --ascii > "$TOP_FRAME"
+if grep -q "$(printf '\033')" "$TOP_FRAME"; then
+    echo "serve smoke: top --once --ascii emitted ANSI escapes" >&2
+    exit 1
+fi
+sed -e "s|$ADDR|ADDR|" \
+    -e 's/  */ /g' \
+    -e 's/[0-9][0-9.]*/N/g' \
+    -e 's/[_.:=+*#-]\{1,\}$/SPARK/' "$TOP_FRAME" > "$TOP_FRAME.norm"
+cat > "$TOP_FRAME.golden" <<'EOF'
+datareuse top — ADDR
+requests N errors N timeouts N overloaded N
+cache hits N misses N hit ratio N%
+queue depth N now, N peak
+latency window pN Nms pN Nms
+req/win SPARK
+pN SPARK
+pN SPARK
+points N
+EOF
+if ! diff -u "$TOP_FRAME.golden" "$TOP_FRAME.norm"; then
+    echo "serve smoke: top frame shape drifted from the golden skeleton" >&2
+    echo "--- raw frame ---" >&2
+    cat "$TOP_FRAME" >&2
+    exit 1
+fi
+
 target/release/datareuse query --addr "$ADDR" '{"op":"shutdown"}' > /dev/null
 i=0
 while kill -0 "$SERVE_PID" 2>/dev/null; do
@@ -106,7 +148,43 @@ for name in $COUNTERS; do
 done
 grep -qF '_bucket{le=' "$SERVE_PROM"
 
-rm -f "$SERVE_METRICS" "$SERVE_LOG" "$SERVE_TRACE" "$SERVE_PROM"
+# The series dump written at drain must be parseable NDJSON with at
+# least one scraped point carrying counters.
+if ! [ -s "$SERVE_SERIES" ]; then
+    echo "serve smoke: --series-out wrote no points" >&2
+    exit 1
+fi
+grep -q '"counters"' "$SERVE_SERIES"
+
+rm -f "$SERVE_METRICS" "$SERVE_LOG" "$SERVE_TRACE" "$SERVE_PROM" \
+    "$SERVE_SERIES" "$TOP_FRAME" "$TOP_FRAME.norm" "$TOP_FRAME.golden"
 echo "serve smoke test passed"
+
+# Explain gate: the audit log must be line-delimited JSON whose
+# candidate-summary tallies account for every candidate record — the
+# same completeness invariant the property tests pin, checked here on
+# the shipped binary.
+EXPLAIN_LOG="$(mktemp)"
+target/release/datareuse explore fir --explain "$EXPLAIN_LOG" > /dev/null
+BAD_LINES="$(grep -cv '^{"record":"[a-z-]*",.*}$' "$EXPLAIN_LOG" || true)"
+if [ "$BAD_LINES" -ne 0 ]; then
+    echo "explain gate: $BAD_LINES line(s) are not well-formed records" >&2
+    exit 1
+fi
+CANDIDATES="$(grep -c '"record":"candidate",' "$EXPLAIN_LOG")"
+SUMMARY="$(grep '"record":"candidate-summary"' "$EXPLAIN_LOG" | head -n 1)"
+tally() {
+    printf '%s\n' "$SUMMARY" | sed -n 's/.*"'"$1"'":\([0-9]*\).*/\1/p'
+}
+OFFERED="$(tally offered)"
+ACCOUNTED="$(( $(tally kept) + $(tally bypass) + $(tally pruned) + $(tally dominated) ))"
+if [ -z "$OFFERED" ] || [ "$ACCOUNTED" -ne "$CANDIDATES" ] \
+    || [ "$OFFERED" -ne "$CANDIDATES" ]; then
+    echo "explain gate: verdicts do not cover the candidate pool" \
+        "(records=$CANDIDATES offered=$OFFERED accounted=$ACCOUNTED)" >&2
+    exit 1
+fi
+rm -f "$EXPLAIN_LOG"
+echo "explain gate passed ($CANDIDATES candidates, every verdict accounted)"
 
 echo "tier-1 verification passed"
