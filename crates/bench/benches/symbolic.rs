@@ -1,0 +1,55 @@
+//! The tentpole perf claim of the symbolic engine, measured: computing a
+//! reuse profile for a depth-3 affine nest in closed form versus
+//! materializing the address trace and running one Belady point over it.
+//! The simulation bench deliberately includes trace generation — that is
+//! the work the symbolic path avoids entirely.
+//!
+//! Run with `cargo bench --bench symbolic`; results land in
+//! `target/figures/BENCH_symbolic_vs_simulation.json`. The committed
+//! baseline in `benchmarks/` is asserted (≥10x) by
+//! `tests/bench_artifacts.rs` and the `scripts/verify.sh` bench gate.
+
+use std::hint::black_box;
+
+use datareuse_bench::BenchGroup;
+use datareuse_core::symbolic_profile;
+use datareuse_kernels::MotionEstimation;
+use datareuse_loopir::{parse_program, read_addresses};
+use datareuse_trace::opt_simulate;
+
+/// A depth-3 rolling-band nest: 32768 accesses over a 53×16 array, with
+/// reuse carried by `i1` (the symbolic engine sees it in O(depth × dims)
+/// arithmetic; the simulator walks every access).
+const DEPTH3: &str = "array A[53][16];
+for i1 in 0..16 { for i3 in 0..16 { for i5 in 0..8 {
+  for i6 in 0..16 { read A[2*i1 + i3 + i5][i6]; }
+} } }";
+
+fn main() {
+    let mut group = BenchGroup::new("symbolic_vs_simulation");
+    let program = parse_program(DEPTH3).expect("bench kernel parses");
+    let nest = &program.nests()[0];
+    let profile = symbolic_profile(nest, 0).expect("depth-3 nest is conforming");
+    let capacity = profile.level_candidates()[0].size;
+    group.bench("symbolic_profile_depth3", || {
+        symbolic_profile(black_box(nest), 0).expect("conforming")
+    });
+    group.throughput(profile.c_tot());
+    group.bench("simulate_one_point_depth3", || {
+        let trace = read_addresses(black_box(&program), "A");
+        opt_simulate(&trace, capacity)
+    });
+    // The same comparison on the deepest shipped kernel (6 loops).
+    let me = MotionEstimation::SMALL.program();
+    let me_nest = &me.nests()[0];
+    let me_profile = symbolic_profile(me_nest, 1).expect("ME Old access is conforming");
+    let me_capacity = me_profile.level_candidates()[0].size;
+    group.bench("symbolic_profile_me_small", || {
+        symbolic_profile(black_box(me_nest), 1).expect("conforming")
+    });
+    group.bench("simulate_one_point_me_small", || {
+        let trace = read_addresses(black_box(&me), MotionEstimation::OLD);
+        opt_simulate(&trace, me_capacity)
+    });
+    group.finish();
+}

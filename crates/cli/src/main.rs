@@ -4,7 +4,8 @@
 //! datareuse kernels
 //! datareuse emit    <kernel>
 //! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--workingset]
-//!                   [--gnuplot FILE] [--json] [--explain FILE] [--metrics FILE] [--progress]
+//!                   [--cross-validate] [--gnuplot FILE] [--json] [--explain FILE]
+//!                   [--metrics FILE] [--progress]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
@@ -36,6 +37,13 @@
 //! `F_R` terms, the eq. 2–3 cost terms, and the terminal verdict
 //! (`kept`, `bypass`, `pruned`, or `dominated-by <id>`). The report's
 //! `why` section is distilled from the same log.
+//!
+//! `--cross-validate` replays the trace simulators as an independent
+//! oracle over the analytical (symbolic-first) result: the guard-aware
+//! trace length must equal `C_tot`, and Belady-optimal replacement at
+//! each exact candidate's capacity must need no more upstream traffic
+//! than the candidate claims. Verdict lines go to stderr; any
+//! disagreement fails the command with exit code 1.
 //!
 //! Exit codes: 0 on success, 1 on a runtime failure (unreadable kernel
 //! file, exploration error, transport failure or generic server error),
@@ -69,8 +77,8 @@ const USAGE: &str = "usage: datareuse <command> [args]
   kernels                       list built-in kernels
   emit    <kernel>              print the kernel as C
   explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
-                   [--workingset] [--gnuplot FILE] [--explain FILE]
-                   [--metrics FILE] [--progress]
+                   [--workingset] [--cross-validate] [--gnuplot FILE]
+                   [--explain FILE] [--metrics FILE] [--progress]
   report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
   orders  <kernel> [--array NAME] [--limit N]
   curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
@@ -218,6 +226,68 @@ fn write_explain(path: &str, sink: &datareuse_obs::Explain) -> Result<(), String
     Ok(())
 }
 
+/// Replays the trace simulators as an independent oracle over the
+/// analytical result: the guard-aware trace length must equal `C_tot`,
+/// and Belady-optimal replacement at each exact candidate's capacity
+/// must need at most the candidate's claimed upstream traffic (the
+/// analytical schedule is feasible, so the optimum can only match or
+/// beat it). Verdict lines go to stderr so `--json` stdout stays clean.
+fn cross_validate(
+    program: &Program,
+    array: &str,
+    ex: &datareuse_core::SignalExploration,
+) -> Result<(), CliError> {
+    let trace = read_addresses(program, array);
+    let mut failures: Vec<String> = Vec::new();
+    if trace.len() as u64 != ex.c_tot {
+        failures.push(format!(
+            "analytical C_tot {} != trace length {}",
+            ex.c_tot,
+            trace.len()
+        ));
+    }
+    let mut checked = 0usize;
+    for c in ex.candidates.iter().filter(|c| c.exact && c.size > 0) {
+        checked += 1;
+        let sim = if c.bypasses == 0 {
+            datareuse_trace::opt_simulate(&trace, c.size)
+        } else {
+            datareuse_trace::opt_simulate_bypass(&trace, c.size)
+        };
+        if sim.misses() > c.fills + c.bypasses {
+            failures.push(format!(
+                "candidate of size {}: Belady needs {} upstream reads, \
+                 analytical model claims {} (fills {} + bypasses {})",
+                c.size,
+                sim.misses(),
+                c.fills + c.bypasses,
+                c.fills,
+                c.bypasses
+            ));
+        }
+    }
+    eprintln!(
+        "cross-validation: C_tot {} vs trace length {}, {checked} exact \
+         candidates replayed against the Belady oracle",
+        ex.c_tot,
+        trace.len()
+    );
+    if failures.is_empty() {
+        eprintln!("cross-validation: PASS");
+        Ok(())
+    } else {
+        for f in &failures {
+            eprintln!("cross-validation: FAIL — {f}");
+        }
+        Err(format!(
+            "cross-validation failed: {} disagreement(s) between the \
+             analytical model and the trace simulators",
+            failures.len()
+        )
+        .into())
+    }
+}
+
 fn cmd_explore(args: &Args) -> Result<(), CliError> {
     let program = load_kernel(args.kernel()?)?;
     let array = pick_array(args, &program)?;
@@ -229,6 +299,9 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
     let explain = explain_sink(args)?;
     let sink = explain.as_ref().map(|(_, s)| s);
     let ex = explore_signal_explained(&program, &array, &opts, sink).map_err(|e| e.to_string())?;
+    if args.has("cross-validate") {
+        cross_validate(&program, &array, &ex)?;
+    }
     let tech = MemoryTechnology::new();
     // The report builds its own (unexplained) front; when auditing, run
     // the explained front once so the sink gets the chain records, then

@@ -236,6 +236,96 @@ fn metrics_counters_are_thread_count_invariant() {
     );
 }
 
+/// The dispatch boundary of the symbolic engine, observed end to end
+/// through the metrics counters: a conforming double nest must be served
+/// entirely by the symbolic path (`sim_fallbacks == 0`), and a
+/// deliberately non-affine (diagonal) nest must take the enumeration
+/// fallback. Spawned as separate processes so each run sees a fresh
+/// counter registry.
+#[test]
+fn symbolic_dispatch_counters_split_cleanly() {
+    let dir = std::env::temp_dir().join(format!("datareuse_cli_sym_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |name: &str, src: &str| {
+        let kernel = dir.join(format!("{name}.dr"));
+        std::fs::write(&kernel, src).unwrap();
+        let metrics = dir.join(format!("{name}_metrics.json"));
+        let (ok, _, stderr) = datareuse(&[
+            "explore",
+            kernel.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stderr}");
+        let doc = Json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counter = |n: &str| {
+            doc.get("counters")
+                .and_then(|c| c.get(n))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        (counter("symbolic_hits"), counter("sim_fallbacks"))
+    };
+    let (hits, fallbacks) = run(
+        "conforming",
+        "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k]; } }",
+    );
+    assert!(hits >= 1, "conforming nest must take the symbolic path");
+    assert_eq!(fallbacks, 0, "conforming nest must never fall back");
+    let (_, fallbacks) = run(
+        "diagonal",
+        "array A[16][16]; for j in 0..8 { for k in 0..8 { read A[k][k]; } }",
+    );
+    assert!(fallbacks >= 1, "diagonal nest must take the fallback path");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--explain` carries the dispatch decision as a `symbolic-profile`
+/// audit record naming the path taken.
+#[test]
+fn explain_log_records_the_symbolic_dispatch() {
+    let path = temp_path("symbolic_explain.ndjson");
+    let (ok, _, stderr) = datareuse(&[
+        "explore",
+        "me-small",
+        "--array",
+        "Old",
+        "--explain",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let log = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let record = log
+        .lines()
+        .find(|l| l.contains("\"record\":\"symbolic-profile\""))
+        .expect("symbolic-profile record present");
+    let doc = Json::parse(record).unwrap();
+    assert_eq!(doc.get("path").and_then(Json::as_str), Some("symbolic"));
+    assert!(doc.get("c_tot").and_then(Json::as_u64).unwrap() > 0);
+}
+
+/// `--cross-validate` replays the Belady oracle over the analytical
+/// result and reports agreement on stderr, keeping `--json` stdout
+/// machine-clean.
+#[test]
+fn explore_cross_validate_passes_on_builtins() {
+    for kernel in ["me-small", "fir"] {
+        let (ok, _, stderr) = datareuse(&["explore", kernel, "--cross-validate"]);
+        assert!(ok, "{kernel}: {stderr}");
+        assert!(
+            stderr.contains("cross-validation: PASS"),
+            "{kernel}: {stderr}"
+        );
+    }
+    let (ok, stdout, stderr) =
+        datareuse(&["explore", "me-small", "--array", "Old", "--cross-validate", "--json"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("cross-validation: PASS"));
+    assert!(stdout.trim().starts_with('{'), "stdout stays pure JSON");
+    Json::parse(stdout.trim()).expect("report JSON parses");
+}
+
 #[test]
 fn progress_flag_narrates_to_stderr() {
     let (ok, _, stderr) = datareuse(&["explore", "me-small", "--array", "Old", "--progress"]);

@@ -14,6 +14,9 @@
 //!
 //! Record kinds, one JSON object per line:
 //!
+//! - `symbolic-profile` — one per access group, naming which analysis
+//!   path served it (`symbolic` closed forms or `fallback` enumeration,
+//!   with the first violated conforming-class condition as `reason`);
 //! - `candidate` — one per offered copy-candidate, `id` = offer index;
 //! - `candidate-summary` — verdict tallies for the signal;
 //! - `chain` — one per enumerated hierarchy with its evaluated cost;
@@ -26,6 +29,7 @@ use crate::levels::{CandidatePoint, CandidateSource, CandidateVerdict};
 use crate::pairwise::PairGeometry;
 use crate::partial::gamma_interval;
 use crate::report::describe_source;
+use crate::symbolic::{SymbolicFallback, SymbolicProfile};
 use crate::vectors::ReuseClass;
 
 /// The reuse-vector geometry of a loop pair, captured once per pair and
@@ -106,6 +110,39 @@ fn source_json(source: CandidateSource) -> Json {
             ("bypass", Json::Bool(bypass)),
         ]),
         CandidateSource::Simulated => Json::obj([("kind", Json::str("simulated"))]),
+    }
+}
+
+/// One `symbolic-profile` audit record: which analysis path served an
+/// access group of `array` in nest `nest` — the symbolic closed forms
+/// (with the profile's headline numbers) or the enumeration fallback
+/// (with the first violated conforming-class condition as `reason`).
+pub fn symbolic_record(
+    array: &str,
+    nest: usize,
+    merged: bool,
+    outcome: Result<&SymbolicProfile, SymbolicFallback>,
+) -> Json {
+    match outcome {
+        Ok(profile) => Json::obj([
+            ("record", Json::str("symbolic-profile")),
+            ("array", Json::str(array)),
+            ("nest", Json::UInt(nest as u64)),
+            ("merged", Json::Bool(merged)),
+            ("path", Json::str("symbolic")),
+            ("depth", Json::UInt(profile.nest_depth() as u64)),
+            ("c_tot", Json::UInt(profile.c_tot())),
+            ("footprint", Json::UInt(profile.total_footprint())),
+            ("levels", Json::UInt(profile.levels().len() as u64)),
+        ]),
+        Err(fallback) => Json::obj([
+            ("record", Json::str("symbolic-profile")),
+            ("array", Json::str(array)),
+            ("nest", Json::UInt(nest as u64)),
+            ("merged", Json::Bool(merged)),
+            ("path", Json::str("fallback")),
+            ("reason", Json::str(fallback.reason())),
+        ]),
     }
 }
 

@@ -15,8 +15,9 @@ use datareuse_memmodel::{
 use datareuse_obs::{add, span, Counter, Explain};
 
 use crate::error::AnalyzeError;
-use crate::explain::{emit_candidate_records, emit_chain_records, PairVector};
+use crate::explain::{emit_candidate_records, emit_chain_records, symbolic_record, PairVector};
 use crate::footprint::{footprint_levels, footprint_levels_merged, guarded_count};
+use crate::symbolic::{symbolic_profile, SymbolicProfile};
 use crate::levels::{
     dedupe_candidates, dedupe_candidates_explained, enumerate_chains, CandidatePoint,
 };
@@ -243,8 +244,30 @@ pub fn explore_signal_explained(
             let c_tot: u64 = members.iter().map(|a| guarded_count(nest, a).0).sum();
             let annotate = explain.is_some() && groups.is_empty();
             let mut candidates = Vec::new();
-            for level in footprint_levels(nest, access_idx)? {
-                candidates.push(CandidatePoint::from_footprint(&level, nest.depth()));
+            // Default analysis path: closed-form symbolic profile. The
+            // enumeration path runs only for non-conforming groups (the
+            // `sim_fallbacks` counter and the `symbolic-profile` audit
+            // record say which and why); where both apply their outputs
+            // are identical (pinned by tests/symbolic.rs).
+            match symbolic_profile(nest, access_idx) {
+                Ok(profile) => {
+                    add(Counter::SymbolicHits, 1);
+                    if let Some(sink) = explain {
+                        sink.emit(&symbolic_record(array, nest_idx, false, Ok(&profile)));
+                    }
+                    for level in profile.level_candidates() {
+                        candidates.push(CandidatePoint::from_footprint(&level, nest.depth()));
+                    }
+                }
+                Err(fallback) => {
+                    add(Counter::SimFallbacks, 1);
+                    if let Some(sink) = explain {
+                        sink.emit(&symbolic_record(array, nest_idx, false, Err(fallback)));
+                    }
+                    for level in footprint_levels(nest, access_idx)? {
+                        candidates.push(CandidatePoint::from_footprint(&level, nest.depth()));
+                    }
+                }
             }
             let (pair_points, pair_annots) = pair_candidates(nest, access_idx, opts, annotate);
             if annotate {
@@ -283,7 +306,7 @@ pub fn explore_signal_explained(
     // paper's merged copy-candidates (Section 6.4). A single buffer
     // holding the union footprint serves all mask rows at once, turning
     // seven single-sweep accesses into one high-reuse rolling buffer.
-    for nest in program.nests() {
+    for (nest_idx, nest) in program.nests().iter().enumerate() {
         let members: Vec<usize> = nest
             .accesses()
             .iter()
@@ -294,11 +317,34 @@ pub fn explore_signal_explained(
         if members.len() < 2 {
             continue;
         }
-        if let Ok(levels) = footprint_levels_merged(nest, &members) {
-            for level in levels {
-                pool.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
-                if explain.is_some() {
-                    pool_annots.push(None);
+        match SymbolicProfile::analyze(nest, &members) {
+            Ok(profile) => {
+                add(Counter::SymbolicHits, 1);
+                if let Some(sink) = explain {
+                    sink.emit(&symbolic_record(array, nest_idx, true, Ok(&profile)));
+                }
+                for level in profile.level_candidates() {
+                    pool.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
+                    if explain.is_some() {
+                        pool_annots.push(None);
+                    }
+                }
+            }
+            Err(fallback) => {
+                // Enumeration may still refuse (accesses that are not
+                // translations of each other produce no shared candidate
+                // on either path — no fallback work ran, no counter).
+                if let Ok(levels) = footprint_levels_merged(nest, &members) {
+                    add(Counter::SimFallbacks, 1);
+                    if let Some(sink) = explain {
+                        sink.emit(&symbolic_record(array, nest_idx, true, Err(fallback)));
+                    }
+                    for level in levels {
+                        pool.push(CandidatePoint::from_merged_footprint(&level, nest.depth()));
+                        if explain.is_some() {
+                            pool_annots.push(None);
+                        }
+                    }
                 }
             }
         }

@@ -11,7 +11,9 @@
 //! | eq. 10–15: maximum reuse `F_RMax`, `A_Max` | [`PairGeometry`], [`max_reuse`] |
 //! | eq. 16–18: partial reuse | [`partial_reuse`], [`partial_sweep`] |
 //! | eq. 19–22: partial reuse with bypass | [`partial_reuse`] with `bypass = true` |
-//! | Fig. 4a discontinuities `A₁…A₄` | [`footprint_levels`] |
+//! | Fig. 4a discontinuities `A₁…A₄` | [`footprint_levels`], [`SymbolicProfile::level_candidates`] |
+//! | eq. 1 in closed form, any depth | [`SymbolicProfile`], [`StridedInterval`] |
+//! | Fig. 4a staircase / reuse distances | [`SymbolicProfile::miss_curve`], [`SymbolicProfile::reuse_histogram`] |
 //! | "all possible hierarchies combining points" | [`enumerate_chains`] |
 //! | per-signal exploration | [`explore_signal`], [`SignalExploration`] |
 //! | global hierarchy layer assignment | [`assign_layers`] |
@@ -51,13 +53,15 @@ mod pairwise;
 mod par;
 mod partial;
 mod report;
+mod stride;
+mod symbolic;
 mod vectors;
 
 pub use assign::{assign_layers, Assignment, SignalOptions};
 pub use error::AnalyzeError;
 pub use explain::{
-    candidate_record, chain_record, emit_candidate_records, emit_chain_records, why_lines,
-    PairVector,
+    candidate_record, chain_record, emit_candidate_records, emit_chain_records, symbolic_record,
+    why_lines, PairVector,
 };
 pub use explore::{
     assignment_menu, explore_program, explore_program_explained, explore_signal,
@@ -74,4 +78,9 @@ pub use pairwise::{max_reuse, PairGeometry, PointKind, ReusePoint};
 pub use par::{max_reasonable_threads, parallel_map, resolve_threads, sanitize_threads};
 pub use partial::{gamma_interval, partial_reuse, partial_sweep};
 pub use report::{describe_source, ExplorationReport, HierarchyRow, Json, JsonParseError};
+pub use stride::StridedInterval;
+pub use symbolic::{
+    symbolic_profile, ReuseBucket, ReuseHistogram, SymbolicFallback, SymbolicLevel,
+    SymbolicProfile,
+};
 pub use vectors::{gcd, reuse_chain_length, ReuseClass};

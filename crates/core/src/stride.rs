@@ -1,0 +1,260 @@
+//! Strided-interval arithmetic: the closed-form value sets behind the
+//! symbolic reuse engine.
+//!
+//! The footprint of an affine index expression over a loop box is the set
+//! of values `Σ cᵢ·xᵢ + constant` with `xᵢ ∈ [0, nᵢ)`. When the
+//! coefficient structure is *provably dense* (see
+//! [`StridedInterval::from_terms`]) that set is exactly
+//! `{min, min + g, …, max}` for `g = gcd(|cᵢ|)` — and footprints,
+//! consecutive-iteration overlaps, and unions of translated copies all
+//! reduce to O(1) arithmetic instead of per-point enumeration. This is
+//! the core trick that lets [`crate::SymbolicProfile`] replace the
+//! `value_set` enumeration of [`crate::footprint_levels`] with closed
+//! forms for arbitrary-depth nests.
+
+use crate::vectors::gcd;
+
+/// The set `{min, min + stride, …, max}`: every value a dense affine
+/// index expression takes over a loop box.
+///
+/// Invariants: `stride ≥ 1` and `(max - min) % stride == 0`. A singleton
+/// uses `stride = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_core::StridedInterval;
+/// // 2j + 2k over j in 0..3, k in 0..3 → {0, 2, 4, 6, 8}
+/// let s = StridedInterval::from_terms(0, &[(2, 3), (2, 3)]).unwrap();
+/// assert_eq!(s.count(), 5);
+/// assert_eq!(s.shifted_overlap(2), 4); // one element leaves per step
+/// assert_eq!(s.shifted_overlap(3), 0); // off-stride shift shares nothing
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedInterval {
+    min: i64,
+    max: i64,
+    stride: i64,
+}
+
+impl StridedInterval {
+    /// The one-element set `{v}`.
+    pub fn singleton(v: i64) -> Self {
+        Self {
+            min: v,
+            max: v,
+            stride: 1,
+        }
+    }
+
+    /// Builds the value set of `constant + Σ coeffᵢ·xᵢ` with
+    /// `xᵢ ∈ [0, tripsᵢ)`, or `None` when the set is not provably a
+    /// single gap-free strided interval.
+    ///
+    /// Terms with a zero coefficient or a single iteration contribute
+    /// nothing and are dropped. For the rest, with magnitudes reduced by
+    /// their gcd `g` and sorted ascending `r₁ ≤ … ≤ r_m`, the sums cover
+    /// every multiple of `g` in the span iff each new stride starts
+    /// within one step of the prefix's reach:
+    /// `r_j ≤ 1 + Σ_{i<j} rᵢ·(nᵢ − 1)`. The condition is sufficient and,
+    /// for sorted magnitudes, necessary — when it fails (e.g. `2j + 4k`
+    /// with too few `j` trips) the exact set has holes and the caller
+    /// must enumerate instead.
+    pub fn from_terms(constant: i64, terms: &[(i64, u64)]) -> Option<Self> {
+        let live: Vec<(i64, i64)> = terms
+            .iter()
+            .filter(|&&(c, n)| c != 0 && n > 1)
+            .map(|&(c, n)| (c, n as i64 - 1))
+            .collect();
+        if live.is_empty() {
+            return Some(Self::singleton(constant));
+        }
+        let g = live.iter().fold(0i64, |acc, &(c, _)| gcd(acc, c));
+        let mut reduced: Vec<(i64, i64)> = live.iter().map(|&(c, s)| (c.abs() / g, s)).collect();
+        reduced.sort_unstable();
+        let mut reach: i64 = 0;
+        for &(r, span) in &reduced {
+            if r > reach + 1 {
+                return None;
+            }
+            reach = reach.checked_add(r.checked_mul(span)?)?;
+        }
+        let mut min = constant;
+        let mut max = constant;
+        for &(c, span) in &live {
+            if c < 0 {
+                min = min.checked_add(c.checked_mul(span)?)?;
+            } else {
+                max = max.checked_add(c.checked_mul(span)?)?;
+            }
+        }
+        Some(Self {
+            min,
+            max,
+            stride: g,
+        })
+    }
+
+    /// Smallest element.
+    pub fn min(&self) -> i64 {
+        self.min
+    }
+
+    /// Largest element.
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// Gap between consecutive elements (1 for singletons).
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// Number of elements: `(max − min) / stride + 1`.
+    pub fn count(&self) -> u64 {
+        ((self.max - self.min) / self.stride) as u64 + 1
+    }
+
+    /// `|S ∩ (S + shift)|` — how many elements survive a carrier-loop
+    /// step that translates the set by `shift`.
+    pub fn shifted_overlap(&self, shift: i64) -> u64 {
+        if shift == 0 {
+            return self.count();
+        }
+        if shift % self.stride != 0 {
+            return 0;
+        }
+        self.count()
+            .saturating_sub(shift.unsigned_abs() / self.stride as u64)
+    }
+
+    /// Union with a translated copy, or `None` when the union is not
+    /// itself a single gap-free strided interval (different strides, an
+    /// off-stride offset, or a gap wider than one stride).
+    pub fn union(&self, other: &Self) -> Option<Self> {
+        if self.stride != other.stride {
+            return None;
+        }
+        let (a, b) = if self.min <= other.min {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if (b.min - a.min) % a.stride != 0 || b.min > a.max.checked_add(a.stride)? {
+            return None;
+        }
+        Some(Self {
+            min: a.min,
+            max: a.max.max(b.max),
+            stride: a.stride,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Brute-force reference: enumerate the exact value set.
+    fn enumerate(constant: i64, terms: &[(i64, u64)]) -> BTreeSet<i64> {
+        let mut values = BTreeSet::new();
+        let mut stack = vec![(0usize, constant)];
+        while let Some((dim, acc)) = stack.pop() {
+            if dim == terms.len() {
+                values.insert(acc);
+                continue;
+            }
+            let (c, n) = terms[dim];
+            for v in 0..n as i64 {
+                stack.push((dim + 1, acc + c * v));
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn dense_terms_match_enumeration_exactly() {
+        let cases: &[(i64, &[(i64, u64)])] = &[
+            (0, &[(1, 8)]),
+            (5, &[(1, 8), (1, 3)]),
+            (0, &[(2, 4), (2, 3)]),
+            (0, &[(4, 8), (1, 8), (1, 4)]), // the ME row expression
+            (-3, &[(3, 2), (1, 4)]),
+            (0, &[(-1, 5), (1, 5)]),
+            (7, &[(0, 9), (1, 4)]),
+            (2, &[(1, 1), (1, 6)]), // single-trip term drops out
+        ];
+        for &(constant, terms) in cases {
+            let s = StridedInterval::from_terms(constant, terms)
+                .unwrap_or_else(|| panic!("{terms:?} should be dense"));
+            let exact = enumerate(constant, terms);
+            assert_eq!(s.count(), exact.len() as u64, "{terms:?}");
+            assert_eq!(s.min(), *exact.first().unwrap(), "{terms:?}");
+            assert_eq!(s.max(), *exact.last().unwrap(), "{terms:?}");
+            for shift in -9..=9 {
+                let want = exact.iter().filter(|&&v| exact.contains(&(v - shift))).count();
+                assert_eq!(
+                    s.shifted_overlap(shift),
+                    want as u64,
+                    "{terms:?} shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_structures_are_refused() {
+        // The small coefficient's reach (span 1) cannot bridge the jump
+        // to the next stride: {0,3} + {0,7} = {0,3,7,10} has holes.
+        assert!(StridedInterval::from_terms(0, &[(3, 2), (7, 2)]).is_none());
+        // {0,1} + {0,5} = {0,1,5,6}: the gap 2..=4 is unreachable.
+        assert!(StridedInterval::from_terms(0, &[(1, 2), (5, 2)]).is_none());
+        // Classic Frobenius gap: coefficients 2 and 3 (reduced gcd 1)
+        // over small ranges miss value 1.
+        assert!(StridedInterval::from_terms(0, &[(2, 3), (3, 3)]).is_none());
+    }
+
+    #[test]
+    fn refused_cases_really_have_gaps() {
+        for &(constant, terms) in &[(0, [(3i64, 2u64), (7, 2)]), (0, [(2, 3), (3, 3)])] {
+            assert!(StridedInterval::from_terms(constant, &terms).is_none());
+            let exact = enumerate(constant, &terms);
+            let (lo, hi) = (*exact.first().unwrap(), *exact.last().unwrap());
+            let g = exact.iter().fold(0i64, |acc, &v| gcd(acc, v - lo));
+            let dense = ((hi - lo) / g.max(1) + 1) as usize;
+            assert!(exact.len() < dense, "{terms:?} is actually dense");
+        }
+    }
+
+    #[test]
+    fn unions_of_translations_merge_or_refuse() {
+        let base = StridedInterval::from_terms(0, &[(2, 4)]).unwrap(); // {0,2,4,6}
+        // Adjacent translation extends the interval.
+        let shifted = StridedInterval::from_terms(8, &[(2, 4)]).unwrap();
+        let u = base.union(&shifted).unwrap();
+        assert_eq!((u.min(), u.max(), u.count()), (0, 14, 8));
+        // Overlapping translation too, in either argument order.
+        let inside = StridedInterval::from_terms(4, &[(2, 4)]).unwrap();
+        assert_eq!(inside.union(&base).unwrap().count(), 6);
+        // Off-stride offset interleaves instead of extending.
+        let odd = StridedInterval::from_terms(1, &[(2, 4)]).unwrap();
+        assert!(base.union(&odd).is_none());
+        // A gap wider than one stride is two intervals, not one.
+        let far = StridedInterval::from_terms(10, &[(2, 4)]).unwrap();
+        assert!(base.union(&far).is_none());
+        // Singletons merge only when adjacent.
+        let a = StridedInterval::singleton(3);
+        assert_eq!(a.union(&StridedInterval::singleton(4)).unwrap().count(), 2);
+        assert!(a.union(&StridedInterval::singleton(5)).is_none());
+    }
+
+    #[test]
+    fn singleton_overlap_is_all_or_nothing() {
+        let s = StridedInterval::singleton(42);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.shifted_overlap(0), 1);
+        assert_eq!(s.shifted_overlap(1), 0);
+        assert_eq!(s.shifted_overlap(-7), 0);
+    }
+}

@@ -155,7 +155,12 @@ impl Json {
     ///
     /// Integers without fraction/exponent parse as [`Json::UInt`] /
     /// [`Json::Int`]; everything else numeric parses as [`Json::Num`].
-    /// Trailing non-whitespace input is an error.
+    /// `-0` parses as [`Json::Num`]`(-0.0)` so the sign survives a
+    /// round-trip, integers beyond the 64-bit ranges fall back to `f64`
+    /// (53-bit precision), and numbers whose nearest `f64` is not finite
+    /// (e.g. `1e400`) are rejected rather than clamped to a value the
+    /// writer would re-serialize as `null`. Trailing non-whitespace input
+    /// is an error.
     ///
     /// # Errors
     ///
@@ -427,15 +432,32 @@ impl<'a> Parser<'a> {
                 return Ok(Json::UInt(n));
             }
             if let Ok(n) = text.parse::<i64>() {
+                // `-0` (only reachable here: plain `0` parses as u64)
+                // must stay a float — `Int(0)` would render back as `0`,
+                // silently dropping the sign on a round-trip.
+                if n == 0 {
+                    return Ok(Json::Num(-0.0));
+                }
                 return Ok(Json::Int(n));
             }
+            // Integral but outside u64/i64: fall through to f64, keeping
+            // the magnitude to 53 bits of precision (same policy as
+            // serde_json's arbitrary-precision-off mode).
         }
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonParseError {
+        let x = text.parse::<f64>().map_err(|_| JsonParseError {
+            offset: start,
+            message: format!("invalid number `{text}`"),
+        })?;
+        if !x.is_finite() {
+            // `1e400` would otherwise become `Num(inf)`, which the
+            // writer renders as `null` — a silent type change the first
+            // time the value passes back through the server protocol.
+            return Err(JsonParseError {
                 offset: start,
-                message: format!("invalid number `{text}`"),
-            })
+                message: format!("number out of range `{text}`"),
+            });
+        }
+        Ok(Json::Num(x))
     }
 }
 
@@ -551,7 +573,60 @@ mod tests {
             Json::parse("18446744073709551615").unwrap(),
             Json::UInt(u64::MAX)
         );
-        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(
+            Json::parse("-9223372036854775808").unwrap(),
+            Json::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn regression_minus_zero_survives_a_round_trip() {
+        // Fuzz seed: `-0` used to parse as `Int(0)` and re-serialize as
+        // `0`, so a cost term that was exactly negative zero changed text
+        // on every server/explain hop.
+        let v = Json::parse("-0").unwrap();
+        match v {
+            Json::Num(x) => {
+                assert_eq!(x, 0.0);
+                assert!(x.is_sign_negative(), "sign dropped");
+            }
+            other => panic!("-0 parsed as {other:?}"),
+        }
+        assert_eq!(v.to_string(), "-0");
+        assert_eq!(Json::parse(&v.to_string()).unwrap().to_string(), "-0");
+    }
+
+    #[test]
+    fn regression_huge_exponents_are_rejected_not_nulled() {
+        // Fuzz seed: `1e400` used to parse as `Num(inf)`, which the
+        // writer renders as `null` — a silent type change through the
+        // server protocol.
+        for bad in ["1e400", "-1e400", "1e99999", "-2.5E+308000"] {
+            let e = Json::parse(bad).unwrap_err();
+            assert!(e.message.contains("out of range"), "{bad}: {e}");
+        }
+        // The finite extremes and underflow-to-zero still parse.
+        assert_eq!(
+            Json::parse("1.7976931348623157e308").unwrap(),
+            Json::Num(f64::MAX)
+        );
+        assert_eq!(Json::parse("1e-400").unwrap(), Json::Num(0.0));
+    }
+
+    #[test]
+    fn regression_integer_overflow_is_value_stable() {
+        // Fuzz seeds: one past u64::MAX and one below i64::MIN. The
+        // magnitude survives to f64 precision and one render/parse cycle
+        // reaches a fixpoint instead of drifting every hop.
+        let v = Json::parse("18446744073709551616").unwrap();
+        assert_eq!(v, Json::Num(18446744073709551616.0));
+        let once = v.to_string();
+        assert_eq!(Json::parse(&once).unwrap().to_string(), once);
+
+        let v = Json::parse("-9223372036854775809").unwrap();
+        assert_eq!(v.as_f64(), Some(-9223372036854775808.0)); // nearest f64
+        let once = v.to_string();
+        assert_eq!(Json::parse(&once).unwrap().as_f64(), v.as_f64());
     }
 
     #[test]

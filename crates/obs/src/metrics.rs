@@ -31,6 +31,8 @@ pub enum Counter {
     ExplorePairsSwept,
     ExploreCandidatesGenerated,
     ExploreCandidatesPruned,
+    SymbolicHits,
+    SimFallbacks,
     ChainsEnumerated,
     ChainsEvaluated,
     ParetoPointsKept,
@@ -55,11 +57,13 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 26] = [
         Counter::ExploreGroups,
         Counter::ExplorePairsSwept,
         Counter::ExploreCandidatesGenerated,
         Counter::ExploreCandidatesPruned,
+        Counter::SymbolicHits,
+        Counter::SimFallbacks,
         Counter::ChainsEnumerated,
         Counter::ChainsEvaluated,
         Counter::ParetoPointsKept,
@@ -89,6 +93,8 @@ impl Counter {
             Counter::ExplorePairsSwept => "explore_pairs_swept",
             Counter::ExploreCandidatesGenerated => "explore_candidates_generated",
             Counter::ExploreCandidatesPruned => "explore_candidates_pruned",
+            Counter::SymbolicHits => "symbolic_hits",
+            Counter::SimFallbacks => "sim_fallbacks",
             Counter::ChainsEnumerated => "chains_enumerated",
             Counter::ChainsEvaluated => "chains_evaluated",
             Counter::ParetoPointsKept => "pareto_points_kept",

@@ -187,4 +187,64 @@ fi
 rm -f "$EXPLAIN_LOG"
 echo "explain gate passed ($CANDIDATES candidates, every verdict accounted)"
 
+# Symbolic cross-validation gate: the analytical (symbolic-first) explore
+# path must agree with the Belady trace oracle on the shipped kernels.
+# `--cross-validate` replays every exact candidate through the simulator
+# and exits nonzero on any disagreement.
+for kernel in me-small fir; do
+    XVAL_ERR="$(mktemp)"
+    target/release/datareuse explore "$kernel" --cross-validate \
+        > /dev/null 2> "$XVAL_ERR"
+    if ! grep -q 'cross-validation: PASS' "$XVAL_ERR"; then
+        echo "cross-validation gate: $kernel did not report PASS" >&2
+        cat "$XVAL_ERR" >&2
+        exit 1
+    fi
+    rm -f "$XVAL_ERR"
+done
+echo "cross-validation gate passed (me-small, fir)"
+
+# Committed bench-baseline gate: every benchmark group must have a
+# checked-in BENCH_<group>.json under benchmarks/ that at least looks
+# like a harness artifact (the full Json::parse + schema check runs in
+# tests/bench_artifacts.rs under `cargo test` above).
+for group in analytical_vs_simulation batch_and_hierarchy model_stages \
+    pareto_and_codegen policies serve_latency serve_throughput \
+    stack_distances symbolic_vs_simulation; do
+    ARTIFACT="benchmarks/BENCH_$group.json"
+    if ! [ -s "$ARTIFACT" ]; then
+        echo "bench gate: missing committed baseline $ARTIFACT" >&2
+        exit 1
+    fi
+    if ! grep -q '"group":"'"$group"'"' "$ARTIFACT" \
+        || ! grep -q '"median_ns":' "$ARTIFACT"; then
+        echo "bench gate: $ARTIFACT does not look like a harness artifact" >&2
+        exit 1
+    fi
+done
+echo "bench baseline gate passed (benchmarks/BENCH_*.json present)"
+
+# Bench-regression guard: re-measure the symbolic-vs-simulation ratio
+# fresh (short budget — this is a regression tripwire, not a baseline)
+# and require the closed-form profile to stay >=10x faster than one
+# trace-simulation point on the depth-3 nest.
+DATAREUSE_BENCH_BUDGET_MS=20 DATAREUSE_BENCH_SAMPLES=5 \
+    cargo bench -p datareuse-bench --bench symbolic > /dev/null
+FRESH="crates/bench/target/figures/BENCH_symbolic_vs_simulation.json"
+bench_median() {
+    sed -n 's/.*"id":"'"$1"'"[^}]*"median_ns":\([0-9.eE+-]*\).*/\1/p' "$FRESH"
+}
+SYM_NS="$(bench_median symbolic_profile_depth3)"
+SIM_NS="$(bench_median simulate_one_point_depth3)"
+if [ -z "$SYM_NS" ] || [ -z "$SIM_NS" ]; then
+    echo "bench gate: could not read medians from $FRESH" >&2
+    exit 1
+fi
+if ! awk -v sim="$SIM_NS" -v sym="$SYM_NS" 'BEGIN { exit !(sim >= 10 * sym) }'; then
+    echo "bench gate: symbolic profile is not >=10x faster than" \
+        "simulation (symbolic=$SYM_NS ns, simulate=$SIM_NS ns)" >&2
+    exit 1
+fi
+echo "bench regression guard passed (symbolic $SYM_NS ns vs simulate $SIM_NS ns)"
+
 echo "tier-1 verification passed"

@@ -1,0 +1,126 @@
+//! Guards over the committed benchmark baselines in `benchmarks/`.
+//!
+//! Every `BENCH_<group>.json` written by `cargo bench -p datareuse-bench`
+//! and checked in must parse with the repo's own [`Json`] reader and
+//! follow the harness schema, and the symbolic baseline must show the
+//! headline claim of the symbolic engine: computing a reuse profile in
+//! closed form is at least 10x faster than trace simulation on a
+//! depth-3 nest. `scripts/verify.sh` re-measures the same ratio fresh;
+//! this test pins the committed artifact.
+
+use std::fs;
+use std::path::PathBuf;
+
+use datareuse::model::Json;
+
+fn benchmarks_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("benchmarks")
+}
+
+/// All committed artifacts, parsed — panics with the file name on any
+/// unreadable or unparseable artifact.
+fn artifacts() -> Vec<(String, Json)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(benchmarks_dir()).expect("benchmarks/ directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        out.push((name, json));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn median_ns(artifact: &Json, id: &str) -> f64 {
+    artifact
+        .get("benches")
+        .and_then(Json::as_array)
+        .expect("benches array")
+        .iter()
+        .find(|b| b.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("bench id {id} missing"))
+        .get("median_ns")
+        .and_then(Json::as_f64)
+        .expect("median_ns number")
+}
+
+#[test]
+fn committed_bench_artifacts_parse_and_follow_the_schema() {
+    let artifacts = artifacts();
+    assert!(!artifacts.is_empty(), "no BENCH_*.json committed under benchmarks/");
+    for (name, json) in &artifacts {
+        let group = json
+            .get("group")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing group"));
+        assert_eq!(
+            name, &format!("BENCH_{group}.json"),
+            "{name}: file name does not match its group"
+        );
+        let benches = json
+            .get("benches")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{name}: missing benches array"));
+        assert!(!benches.is_empty(), "{name}: empty benches array");
+        for bench in benches {
+            let id = bench
+                .get("id")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{name}: bench without id"));
+            for field in ["samples", "min_ns", "median_ns", "mean_ns"] {
+                let v = bench
+                    .get(field)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("{name}/{id}: missing {field}"));
+                assert!(v > 0.0, "{name}/{id}: non-positive {field}");
+            }
+        }
+    }
+}
+
+#[test]
+fn symbolic_baseline_covers_every_bench_group() {
+    let names: Vec<String> = artifacts().into_iter().map(|(n, _)| n).collect();
+    for group in [
+        "analytical_vs_simulation",
+        "batch_and_hierarchy",
+        "model_stages",
+        "pareto_and_codegen",
+        "policies",
+        "serve_latency",
+        "serve_throughput",
+        "stack_distances",
+        "symbolic_vs_simulation",
+    ] {
+        let want = format!("BENCH_{group}.json");
+        assert!(names.contains(&want), "missing committed baseline {want}");
+    }
+}
+
+#[test]
+fn symbolic_baseline_is_at_least_10x_faster_than_simulation() {
+    let artifacts = artifacts();
+    let (_, symbolic) = artifacts
+        .iter()
+        .find(|(n, _)| n == "BENCH_symbolic_vs_simulation.json")
+        .expect("symbolic baseline committed");
+    for (fast, slow) in [
+        ("symbolic_profile_depth3", "simulate_one_point_depth3"),
+        ("symbolic_profile_me_small", "simulate_one_point_me_small"),
+    ] {
+        let f = median_ns(symbolic, fast);
+        let s = median_ns(symbolic, slow);
+        assert!(
+            s >= 10.0 * f,
+            "{slow} ({s:.0} ns) is not ≥10x slower than {fast} ({f:.0} ns)"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Cross-validation of the symbolic reuse-profile engine against the
+//! enumeration analysis and the trace simulators, on randomly generated
+//! affine nests of arbitrary depth.
+//!
+//! The contract under test: wherever [`symbolic_profile`] accepts a nest,
+//! its closed forms must agree *exactly* with the `footprint_levels`
+//! enumeration (same candidates, byte for byte) and with trace-derived
+//! ground truth (`C_tot` = trace length, footprint = distinct addresses,
+//! per-depth sizes = distinct addresses of the inner sub-nest), and every
+//! point of its miss curve must be feasible for Belady-optimal
+//! replacement. Any disagreement is either a symbolic bug or a simulator
+//! bug — both get fixed and pinned as a named `regression_*` test below.
+
+use datareuse_proptest::{check, prop_assert, prop_assert_eq, Config, Rng};
+
+use datareuse::model::{
+    footprint_levels, symbolic_profile, LevelCandidate, SymbolicFallback,
+};
+use datareuse::prelude::*;
+use datareuse::trace::{distinct_count, opt_simulate, SimResult};
+
+/// One generated loop: `(trip_count, coeff_dim0, coeff_dim1)`. A nest is
+/// 1–4 of these; the access is 1-D when every `coeff_dim1` is zero.
+type Case = Vec<(i64, i64, i64)>;
+
+fn gen_nest(rng: &mut Rng) -> Case {
+    rng.vec(1, 4, |r| {
+        (r.i64_in(2, 6), r.i64_in(-3, 3), r.i64_in(-3, 3))
+    })
+}
+
+const NAMES: [&str; 4] = ["i0", "i1", "i2", "i3"];
+
+/// The DSL index expression of dimension `d` over `loops`, with `off`
+/// added to keep every address in bounds (zero-coefficient terms emitted
+/// too, matching the `tests/properties.rs` generator idiom).
+fn index_expr(loops: &[(i64, i64, i64)], skip: usize, d: usize, off: i64) -> String {
+    let mut terms: Vec<String> = loops
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, b, c))| format!("{}*{}", if d == 0 { b } else { c }, NAMES[skip + i]))
+        .collect();
+    terms.push(off.to_string());
+    terms.join(" + ")
+}
+
+/// Per-dimension `(offset, extent)` so indices stay in `[0, extent)`.
+fn dim_bounds(loops: &[(i64, i64, i64)], d: usize) -> (i64, i64) {
+    let (mut lo, mut hi) = (0i64, 0i64);
+    for &(t, b, c) in loops {
+        let coeff = if d == 0 { b } else { c };
+        if coeff < 0 {
+            lo += coeff * (t - 1);
+        } else {
+            hi += coeff * (t - 1);
+        }
+    }
+    (-lo, hi - lo + 1)
+}
+
+/// Builds the program for a case, or `None` when the case is outside the
+/// generator's domain (shrunk candidates may be).
+fn nest_program(case: &Case) -> Option<Program> {
+    nest_program_from(case, case.as_slice(), "")
+}
+
+/// Builds a program iterating `loops` but indexing with the bounds of
+/// `full` — used to materialize the inner sub-nest of a depth while
+/// keeping the same array geometry. `guard` is a DSL guard suffix for
+/// the read (e.g. `" if i0 != 1"`), empty for none.
+fn nest_program_from(full: &Case, loops: &[(i64, i64, i64)], guard: &str) -> Option<Program> {
+    if full.is_empty() || full.len() > 4 {
+        return None;
+    }
+    if full
+        .iter()
+        .any(|&(t, b, c)| !(2..=6).contains(&t) || b.abs() > 3 || c.abs() > 3)
+    {
+        return None;
+    }
+    let two_d = full.iter().any(|&(_, _, c)| c != 0);
+    let (off0, ext0) = dim_bounds(full, 0);
+    let mut src = if two_d {
+        let (_, ext1) = dim_bounds(full, 1);
+        format!("array A[{ext0}][{ext1}];\n")
+    } else {
+        format!("array A[{ext0}];\n")
+    };
+    let skip = full.len() - loops.len();
+    for (i, &(t, _, _)) in loops.iter().enumerate() {
+        src += &format!("for {} in 0..{t} {{ ", NAMES[skip + i]);
+    }
+    if two_d {
+        let (off1, _) = dim_bounds(full, 1);
+        src += &format!(
+            "read A[{}][{}]{guard};",
+            index_expr(loops, skip, 0, off0),
+            index_expr(loops, skip, 1, off1)
+        );
+    } else {
+        src += &format!("read A[{}]{guard};", index_expr(loops, skip, 0, off0));
+    }
+    src += &" }".repeat(loops.len());
+    Some(parse_program(&src).expect("generated program parses"))
+}
+
+/// Wherever the symbolic engine accepts a nest, its candidates are byte
+/// for byte the enumeration's, and its headline numbers match the trace.
+fn prop_symbolic_matches_enumeration(case: &Case) -> Result<(), String> {
+    let Some(program) = nest_program(case) else {
+        return Ok(());
+    };
+    let nest = &program.nests()[0];
+    let levels: Vec<LevelCandidate> =
+        footprint_levels(nest, 0).map_err(|e| format!("enumeration failed: {e:?}"))?;
+    match symbolic_profile(nest, 0) {
+        Ok(profile) => {
+            prop_assert_eq!(
+                profile.level_candidates(),
+                levels,
+                "candidate mismatch for {:?}",
+                case
+            );
+            let trace = read_addresses(&program, "A");
+            prop_assert_eq!(profile.c_tot(), trace.len() as u64);
+            prop_assert_eq!(profile.total_footprint(), distinct_count(&trace));
+            for l in profile.levels() {
+                prop_assert!(l.fills <= profile.c_tot(), "fills > C_tot at {:?}", l);
+                prop_assert!(
+                    l.fills >= profile.total_footprint(),
+                    "fills below compulsory at {:?}",
+                    l
+                );
+            }
+        }
+        Err(fallback) => {
+            // A refusal is fine (that's what the fallback is for), but it
+            // must be one the dispatch can act on, and the enumeration
+            // path must have covered the nest (asserted above).
+            prop_assert!(
+                !matches!(fallback, SymbolicFallback::BadAccess),
+                "access 0 exists, BadAccess is wrong"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Per-depth sizes are the distinct-address counts of the materialized
+/// inner sub-nests — trace-level ground truth independent of both the
+/// symbolic closed forms and the enumeration.
+fn prop_depth_sizes_match_subnest_traces(case: &Case) -> Result<(), String> {
+    let Some(program) = nest_program(case) else {
+        return Ok(());
+    };
+    let Ok(profile) = symbolic_profile(&program.nests()[0], 0) else {
+        return Ok(());
+    };
+    for level in profile.levels() {
+        if level.depth == case.len() {
+            // Empty inner sub-nest: the footprint is the single element
+            // the (now constant) index denotes.
+            prop_assert_eq!(level.size, 1, "deepest level of {:?}", case);
+            continue;
+        }
+        let sub = nest_program_from(case, &case[level.depth..], "")
+            .expect("sub-nest of a valid case is valid");
+        let sub_trace = read_addresses(&sub, "A");
+        prop_assert_eq!(
+            level.size,
+            distinct_count(&sub_trace),
+            "depth {} footprint mismatch for {:?}",
+            level.depth,
+            case
+        );
+    }
+    Ok(())
+}
+
+/// Every miss-curve point is Belady-feasible and the reuse histogram
+/// conserves `C_tot`.
+fn prop_miss_curve_is_belady_feasible(case: &Case) -> Result<(), String> {
+    let Some(program) = nest_program(case) else {
+        return Ok(());
+    };
+    let Ok(profile) = symbolic_profile(&program.nests()[0], 0) else {
+        return Ok(());
+    };
+    let curve = profile.miss_curve();
+    for w in curve.windows(2) {
+        prop_assert!(
+            w[0].0 < w[1].0 && w[0].1 > w[1].1,
+            "curve not a strict staircase: {:?}",
+            curve
+        );
+    }
+    let trace = read_addresses(&program, "A");
+    for &(cap, fills) in &curve {
+        prop_assert!(fills >= profile.total_footprint());
+        let opt = opt_simulate(&trace, cap);
+        prop_assert!(
+            opt.fills <= fills,
+            "OPT {} beats symbolic {} at capacity {} for {:?}",
+            opt.fills,
+            fills,
+            cap,
+            case
+        );
+    }
+    let hist = profile.reuse_histogram();
+    prop_assert_eq!(hist.total(), profile.c_tot(), "leaky histogram for {:?}", case);
+    prop_assert_eq!(hist.compulsory, profile.total_footprint());
+    Ok(())
+}
+
+/// Adding a guard always demotes a nest to the fallback path, whatever
+/// its shape — the dispatch boundary cannot silently widen.
+fn prop_guarded_nests_always_fall_back(case: &Case) -> Result<(), String> {
+    let Some(program) = nest_program(case) else {
+        return Ok(());
+    };
+    drop(program);
+    let guarded = nest_program_from(case, case, " if i0 != 1").expect("in-domain case");
+    prop_assert_eq!(
+        symbolic_profile(&guarded.nests()[0], 0),
+        Err(SymbolicFallback::Guarded)
+    );
+    Ok(())
+}
+
+/// The acceptance bar: symbolic == simulated on at least 256 generated
+/// affine nests, deterministically.
+#[test]
+fn symbolic_matches_enumeration_on_random_nests() {
+    check(
+        "symbolic_matches_enumeration_on_random_nests",
+        &Config::with_cases(256),
+        gen_nest,
+        prop_symbolic_matches_enumeration,
+    );
+}
+
+#[test]
+fn depth_sizes_match_subnest_traces() {
+    check(
+        "depth_sizes_match_subnest_traces",
+        &Config::with_cases(128),
+        gen_nest,
+        prop_depth_sizes_match_subnest_traces,
+    );
+}
+
+#[test]
+fn miss_curves_are_belady_feasible() {
+    check(
+        "miss_curves_are_belady_feasible",
+        &Config::with_cases(128),
+        gen_nest,
+        prop_miss_curve_is_belady_feasible,
+    );
+}
+
+#[test]
+fn guarded_nests_always_fall_back() {
+    check(
+        "guarded_nests_always_fall_back",
+        &Config::with_cases(64),
+        gen_nest,
+        prop_guarded_nests_always_fall_back,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Named regressions: edge cases the harness (and its development) pinned.
+// ---------------------------------------------------------------------
+
+/// Zero-trip loops are unconstructible by design: `lower > upper` and
+/// `step < 1` are rejected at the IR boundary, so no analysis or
+/// simulator ever sees an empty iteration range — the "zero-trip"
+/// disagreement class is closed at the type level.
+#[test]
+fn regression_zero_trip_loops_are_unconstructible() {
+    assert!(matches!(
+        Loop::try_new("i", 5, 4),
+        Err(datareuse::loopir::BuildNestError::EmptyLoop { .. })
+    ));
+    assert!(matches!(
+        Loop::try_with_step("i", 0, 4, 0),
+        Err(datareuse::loopir::BuildNestError::BadStep { .. })
+    ));
+}
+
+/// The zero-fill `F_R` edge: a candidate that never fills reports
+/// `F_R = C_tot` (the paper's `b=c=0` footnote), and an empty trace's
+/// [`SimResult`] reports the copied count (zero) rather than dividing by
+/// zero — both sides of the symbolic-vs-simulated comparison agree on
+/// the convention.
+#[test]
+fn regression_zero_fill_reuse_factor_is_c_tot() {
+    let candidate = LevelCandidate {
+        depth: 1,
+        size: 4,
+        fills: 0,
+        c_tot: 128,
+        exact: true,
+    };
+    assert_eq!(candidate.reuse_factor(), 128.0);
+    let empty: SimResult = opt_simulate(&[], 4);
+    assert_eq!(empty.fills, 0);
+    assert_eq!(empty.reuse_factor(), 0.0);
+}
+
+/// Boundary iterations: single-step carriers (`trip = 2`) with negative
+/// coefficients — the smallest geometries where consecutive-footprint
+/// overlap, normalization, and Belady agree only if every off-by-one is
+/// absent. All four properties must hold.
+#[test]
+fn regression_boundary_single_step_carriers() {
+    for case in [
+        vec![(2, 1, 0), (2, 1, 0)],
+        vec![(2, -1, 0), (2, 1, 0)],
+        vec![(2, -3, 0), (2, -1, 0), (2, 1, 0)],
+        vec![(2, 1, -1), (2, 0, 1)],
+    ] {
+        prop_symbolic_matches_enumeration(&case).unwrap();
+        prop_depth_sizes_match_subnest_traces(&case).unwrap();
+        prop_miss_curve_is_belady_feasible(&case).unwrap();
+        prop_guarded_nests_always_fall_back(&case).unwrap();
+    }
+}
+
+/// The all-zero-coefficient access (`A[off]` touched every iteration):
+/// footprint 1 at every depth, fills 1 at depth 1, and `C_tot` hits —
+/// the degenerate case where `fills == footprint == 1`.
+#[test]
+fn regression_constant_index_is_a_single_hot_element() {
+    let case = vec![(3, 0, 0), (4, 0, 0)];
+    let program = nest_program(&case).unwrap();
+    let profile = symbolic_profile(&program.nests()[0], 0).unwrap();
+    assert_eq!(profile.total_footprint(), 1);
+    assert_eq!(profile.c_tot(), 12);
+    let levels = profile.level_candidates();
+    assert_eq!((levels[0].size, levels[0].fills), (1, 1));
+    prop_symbolic_matches_enumeration(&case).unwrap();
+    prop_miss_curve_is_belady_feasible(&case).unwrap();
+}
