@@ -137,7 +137,72 @@ fn bench_saturation() {
     group.finish();
 }
 
+/// Framing and coalescing economics: one `batch` frame versus the same
+/// sixteen requests as pipelined single frames, and the singleflight
+/// fan-out where identical concurrent requests share one computation.
+fn bench_ops() {
+    let mut group = BenchGroup::new("serve_ops");
+    let request = r#"{"op":"explore","kernel":"me-small","array":"Old"}"#;
+    const N: usize = 16;
+
+    let (addr, handle) = start(ServerConfig {
+        cache_entries: 64,
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut conn = Conn::open(&addr);
+    conn.roundtrip(request); // warm: every sub-request below is a hit
+    let batch = format!(
+        r#"{{"op":"batch","requests":[{}]}}"#,
+        vec![request; N].join(",")
+    );
+    group.bench_latency("batch_16_cache_hits", || conn.roundtrip(&batch).len());
+    // The same sixteen requests as individual frames, pipelined in one
+    // write: the delta against `batch_16_cache_hits` is pure framing —
+    // sixteen envelopes and response lines instead of one.
+    let singles: String = format!("{request}\n").repeat(N);
+    group.bench_latency("singles_16_pipelined", || {
+        conn.writer.write_all(singles.as_bytes()).expect("send");
+        let mut bytes = 0usize;
+        for _ in 0..N {
+            let mut line = String::new();
+            conn.reader.read_line(&mut line).expect("receive");
+            bytes += line.len();
+        }
+        bytes
+    });
+    drop(conn);
+    shutdown(&addr, handle);
+
+    // Singleflight fan-out with the cache off: eight identical frames
+    // arrive in one read pass, the leader computes once, seven followers
+    // coalesce onto the flight. Compare against `explore_cold` in
+    // `serve_latency` — eight answers for roughly one computation.
+    let (addr, handle) = start(ServerConfig {
+        cache_entries: 0,
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut conn = Conn::open(&addr);
+    const FAN: usize = 8;
+    let fan: String = format!("{request}\n").repeat(FAN);
+    group.bench_latency("coalesced_fanout_8", || {
+        conn.writer.write_all(fan.as_bytes()).expect("send");
+        let mut bytes = 0usize;
+        for _ in 0..FAN {
+            let mut line = String::new();
+            conn.reader.read_line(&mut line).expect("receive");
+            bytes += line.len();
+        }
+        bytes
+    });
+    drop(conn);
+    shutdown(&addr, handle);
+    group.finish();
+}
+
 fn main() {
     bench_cold_vs_cached();
     bench_saturation();
+    bench_ops();
 }

@@ -18,13 +18,30 @@ struct ServerProc {
 
 impl ServerProc {
     fn spawn(extra: &[&str]) -> ServerProc {
+        Self::spawn_inner(extra, Stdio::null()).0
+    }
+
+    /// Spawns with stderr piped so a test can assert on the snapshot
+    /// warnings. Read the handle only after the server exits — serve
+    /// writes a few short lines, far below the pipe buffer, so the
+    /// daemon never blocks on it.
+    fn spawn_capturing_stderr(extra: &[&str]) -> (ServerProc, std::process::ChildStderr) {
+        let (server, stderr) = Self::spawn_inner(extra, Stdio::piped());
+        (server, stderr.expect("stderr piped"))
+    }
+
+    fn spawn_inner(
+        extra: &[&str],
+        stderr: Stdio,
+    ) -> (ServerProc, Option<std::process::ChildStderr>) {
         let mut child = Command::new(env!("CARGO_BIN_EXE_datareuse"))
             .args(["serve", "--addr", "127.0.0.1:0"])
             .args(extra)
             .stdout(Stdio::piped())
-            .stderr(Stdio::null())
+            .stderr(stderr)
             .spawn()
             .expect("server spawns");
+        let captured = child.stderr.take();
         let stdout = child.stdout.take().expect("stdout piped");
         let mut line = String::new();
         BufReader::new(stdout)
@@ -35,7 +52,7 @@ impl ServerProc {
             .strip_prefix("datareuse-serve: listening on ")
             .unwrap_or_else(|| panic!("unexpected discovery line: {line}"))
             .to_string();
-        ServerProc { child, addr }
+        (ServerProc { child, addr }, captured)
     }
 
     /// Kills the daemon without draining — for tests that deliberately
@@ -239,11 +256,15 @@ fn query_maps_timeouts_to_exit_3_and_prints_the_flight_tail() {
 #[test]
 fn query_maps_overload_to_exit_4() {
     // One worker, one queue slot. Two slow requests wedge both; the
-    // third is refused with `overloaded`.
+    // third is refused with `overloaded`. Each request carries a
+    // distinct `salt` field — the parser ignores it but the canonical
+    // cache key hashes it, so the requests stay separate flights
+    // instead of coalescing onto one computation.
     let server = ServerProc::spawn(&["--threads", "1", "--queue-depth", "1"]);
-    let slow = r#"{"op":"report","kernel":"susan","deadline_ms":60000}"#;
     let mut wedges = Vec::new();
-    for _ in 0..2 {
+    for salt in 0..2 {
+        let slow =
+            format!(r#"{{"op":"report","kernel":"susan","deadline_ms":60000,"salt":{salt}}}"#);
         let mut stream = TcpStream::connect(&server.addr).expect("connects");
         writeln!(stream, "{slow}").unwrap();
         stream.flush().unwrap();
@@ -253,7 +274,12 @@ fn query_maps_overload_to_exit_4() {
         std::thread::sleep(Duration::from_millis(300));
     }
     let out = Command::new(env!("CARGO_BIN_EXE_datareuse"))
-        .args(["query", "--addr", &server.addr, slow])
+        .args([
+            "query",
+            "--addr",
+            &server.addr,
+            r#"{"op":"report","kernel":"susan","deadline_ms":60000,"salt":2}"#,
+        ])
         .output()
         .expect("query runs");
     assert_eq!(out.status.code(), Some(4), "overload maps to exit 4");
@@ -428,6 +454,200 @@ fn health_maps_to_exit_codes_and_top_renders_the_series() {
         let point = Json::parse(line).expect("series line parses");
         assert!(point.get("counters").is_some());
         assert!(point.get("hists").is_some());
+    }
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce_onto_one_computation() {
+    // The cache is disabled, so the only way a follower can avoid
+    // recomputing is the singleflight join. All K identical requests go
+    // out in ONE write on one connection: the event loop dispatches the
+    // whole block in a single read pass (microseconds), while the
+    // leader's susan exploration runs for ~200ms on a worker — the
+    // followers join the open flight long before it completes.
+    const K: usize = 4;
+    let server = ServerProc::spawn(&["--threads", "2", "--cache-entries", "0"]);
+    let request = r#"{"op":"explore","kernel":"susan","deadline_ms":60000}"#;
+    let stream = TcpStream::connect(&server.addr).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut block = String::new();
+    for _ in 0..K {
+        block.push_str(request);
+        block.push('\n');
+    }
+    writer.write_all(block.as_bytes()).unwrap();
+    writer.flush().unwrap();
+    let mut responses = Vec::new();
+    for _ in 0..K {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        responses.push(Json::parse(&line).expect("response parses"));
+    }
+    let first = responses[0].get("result").expect("result").to_string();
+    let mut coalesced = 0;
+    for doc in &responses {
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc}");
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("result").expect("result").to_string(),
+            first,
+            "every coalesced response carries the leader's exact bytes"
+        );
+        if doc.get("coalesced").and_then(Json::as_bool) == Some(true) {
+            coalesced += 1;
+        }
+    }
+    assert_eq!(coalesced, K - 1, "exactly one leader, K-1 followers");
+    let stats = exchange(&server.addr, &[r#"{"op":"stats"}"#]);
+    let counters = stats[0]
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .expect("counters in stats");
+    let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(counter("serve_coalesced"), (K - 1) as u64, "{counters}");
+    assert_eq!(counter("serve_cache_misses"), 1, "one computation: {counters}");
+    server.shutdown();
+}
+
+#[test]
+fn a_batch_frame_answers_with_bytes_identical_to_the_one_shot_cli() {
+    let expected = one_shot_stdout(&["explore", "fir", "--json"]);
+    let expected = expected.trim();
+    let server = ServerProc::spawn(&["--cache-entries", "64"]);
+    let batch = concat!(
+        r#"{"op":"batch","id":9,"requests":["#,
+        r#"{"op":"explore","kernel":"fir","id":"a"},"#,
+        r#"{"op":"ping","id":"b"}]}"#
+    );
+    let responses = exchange(&server.addr, &[batch]);
+    let doc = &responses[0];
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc}");
+    assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+    let subs = doc
+        .get("result")
+        .and_then(|r| r.get("responses"))
+        .and_then(Json::as_array)
+        .expect("responses array");
+    assert_eq!(subs.len(), 2);
+    assert_eq!(subs[0].get("id").and_then(Json::as_str), Some("a"));
+    assert_eq!(
+        subs[0].get("result").map(Json::to_string).unwrap(),
+        expected,
+        "batched explore matches the one-shot CLI byte for byte"
+    );
+    assert_eq!(subs[1].get("id").and_then(Json::as_str), Some("b"));
+    assert_eq!(subs[1].get("ok").and_then(Json::as_bool), Some(true));
+    // The batch populated the shared cache: a standalone frame for the
+    // same computation is now a hit with the same bytes.
+    let single = exchange(&server.addr, &[r#"{"op":"explore","kernel":"fir"}"#]);
+    assert_eq!(single[0].get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        single[0].get("result").map(Json::to_string).unwrap(),
+        expected
+    );
+    let stats = exchange(&server.addr, &[r#"{"op":"stats"}"#]);
+    let counters = stats[0]
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .expect("counters in stats");
+    assert!(
+        counters.get("serve_batch_requests").and_then(Json::as_u64).unwrap_or(0) >= 2,
+        "batch sub-requests counted: {counters}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_cache_snapshot_warm_start_serves_the_first_request_from_cache() {
+    let snap = std::env::temp_dir().join(format!(
+        "datareuse_serve_snap_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    let expected = one_shot_stdout(&["explore", "fir", "--json"]);
+    let expected = expected.trim();
+    let request = r#"{"op":"explore","kernel":"fir"}"#;
+    let args = [
+        "--cache-entries",
+        "64",
+        "--cache-snapshot",
+        snap.to_str().unwrap(),
+    ];
+
+    // First life: compute once, drain, persist.
+    let server = ServerProc::spawn(&args);
+    let cold = exchange(&server.addr, &[request]);
+    assert_eq!(cold[0].get("cached").and_then(Json::as_bool), Some(false));
+    server.shutdown();
+    let text = std::fs::read_to_string(&snap).expect("snapshot written on drain");
+    assert!(text.contains("datareuse-cache-snapshot-v1"), "{text}");
+
+    // Second life: the very first request is already a hit, and the
+    // restored bytes match both the first life and the one-shot CLI.
+    let server = ServerProc::spawn(&args);
+    let warm = exchange(&server.addr, &[request]);
+    assert_eq!(
+        warm[0].get("cached").and_then(Json::as_bool),
+        Some(true),
+        "warm start serves from the restored cache: {}",
+        warm[0]
+    );
+    let warm_result = warm[0].get("result").map(Json::to_string).unwrap();
+    assert_eq!(
+        warm_result,
+        cold[0].get("result").map(Json::to_string).unwrap(),
+        "restored bytes match the original computation"
+    );
+    assert_eq!(warm_result, expected, "and the one-shot CLI");
+    let stats = exchange(&server.addr, &[r#"{"op":"stats"}"#]);
+    let counters = stats[0]
+        .get("result")
+        .and_then(|r| r.get("counters"))
+        .expect("counters in stats");
+    assert!(
+        counters.get("serve_snapshot_loaded").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "load recorded: {counters}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn corrupt_and_stale_snapshots_are_rejected_with_a_cold_start() {
+    let old_version = concat!(
+        r#"{"schema":"datareuse-cache-snapshot-v0","entries":[],"#,
+        r#""checksum":"0000000000000000"}"#
+    );
+    for (label, contents) in [("garbage", "not json at all"), ("stale schema", old_version)] {
+        let snap = std::env::temp_dir().join(format!(
+            "datareuse_serve_badsnap_{}_{}.json",
+            std::process::id(),
+            label.replace(' ', "_")
+        ));
+        std::fs::write(&snap, contents).unwrap();
+        let (server, mut stderr) = ServerProc::spawn_capturing_stderr(&[
+            "--cache-entries",
+            "64",
+            "--cache-snapshot",
+            snap.to_str().unwrap(),
+        ]);
+        // The server came up serving (cold) despite the bad snapshot.
+        let responses = exchange(&server.addr, &[r#"{"op":"explore","kernel":"fir"}"#]);
+        assert_eq!(
+            responses[0].get("cached").and_then(Json::as_bool),
+            Some(false),
+            "{label}: nothing restored"
+        );
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        server.shutdown();
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut stderr, &mut text).unwrap();
+        assert!(
+            text.contains("cache snapshot rejected"),
+            "{label}: stderr surfaces the rejection: {text}"
+        );
+        let _ = std::fs::remove_file(&snap);
     }
 }
 

@@ -43,6 +43,9 @@ pub enum FlightKind {
     QueueReject = 5,
     /// A request's deadline expired; detail = deadline in ms.
     DeadlineExpiry = 6,
+    /// A request coalesced onto an identical in-flight computation
+    /// (singleflight follower); detail = cache key.
+    Coalesced = 7,
 }
 
 impl FlightKind {
@@ -55,6 +58,7 @@ impl FlightKind {
             FlightKind::CacheMiss => "cache_miss",
             FlightKind::QueueReject => "queue_reject",
             FlightKind::DeadlineExpiry => "deadline_expiry",
+            FlightKind::Coalesced => "coalesced",
         }
     }
 
@@ -66,6 +70,7 @@ impl FlightKind {
             4 => FlightKind::CacheMiss,
             5 => FlightKind::QueueReject,
             6 => FlightKind::DeadlineExpiry,
+            7 => FlightKind::Coalesced,
             _ => return None,
         })
     }

@@ -50,6 +50,10 @@ pub enum Counter {
     ServeCacheHits,
     ServeCacheMisses,
     ServeCacheEvictions,
+    ServeCoalesced,
+    ServeBatchRequests,
+    ServeSnapshotLoaded,
+    ServeSnapshotSaved,
     ServeOverloaded,
     ServeTimeouts,
     ServeErrors,
@@ -57,7 +61,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 30] = [
         Counter::ExploreGroups,
         Counter::ExplorePairsSwept,
         Counter::ExploreCandidatesGenerated,
@@ -81,6 +85,10 @@ impl Counter {
         Counter::ServeCacheHits,
         Counter::ServeCacheMisses,
         Counter::ServeCacheEvictions,
+        Counter::ServeCoalesced,
+        Counter::ServeBatchRequests,
+        Counter::ServeSnapshotLoaded,
+        Counter::ServeSnapshotSaved,
         Counter::ServeOverloaded,
         Counter::ServeTimeouts,
         Counter::ServeErrors,
@@ -112,6 +120,10 @@ impl Counter {
             Counter::ServeCacheHits => "serve_cache_hits",
             Counter::ServeCacheMisses => "serve_cache_misses",
             Counter::ServeCacheEvictions => "serve_cache_evictions",
+            Counter::ServeCoalesced => "serve_coalesced",
+            Counter::ServeBatchRequests => "serve_batch_requests",
+            Counter::ServeSnapshotLoaded => "serve_snapshot_loaded",
+            Counter::ServeSnapshotSaved => "serve_snapshot_saved",
             Counter::ServeOverloaded => "serve_overloaded",
             Counter::ServeTimeouts => "serve_timeouts",
             Counter::ServeErrors => "serve_errors",
@@ -128,14 +140,16 @@ pub enum Gauge {
     ThreadsMax,
     ServeQueueDepth,
     ServeQueueDepthMax,
+    ServeOpenConnections,
 }
 
 impl Gauge {
     /// All gauges, in snapshot order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::ThreadsMax,
         Gauge::ServeQueueDepth,
         Gauge::ServeQueueDepthMax,
+        Gauge::ServeOpenConnections,
     ];
 
     /// The gauge's stable snapshot key.
@@ -144,6 +158,7 @@ impl Gauge {
             Gauge::ThreadsMax => "threads_max",
             Gauge::ServeQueueDepth => "serve_queue_depth",
             Gauge::ServeQueueDepthMax => "serve_queue_depth_max",
+            Gauge::ServeOpenConnections => "serve_open_connections",
         }
     }
 }

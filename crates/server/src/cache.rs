@@ -12,10 +12,13 @@
 //! shards (keyed by the low bits of the hash) so concurrent worker
 //! threads do not serialize on one mutex. Each shard runs its own LRU:
 //! entries carry a logical tick refreshed on hit, and when a shard is
-//! full the oldest tick is evicted. Hit / miss / eviction counts feed
-//! the `serve_cache_*` counters of the `datareuse-metrics-v2` snapshot,
-//! and each probe drops a `cache_hit`/`cache_miss` event (keyed by the
-//! request's trace id) into the flight recorder.
+//! full the oldest tick is evicted. A hit records `serve_cache_hits`
+//! and drops a `cache_hit` event (keyed by the request's trace id) into
+//! the flight recorder; a miss records *nothing* here — the serving
+//! loop decides whether a missing key becomes a cold compute
+//! (`serve_cache_misses`) or coalesces onto an identical in-flight one
+//! (`serve_coalesced`), so every cacheable request lands in exactly one
+//! of the three buckets and the hit ratio stays well-defined.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -65,8 +68,9 @@ impl ResultCache {
         &self.shards[(key as usize) & (Self::SHARDS - 1)]
     }
 
-    /// Looks up `key`, refreshing its LRU position on a hit. Records
-    /// `serve_cache_hits` / `serve_cache_misses`.
+    /// Looks up `key`, refreshing its LRU position on a hit. A hit
+    /// records `serve_cache_hits`; a miss records nothing (the caller
+    /// classifies it as cold or coalesced — see the module docs).
     pub fn get(&self, key: u64) -> Option<Arc<str>> {
         if self.per_shard == 0 {
             return None;
@@ -75,8 +79,8 @@ impl ResultCache {
         shard.tick += 1;
         let tick = shard.tick;
         // The flight recorder correlates the probe with the request via
-        // the trace id installed by the connection thread (0 when the
-        // probe happens outside a request, e.g. in unit tests).
+        // the trace id installed by the serving loop (0 when the probe
+        // happens outside a request, e.g. in unit tests).
         let trace_id = TraceCtx::current().map_or(0, |c| c.trace_id);
         match shard.entries.get_mut(&key) {
             Some(entry) => {
@@ -87,12 +91,7 @@ impl ResultCache {
                 flight_record(FlightKind::CacheHit, trace_id, key);
                 Some(value)
             }
-            None => {
-                drop(shard);
-                add(Counter::ServeCacheMisses, 1);
-                flight_record(FlightKind::CacheMiss, trace_id, key);
-                None
-            }
+            None => None,
         }
     }
 
@@ -134,6 +133,27 @@ impl ResultCache {
     /// disabled).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether caching is active (capacity above zero).
+    pub fn enabled(&self) -> bool {
+        self.per_shard > 0
+    }
+
+    /// Every `(key, value)` currently cached, in unspecified order —
+    /// the snapshot writer sorts before serializing.
+    pub fn entries(&self) -> Vec<(u64, Arc<str>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            out.extend(
+                shard
+                    .entries
+                    .iter()
+                    .map(|(&k, e)| (k, Arc::clone(&e.value))),
+            );
+        }
+        out
     }
 }
 

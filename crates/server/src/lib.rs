@@ -10,18 +10,27 @@
 //!
 //! The pieces:
 //!
-//! - [`protocol`] — the NDJSON request/response grammar, request
-//!   parsing, and the canonical FNV-1a cache key.
+//! - [`protocol`] — the NDJSON request/response grammar (including the
+//!   `batch` op), request parsing, and the canonical FNV-1a cache key.
 //! - [`ops`] — op execution shared with the CLI subcommands, which is
 //!   what makes server responses byte-identical to one-shot runs.
 //! - [`cache`] — the sharded LRU result cache.
+//! - [`snapshot`] — versioned cache persistence (write-on-drain,
+//!   load-on-start, checksum + schema gated).
 //! - [`pool`] — the bounded worker pool (backpressure + drain).
-//! - [`server`] — the accept loop, deadlines, and graceful shutdown.
+//! - [`reactor`] — readiness primitives: a safe `poll(2)` wrapper and
+//!   the cross-thread wake pipe.
+//! - [`singleflight`] — coalescing of concurrent identical requests
+//!   onto one computation.
+//! - [`server`] — the event loops, deadlines, and graceful shutdown.
 //! - [`client`] — a minimal blocking client (`datareuse query`).
 //!
-//! Everything is `std`-only, like the rest of the workspace.
+//! Everything is `std`-only, like the rest of the workspace. `unsafe`
+//! is denied crate-wide with exactly one scoped exception: the
+//! [`reactor`]'s FFI binding of `poll(2)` (the one readiness syscall
+//! std does not expose), which is why this is `deny` and not `forbid`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
@@ -29,7 +38,10 @@ pub mod client;
 pub mod ops;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
+pub mod singleflight;
+pub mod snapshot;
 
 pub use cache::ResultCache;
 pub use client::Client;
@@ -37,3 +49,4 @@ pub use ops::OpError;
 pub use pool::WorkerPool;
 pub use protocol::{cache_key, Request};
 pub use server::{Server, ServerConfig, SloThresholds};
+pub use singleflight::{JoinRole, SingleFlight};

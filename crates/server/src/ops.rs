@@ -232,12 +232,18 @@ pub fn execute(op: &Op) -> Result<Json, OpError> {
         Op::Pareto(params) => pareto(params),
         Op::Report { kernel } => report(kernel),
         Op::Codegen(params) => codegen(params),
-        Op::Stats { .. } | Op::Health | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown => {
-            Err(OpError {
-                code: E_INTERNAL,
-                message: "control op reached the worker pool".to_string(),
-            })
-        }
+        // `batch` is unpacked by the serving loop before dispatch; like
+        // the control ops it must never reach a worker whole.
+        Op::Stats { .. }
+        | Op::Health
+        | Op::Trace
+        | Op::Prom
+        | Op::Ping
+        | Op::Shutdown
+        | Op::Batch(_) => Err(OpError {
+            code: E_INTERNAL,
+            message: "control op reached the worker pool".to_string(),
+        }),
     }
 }
 

@@ -7,15 +7,26 @@
 //! ```text
 //! request  = { "op": <op>, <op params>…,
 //!              "id"?: <any json>, "deadline_ms"?: uint }
-//! op       = "explore" | "pareto" | "report" | "codegen"
+//! op       = "explore" | "pareto" | "report" | "codegen" | "batch"
 //!          | "stats" | "health" | "trace" | "prom" | "ping" | "shutdown"
-//! response = { "ok": true,  "id"?: <echoed>, "cached": bool, "result": <json> }
+//! response = { "ok": true,  "id"?: <echoed>, "cached": bool,
+//!              "coalesced"?: true, "result": <json> }
 //!          | { "ok": false, "id"?: <echoed>,
 //!              "error": { "code": <code>, "message": string,
 //!                         "flight"?: [<flight event>…] } }
 //! code     = "bad_request" | "overloaded" | "timeout"
 //!          | "shutting_down" | "internal"
 //! ```
+//!
+//! `batch` carries `"requests": [<request>…]` — up to [`MAX_BATCH`]
+//! sub-requests executed under the *parent's* deadline (per-item
+//! `deadline_ms` is ignored) and answered as one frame whose result is
+//! `{"responses": [<full response envelope>…]}` in request order. Any
+//! op except `shutdown` and a nested `batch` may appear inside.
+//! `coalesced: true` marks a response whose computation was shared with
+//! an identical concurrent request (singleflight follower) rather than
+//! run or cached for this request alone; it only ever appears alongside
+//! `cached: false`.
 //!
 //! `timeout` and `overloaded` errors attach the flight-recorder tail
 //! (the last ~32 structured serving events) under `error.flight` so a
@@ -45,6 +56,17 @@ pub const E_TIMEOUT: &str = "timeout";
 pub const E_SHUTTING_DOWN: &str = "shutting_down";
 /// Error code for an unexpected server-side failure.
 pub const E_INTERNAL: &str = "internal";
+
+/// Most sub-requests one `batch` frame may carry.
+pub const MAX_BATCH: usize = 256;
+
+/// Every wire op name, in grammar order (the same order as
+/// [`op_ordinal`](crate::server) flight details). The doc-drift test
+/// checks each against `docs/SERVING.md`.
+pub const OP_NAMES: [&str; 11] = [
+    "explore", "pareto", "report", "codegen", "stats", "trace", "prom", "ping", "shutdown",
+    "health", "batch",
+];
 
 /// Parameters of an `explore` request (one signal, full sweep).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,6 +191,10 @@ pub enum Op {
     Ping,
     /// Graceful shutdown: stop accepting, drain in-flight work, exit.
     Shutdown,
+    /// Several requests in one frame, answered as one frame. Amortizes
+    /// framing and syscalls; sub-requests still hit the cache and
+    /// coalesce individually.
+    Batch(Vec<Request>),
 }
 
 impl Op {
@@ -177,7 +203,13 @@ impl Op {
     pub fn cacheable(&self) -> bool {
         !matches!(
             self,
-            Op::Stats { .. } | Op::Health | Op::Trace | Op::Prom | Op::Ping | Op::Shutdown
+            Op::Stats { .. }
+                | Op::Health
+                | Op::Trace
+                | Op::Prom
+                | Op::Ping
+                | Op::Shutdown
+                | Op::Batch(_)
         )
     }
 
@@ -195,6 +227,7 @@ impl Op {
             Op::Prom => "prom",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
+            Op::Batch(_) => "batch",
         }
     }
 }
@@ -348,6 +381,38 @@ impl Request {
             "prom" => Op::Prom,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
+            "batch" => {
+                let items = doc
+                    .get("requests")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| "`batch` needs a `requests` array".to_string())?;
+                if items.is_empty() {
+                    return Err("`batch` requests array is empty".to_string());
+                }
+                if items.len() > MAX_BATCH {
+                    return Err(format!(
+                        "`batch` carries {} requests; the limit is {MAX_BATCH}",
+                        items.len()
+                    ));
+                }
+                let mut requests = Vec::with_capacity(items.len());
+                for (i, item) in items.iter().enumerate() {
+                    let sub = Request::from_json(item)
+                        .map_err(|e| format!("batch request {i}: {e}"))?;
+                    match sub.op {
+                        Op::Shutdown => {
+                            return Err(format!(
+                                "batch request {i}: `shutdown` cannot ride in a batch"
+                            ))
+                        }
+                        Op::Batch(_) => {
+                            return Err(format!("batch request {i}: batches do not nest"))
+                        }
+                        _ => requests.push(sub),
+                    }
+                }
+                Op::Batch(requests)
+            }
             other => return Err(format!("unknown op `{other}`")),
         };
         let cache_key = op.cacheable().then(|| cache_key(doc));
@@ -415,7 +480,19 @@ pub fn cache_key(request: &Json) -> u64 {
 /// must already be serialized JSON (this is what lets cache hits reuse
 /// the stored bytes without reparsing).
 pub fn ok_envelope(id: Option<&Json>, cached: bool, result_raw: &str) -> String {
-    let mut out = String::with_capacity(result_raw.len() + 48);
+    ok_envelope_coalesced(id, cached, false, result_raw)
+}
+
+/// [`ok_envelope`] with the singleflight marker: `coalesced: true` is
+/// emitted only when set, so non-coalesced responses keep their exact
+/// historical byte layout.
+pub fn ok_envelope_coalesced(
+    id: Option<&Json>,
+    cached: bool,
+    coalesced: bool,
+    result_raw: &str,
+) -> String {
+    let mut out = String::with_capacity(result_raw.len() + 64);
     out.push_str("{\"ok\":true");
     if let Some(id) = id {
         out.push_str(",\"id\":");
@@ -423,6 +500,9 @@ pub fn ok_envelope(id: Option<&Json>, cached: bool, result_raw: &str) -> String 
     }
     out.push_str(",\"cached\":");
     out.push_str(if cached { "true" } else { "false" });
+    if coalesced {
+        out.push_str(",\"coalesced\":true");
+    }
     out.push_str(",\"result\":");
     out.push_str(result_raw);
     out.push('}');
@@ -499,6 +579,85 @@ mod tests {
         for op in ["stats", "health", "trace", "prom", "ping", "shutdown"] {
             let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(r.cache_key.is_none(), "{op} must not be cached");
+        }
+    }
+
+    #[test]
+    fn parses_a_batch_with_individually_keyed_sub_requests() {
+        let r = Request::parse_line(
+            r#"{"op":"batch","id":9,"requests":[
+                {"op":"explore","kernel":"fir","id":"sub-a"},
+                {"op":"ping"}]}"#,
+        )
+        .unwrap();
+        assert!(r.cache_key.is_none(), "the batch frame itself is not cached");
+        let Op::Batch(subs) = &r.op else {
+            panic!("expected a batch op");
+        };
+        assert_eq!(subs.len(), 2);
+        // Sub-requests carry the same canonical key as the standalone
+        // request, so batch traffic shares the cache with single frames.
+        let standalone =
+            Request::parse_line(r#"{"op":"explore","kernel":"fir"}"#).unwrap();
+        assert_eq!(subs[0].cache_key, standalone.cache_key);
+        assert!(subs[1].cache_key.is_none());
+        assert_eq!(subs[0].id.as_ref().and_then(Json::as_str), Some("sub-a"));
+    }
+
+    #[test]
+    fn batch_rejects_empty_nested_oversized_and_shutdown() {
+        for (line, needle) in [
+            (r#"{"op":"batch"}"#.to_string(), "`requests` array"),
+            (r#"{"op":"batch","requests":[]}"#.to_string(), "empty"),
+            (
+                r#"{"op":"batch","requests":[{"op":"shutdown"}]}"#.to_string(),
+                "cannot ride in a batch",
+            ),
+            (
+                r#"{"op":"batch","requests":[{"op":"batch","requests":[{"op":"ping"}]}]}"#
+                    .to_string(),
+                "do not nest",
+            ),
+            (
+                format!(
+                    r#"{{"op":"batch","requests":[{}]}}"#,
+                    vec![r#"{"op":"ping"}"#; MAX_BATCH + 1].join(",")
+                ),
+                "limit is",
+            ),
+            (
+                r#"{"op":"batch","requests":[{"op":"explore"}]}"#.to_string(),
+                "batch request 0",
+            ),
+        ] {
+            let e = Request::parse_line(&line).unwrap_err();
+            assert!(e.contains(needle), "`{needle}` not in `{e}`");
+        }
+    }
+
+    #[test]
+    fn coalesced_envelopes_carry_the_marker_only_when_set() {
+        let plain = ok_envelope_coalesced(None, false, false, "1");
+        assert_eq!(plain, ok_envelope(None, false, "1"));
+        assert!(!plain.contains("coalesced"));
+        let marked = ok_envelope_coalesced(None, false, true, "1");
+        let doc = Json::parse(&marked).unwrap();
+        assert_eq!(doc.get("coalesced").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("cached").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn op_names_cover_every_parseable_op() {
+        for name in OP_NAMES {
+            let line = match name {
+                "explore" | "pareto" | "report" | "codegen" => {
+                    format!(r#"{{"op":"{name}","kernel":"fir"}}"#)
+                }
+                "batch" => r#"{"op":"batch","requests":[{"op":"ping"}]}"#.to_string(),
+                _ => format!(r#"{{"op":"{name}"}}"#),
+            };
+            let r = Request::parse_line(&line).unwrap();
+            assert_eq!(r.op.name(), name, "OP_NAMES entry round-trips");
         }
     }
 

@@ -1,40 +1,83 @@
-//! The TCP serving loop: accept, parse, dispatch, respond.
+//! The serving core: a readiness-based event loop over nonblocking
+//! sockets.
 //!
-//! Thread model: the acceptor thread hands each connection to its own
-//! connection thread (cheap, I/O-bound), which parses request lines and
-//! routes compute onto the shared bounded [`WorkerPool`]. The connection
-//! thread then blocks on an [`mpsc`] channel with `recv_timeout` set to
-//! the request deadline — if the worker does not finish in time the
-//! client gets a structured `timeout` error while the worker's eventual
-//! result still populates the cache for the next caller.
+//! Earlier revisions ran one thread per connection; past a few hundred
+//! clients the stacks and context switches dominated and the acceptor
+//! became the bottleneck. The current model is the classic staged
+//! design:
 //!
-//! Shutdown is cooperative: a `shutdown` request flips the stop flag,
-//! the acceptor (which polls in nonblocking mode) closes the listening
-//! socket, the pool drains everything already accepted, and
-//! [`Server::run`] returns once in-flight responses are written. Idle
-//! connections use a short read timeout so they notice the stop flag
-//! instead of pinning the process open.
+//! - **Event loops** (one per core by default, each a thread sharing the
+//!   listener) own the sockets. Each loop `poll(2)`s its connections
+//!   ([`crate::reactor`]), reads complete NDJSON lines, answers
+//!   control/introspection ops inline, and parks compute requests in
+//!   per-connection response slots.
+//! - **The worker pool** ([`WorkerPool`]) stays the bounded compute
+//!   stage: event loops never run an exploration themselves, so a slow
+//!   `report susan` cannot stall ten thousand idle connections.
+//! - **Singleflight** ([`SingleFlight`]) sits between them: concurrent
+//!   identical requests (by canonical cache key) share one worker job.
+//!   The first miss leads; the rest subscribe, are counted in
+//!   `serve_coalesced`, and are marked `"coalesced":true` in their
+//!   envelopes.
+//!
+//! Completions cross back from workers to loops through a mutexed queue
+//! plus a [`reactor::WakePipe`] — a worker pushes the outcome and writes
+//! one wake byte, the parked loop drains both. Responses to one
+//! connection always flush in request order (per-connection slot queue),
+//! so pipelined clients can match responses positionally as well as by
+//! `id`.
+//!
+//! Deadlines are loop-owned: every compute slot carries its expiry, the
+//! poll timeout is the nearest one, and an expired slot is answered with
+//! a structured `timeout` while the worker's eventual result still
+//! warms the cache. Shutdown is cooperative: `shutdown` flips the stop
+//! flag and wakes every loop; loops stop reading, flush what they owe,
+//! close drained connections, and exit; then the pool drains and — when
+//! `--cache-snapshot` is configured — the cache is persisted
+//! ([`crate::snapshot`]) for the next start.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::os::fd::AsRawFd;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use datareuse_obs::{
-    add, chrome_trace_json, flight_record, flight_tail_json, gauge_value, hist_snapshot,
-    prometheus_text, record_hist, record_span_at, scrape_series, series_json, span,
+    add, chrome_trace_json, flight_record, flight_tail_json, gauge_add, gauge_sub, gauge_value,
+    hist_snapshot, prometheus_text, record_hist, record_span_at, scrape_series, series_json, span,
     take_trace_events, trace_now_ns, trace_span_with, Counter, FlightKind, Gauge, Hist, Json,
     TraceCtx, FLIGHT_ERROR_TAIL,
 };
 
 use crate::cache::ResultCache;
-use crate::ops;
+use crate::ops::{self, OpError};
 use crate::pool::WorkerPool;
 use crate::protocol::{
-    err_envelope, err_envelope_with_flight, ok_envelope, Op, Request, E_BAD_REQUEST, E_INTERNAL,
-    E_OVERLOADED, E_SHUTTING_DOWN, E_TIMEOUT,
+    err_envelope_with_flight, ok_envelope_coalesced, Op, Request, E_BAD_REQUEST, E_OVERLOADED,
+    E_SHUTTING_DOWN, E_TIMEOUT,
 };
+use crate::reactor::{self, PollFd, WakePipe, Waker, POLLIN, POLLOUT};
+use crate::singleflight::{JoinRole, SingleFlight, Subscriber};
+use crate::snapshot;
+
+/// Most responses a connection may have outstanding before the loop
+/// stops reading from it (pipelining bound; backpressure by readiness).
+const MAX_PIPELINE: usize = 128;
+
+/// Largest request line accepted before the connection is dropped as
+/// misbehaving (a line this long is not a protocol request).
+const MAX_LINE: usize = 1 << 20;
+
+/// Poll tick when nothing sets a nearer deadline: idle loops still wake
+/// occasionally to notice the stop flag from a sibling loop.
+const IDLE_TICK: Duration = Duration::from_millis(250);
+
+/// How long a stopping loop waits for owed responses before force-closing
+/// the stragglers.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -44,11 +87,18 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads for compute. 0 = one per available core.
     pub threads: usize,
+    /// Event-loop threads sharing the listener. 0 = one per available
+    /// core, capped at 8 (loops are I/O-bound; more than that only adds
+    /// poll herds).
+    pub loops: usize,
     /// Bound on jobs waiting for a worker before requests are refused
     /// with `overloaded`.
     pub queue_depth: usize,
     /// Total result-cache entries across all shards; 0 disables caching.
     pub cache_entries: usize,
+    /// Cache snapshot file: loaded (after version + checksum gating) at
+    /// bind, written on graceful drain. `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
     /// Deadline applied to requests that do not carry `deadline_ms`.
     pub default_deadline: Duration,
     /// Interval between metrics-series scrapes (the background thread
@@ -63,8 +113,10 @@ impl Default for ServerConfig {
         Self {
             addr: "127.0.0.1:0".to_string(),
             threads: 0,
+            loops: 0,
             queue_depth: 64,
             cache_entries: 256,
+            snapshot_path: None,
             default_deadline: Duration::from_secs(30),
             scrape_interval: Duration::from_secs(1),
             slo: SloThresholds::default(),
@@ -83,6 +135,8 @@ pub struct SloThresholds {
     /// Minimum cache hit ratio for `ok`; half of it is the `degraded`
     /// floor. Ignored until [`SloThresholds::MIN_HIT_PROBES`] cache
     /// probes have happened, so a cold server is not penalized.
+    /// Coalesced followers count as cache-path traffic here — they cost
+    /// no compute, so they must not read as misses.
     pub min_hit_ratio: f64,
     /// Queue saturation (`queued / queue_depth`) allowed for `ok`;
     /// anything short of full is `degraded`, a full queue is `failing`.
@@ -104,14 +158,42 @@ impl Default for SloThresholds {
     }
 }
 
+/// The cache-path hit ratio: hits and coalesced followers over all
+/// cacheable requests. Every cacheable request lands in exactly one of
+/// the three buckets (hit, coalesced, cold miss), so the ratio is
+/// well-defined; coalesced followers cost no compute and therefore
+/// count toward the numerator — without that, a coalescing-heavy burst
+/// would read as a miss storm and degrade `health` for doing its job.
+fn hit_ratio(hits: u64, coalesced: u64, misses: u64) -> f64 {
+    let served = hits + coalesced;
+    let probes = served + misses;
+    if probes == 0 {
+        0.0
+    } else {
+        served as f64 / probes as f64
+    }
+}
+
 struct Shared {
     pool: WorkerPool,
     cache: ResultCache,
+    flights: SingleFlight,
     stopping: AtomicBool,
-    in_flight: AtomicUsize,
     default_deadline: Duration,
     queue_depth: usize,
     slo: SloThresholds,
+    /// One waker per event loop, registered at loop start; `stop` wakes
+    /// them all so no loop sleeps through a shutdown.
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl Shared {
+    fn stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        for waker in self.wakers.lock().expect("wakers poisoned").iter() {
+            waker.wake();
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -119,10 +201,16 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     scrape_interval: Duration,
+    loops: usize,
+    snapshot_path: Option<PathBuf>,
+    snapshot_report: Option<Result<Option<usize>, String>>,
 }
 
 impl Server {
-    /// Binds the listener and spins up the worker pool.
+    /// Binds the listener, spins up the worker pool, and — when a
+    /// snapshot path is configured — warm-loads the result cache
+    /// (rejections are reported by [`Server::snapshot_load_report`],
+    /// not fatal: the server simply starts cold).
     ///
     /// # Errors
     ///
@@ -130,24 +218,40 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> Result<Server, String> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
-        let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        } else {
-            config.threads
-        };
+        let cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = if config.threads == 0 { cores } else { config.threads };
+        let loops = if config.loops == 0 { cores.clamp(1, 8) } else { config.loops };
+        let shared = Arc::new(Shared {
+            pool: WorkerPool::new(threads, config.queue_depth.max(1)),
+            cache: ResultCache::new(config.cache_entries),
+            flights: SingleFlight::new(),
+            stopping: AtomicBool::new(false),
+            default_deadline: config.default_deadline,
+            queue_depth: config.queue_depth.max(1),
+            slo: config.slo.clone(),
+            wakers: Mutex::new(Vec::new()),
+        });
+        let snapshot_report = config
+            .snapshot_path
+            .as_ref()
+            .map(|path| snapshot::load(&shared.cache, path));
         Ok(Server {
             listener,
-            shared: Arc::new(Shared {
-                pool: WorkerPool::new(threads, config.queue_depth.max(1)),
-                cache: ResultCache::new(config.cache_entries),
-                stopping: AtomicBool::new(false),
-                in_flight: AtomicUsize::new(0),
-                default_deadline: config.default_deadline,
-                queue_depth: config.queue_depth.max(1),
-                slo: config.slo.clone(),
-            }),
+            shared,
             scrape_interval: config.scrape_interval,
+            loops,
+            snapshot_path: config.snapshot_path.clone(),
+            snapshot_report,
         })
+    }
+
+    /// What the snapshot load at bind did: `None` when no snapshot path
+    /// is configured; otherwise `Ok(None)` (no file, cold start),
+    /// `Ok(Some(n))` (restored `n` entries), or `Err(reason)` (rejected
+    /// — the server started cold and the caller should log why).
+    pub fn snapshot_load_report(&self) -> Option<&Result<Option<usize>, String>> {
+        self.snapshot_report.as_ref()
     }
 
     /// The address the listener actually bound (resolves port 0).
@@ -160,14 +264,14 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request arrives, then drains in-flight
-    /// work and returns.
+    /// work, persists the cache snapshot (when configured), and returns.
     ///
     /// # Errors
     ///
-    /// When the listener cannot be switched to nonblocking polling.
+    /// When the listener cannot be switched to nonblocking mode, an
+    /// event loop dies on a socket error, or the drain snapshot cannot
+    /// be written.
     pub fn run(self) -> Result<(), String> {
-        // Nonblocking accept + short sleep so the acceptor notices the
-        // stop flag promptly without platform-specific socket tricks.
         self.listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot poll listener: {e}"))?;
@@ -191,84 +295,59 @@ impl Server {
                 }
             })
         });
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.shared.stopping.load(Ordering::Acquire) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&self.shared);
-                    connections.push(std::thread::spawn(move || serve_connection(stream, &shared)));
+        let mut handles = Vec::with_capacity(self.loops);
+        let mut result = Ok(());
+        for _ in 0..self.loops.max(1) {
+            let listener = match self.listener.try_clone() {
+                Ok(l) => l,
+                Err(e) => {
+                    // Already-spawned loops must not be stranded.
+                    self.shared.stop();
+                    result = Err(format!("cannot share listener: {e}"));
+                    break;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+            };
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || -> Result<(), String> {
+                let outcome = EventLoop::new(listener, Arc::clone(&shared))
+                    .and_then(|mut event_loop| event_loop.run());
+                if outcome.is_err() {
+                    // A dying loop must not strand its siblings: stop
+                    // the whole server so `run` can report the error.
+                    shared.stop();
                 }
-                Err(e) => return Err(format!("accept failed: {e}")),
+                outcome
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if result.is_ok() {
+                        result = Err(e);
+                    }
+                }
+                Err(_) => {
+                    self.shared.stop();
+                    if result.is_ok() {
+                        result = Err("event loop panicked".to_string());
+                    }
+                }
             }
-            connections.retain(|c| !c.is_finished());
         }
         drop(self.listener);
-        // Drain: complete every accepted job, then wait for connection
-        // threads still writing responses (their read timeout bounds how
-        // long an idle one takes to notice the flag).
         self.shared.pool.drain();
-        let grace = Instant::now();
-        while self.shared.in_flight.load(Ordering::Acquire) > 0
-            && grace.elapsed() < Duration::from_secs(10)
-        {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        for c in connections {
-            let _ = c.join();
+        if result.is_ok() {
+            if let Some(path) = &self.snapshot_path {
+                if self.shared.cache.enabled() {
+                    result = snapshot::save(&self.shared.cache, path).map(|_| ());
+                }
+            }
         }
         if let Some(scraper) = scraper {
             let _ = scraper.join();
         }
-        Ok(())
-    }
-}
-
-fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    let _serve = span("serve");
-    // One request = one response line; Nagle coalescing only adds a
-    // delayed-ACK round trip (~40ms) to every exchange.
-    let _ = stream.set_nodelay(true);
-    // Periodic read timeouts let an idle connection observe shutdown.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client hung up
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    shared.in_flight.fetch_add(1, Ordering::AcqRel);
-                    let response = handle_line(&line, shared);
-                    let done = writer
-                        .write_all(response.as_bytes())
-                        .and_then(|()| writer.write_all(b"\n"))
-                        .and_then(|()| writer.flush());
-                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                    if done.is_err() {
-                        return;
-                    }
-                }
-                line.clear();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // A timeout mid-line leaves the partial bytes in `line`;
-                // the next read continues accumulating.
-                if shared.stopping.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
+        result
     }
 }
 
@@ -288,25 +367,27 @@ fn op_ordinal(op: &Op) -> u64 {
         Op::Ping => 8,
         Op::Shutdown => 9,
         Op::Health => 10,
+        Op::Batch(_) => 11,
     }
 }
 
 /// Builds the `stats` result: the metrics-v2 snapshot plus a `derived`
-/// section (hit ratio, queue depths, requests served) and, on request,
-/// the full flight-recorder tail and the scraped metrics series.
+/// section (hit ratio, coalesced count, open connections, queue depths,
+/// requests served) and, on request, the full flight-recorder tail and
+/// the scraped metrics series.
 fn stats_result(shared: &Shared, flight: bool, series: bool) -> String {
     let snap = datareuse_obs::snapshot();
     let hits = snap.counter(Counter::ServeCacheHits);
+    let coalesced = snap.counter(Counter::ServeCoalesced);
     let misses = snap.counter(Counter::ServeCacheMisses);
-    let probes = hits + misses;
-    let ratio = if probes > 0 {
-        hits as f64 / probes as f64
-    } else {
-        0.0
-    };
     let derived = Json::obj([
         ("requests_served", Json::UInt(snap.counter(Counter::ServeRequests))),
-        ("cache_hit_ratio", Json::Num(ratio)),
+        ("cache_hit_ratio", Json::Num(hit_ratio(hits, coalesced, misses))),
+        ("coalesced_requests", Json::UInt(coalesced)),
+        (
+            "open_connections",
+            Json::UInt(gauge_value(Gauge::ServeOpenConnections)),
+        ),
         ("queue_depth", Json::UInt(shared.pool.queued() as u64)),
         (
             "queue_depth_max",
@@ -365,15 +446,14 @@ fn health_result(shared: &Shared) -> String {
     };
     // Hit ratio: only meaningful once enough probes have happened; a
     // server that has barely been asked anything is not unhealthy.
+    // Coalesced followers are cache-path (see [`hit_ratio`]).
     let snap = datareuse_obs::snapshot();
     let hits = snap.counter(Counter::ServeCacheHits);
-    let probes = hits + snap.counter(Counter::ServeCacheMisses);
-    let ratio = if probes > 0 {
-        hits as f64 / probes as f64
-    } else {
-        0.0
-    };
-    let hit_ratio = if probes < SloThresholds::MIN_HIT_PROBES || ratio >= slo.min_hit_ratio {
+    let coalesced = snap.counter(Counter::ServeCoalesced);
+    let misses = snap.counter(Counter::ServeCacheMisses);
+    let probes = hits + coalesced + misses;
+    let ratio = hit_ratio(hits, coalesced, misses);
+    let hit_grade = if probes < SloThresholds::MIN_HIT_PROBES || ratio >= slo.min_hit_ratio {
         Grade::Ok
     } else if ratio >= slo.min_hit_ratio / 2.0 {
         Grade::Degraded
@@ -392,7 +472,7 @@ fn health_result(shared: &Shared) -> String {
     } else {
         Grade::Failing
     };
-    let overall = latency.max(hit_ratio).max(queue);
+    let overall = latency.max(hit_grade).max(queue);
     let check = |grade: Grade, detail: Vec<(&str, Json)>| {
         let mut entries = vec![("status", Json::str(grade.name()))];
         entries.extend(detail);
@@ -417,7 +497,7 @@ fn health_result(shared: &Shared) -> String {
                 (
                     "hit_ratio",
                     check(
-                        hit_ratio,
+                        hit_grade,
                         vec![
                             ("ratio", Json::Num(ratio)),
                             ("slo", Json::Num(slo.min_hit_ratio)),
@@ -443,182 +523,888 @@ fn health_result(shared: &Shared) -> String {
     .to_string()
 }
 
-/// Processes one request line into one response line.
-fn handle_line(line: &str, shared: &Arc<Shared>) -> String {
-    add(Counter::ServeRequests, 1);
-    let started = Instant::now();
-    // Every request gets a trace id even when tracing is off: the flight
-    // recorder uses it to correlate events, and it is free to mint.
-    let root = TraceCtx::root();
-    let _attach = root.attach();
-    let (response, cache_hit) = handle_request(line, shared, root);
-    let elapsed_ns = started.elapsed().as_nanos() as u64;
-    record_hist(
-        if cache_hit {
-            Hist::ServeLatencyCacheHit
-        } else {
-            Hist::ServeLatencyCold
-        },
-        elapsed_ns,
-    );
-    flight_record(FlightKind::RequestEnd, root.trace_id, elapsed_ns / 1_000);
-    response
+/// Where a finished computation's outcome lands: a connection response
+/// slot, or one position of a batch.
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    /// Slot `seq` of connection `conn` (generation-checked so a recycled
+    /// slab index cannot receive a predecessor's late result).
+    Conn { conn: usize, gen: u64, seq: u64 },
+    /// Position `idx` of batch `batch`.
+    Batch { batch: u64, idx: usize },
 }
 
-/// The request body of [`handle_line`]; returns the response line and
-/// whether it was served from the result cache (for the latency split).
-fn handle_request(line: &str, shared: &Arc<Shared>, root: TraceCtx) -> (String, bool) {
-    let request = match Request::parse_line(line) {
-        Ok(r) => r,
-        Err(msg) => {
-            add(Counter::ServeErrors, 1);
-            // Echo the id back even for bodies that failed validation —
-            // the document may still be well-formed JSON with a bad op.
-            let id = Json::parse(line).ok().and_then(|doc| doc.get("id").cloned());
-            return (err_envelope(id.as_ref(), E_BAD_REQUEST, &msg), false);
-        }
-    };
-    let id = request.id.clone();
-    // The request span nests every child (cache probe, queue wait,
-    // execute) under one trace; its ctx is what crosses to the worker.
-    let request_span = trace_span_with("request", request.op.name());
-    let ctx = request_span.ctx().unwrap_or(root);
-    flight_record(FlightKind::RequestStart, ctx.trace_id, op_ordinal(&request.op));
-    match &request.op {
-        Op::Ping => return (ok_envelope(id.as_ref(), false, r#""pong""#), false),
-        Op::Stats { flight, series } => {
-            let result = stats_result(shared, *flight, *series);
-            return (ok_envelope(id.as_ref(), false, &result), false);
-        }
-        Op::Health => {
-            let result = health_result(shared);
-            return (ok_envelope(id.as_ref(), false, &result), false);
-        }
-        Op::Trace => {
-            let result = chrome_trace_json(&take_trace_events()).to_string();
-            return (ok_envelope(id.as_ref(), false, &result), false);
-        }
-        Op::Prom => {
-            let result = Json::str(prometheus_text(&datareuse_obs::snapshot())).to_string();
-            return (ok_envelope(id.as_ref(), false, &result), false);
-        }
-        Op::Shutdown => {
-            shared.stopping.store(true, Ordering::Release);
-            return (ok_envelope(id.as_ref(), false, r#""draining""#), false);
-        }
-        _ => {}
-    }
-    // Cache probe before paying for queue space or compute.
-    if let Some(key) = request.cache_key {
-        let _cache = span("cache");
-        if let Some(hit) = shared.cache.get(key) {
-            return (ok_envelope(id.as_ref(), true, &hit), true);
-        }
-    }
-    let _request = span("request");
-    if shared.stopping.load(Ordering::Acquire) {
-        add(Counter::ServeErrors, 1);
-        return (
-            err_envelope(id.as_ref(), E_SHUTTING_DOWN, "server is draining"),
-            false,
-        );
-    }
-    let deadline = request
-        .deadline_ms
-        .map_or(shared.default_deadline, Duration::from_millis);
-    let deadline_ms = deadline.as_millis() as u64;
-    let expires = Instant::now() + deadline;
-    let (tx, rx) = mpsc::channel::<Result<Arc<str>, ops::OpError>>();
-    let job_shared = Arc::clone(shared);
-    let op = request.op.clone();
-    let key = request.cache_key;
-    let submitted_at = Instant::now();
-    let submitted_ts = trace_now_ns();
-    let submitted = shared.pool.try_submit(Box::new(move || {
-        // Re-install the request's trace context on the worker thread so
-        // spans opened here nest under the request.
-        let _attach = ctx.attach();
-        let wait_ns = submitted_at.elapsed().as_nanos() as u64;
-        record_hist(Hist::ServeQueueWait, wait_ns);
-        // The wait starts on the connection thread and ends here, so it
-        // is recorded directly rather than via a guard.
-        record_span_at("queue_wait", ctx, submitted_ts, wait_ns);
-        // A worker picking up an already-expired job skips the compute:
-        // the waiter is gone and the result would be wasted work. Report
-        // the expiry explicitly — dropping the channel instead would
-        // race the waiter's own timeout and read as an internal error.
-        if Instant::now() >= expires {
-            flight_record(FlightKind::DeadlineExpiry, ctx.trace_id, deadline_ms);
-            let _ = tx.send(Err(ops::OpError {
-                code: E_TIMEOUT,
-                message: "deadline expired before execution".to_string(),
-            }));
-            return;
-        }
-        let _exec = trace_span_with("execute", op.name());
-        let outcome = ops::execute(&op).map(|result| {
-            let raw: Arc<str> = Arc::from(result.to_string());
-            if let Some(key) = key {
-                job_shared.cache.insert(key, Arc::clone(&raw));
-            }
-            raw
-        });
-        let _ = tx.send(outcome);
-    }));
-    if submitted.is_err() {
-        add(Counter::ServeOverloaded, 1);
-        let queued = shared.pool.queued();
-        flight_record(FlightKind::QueueReject, ctx.trace_id, queued as u64);
-        let (code, msg) = if shared.stopping.load(Ordering::Acquire) {
-            (E_SHUTTING_DOWN, "server is draining".to_string())
-        } else {
-            (
-                E_OVERLOADED,
-                format!("queue full ({queued} waiting); retry later"),
-            )
-        };
-        let flight = (code == E_OVERLOADED).then(|| flight_tail_json(FLIGHT_ERROR_TAIL));
-        return (
-            err_envelope_with_flight(id.as_ref(), code, &msg, flight),
-            false,
-        );
-    }
-    let response = match rx.recv_timeout(deadline) {
-        Ok(Ok(raw)) => ok_envelope(id.as_ref(), false, &raw),
-        Ok(Err(e)) => {
+/// One completed (or refused) computation headed back to the loop.
+struct Completion {
+    target: Target,
+    outcome: Result<Arc<str>, OpError>,
+    coalesced: bool,
+}
+
+/// What to render into a response slot.
+enum Deliver {
+    /// A serialized result document.
+    Ok {
+        raw: Arc<str>,
+        cached: bool,
+        coalesced: bool,
+    },
+    /// A structured refusal.
+    Err(OpError),
+}
+
+/// Renders a response envelope and does the response-side accounting:
+/// error counters (`serve_timeouts` / `serve_overloaded` /
+/// `serve_errors`) are recorded here, exactly once per response, and
+/// timeout/overloaded refusals carry the flight-recorder tail.
+fn render_response(id: Option<&Json>, deliver: &Deliver) -> (String, bool) {
+    match deliver {
+        Deliver::Ok {
+            raw,
+            cached,
+            coalesced,
+        } => (
+            ok_envelope_coalesced(id, *cached, *coalesced, raw),
+            *cached,
+        ),
+        Deliver::Err(e) => {
             add(
                 if e.code == E_TIMEOUT {
                     Counter::ServeTimeouts
+                } else if e.code == E_OVERLOADED {
+                    Counter::ServeOverloaded
                 } else {
                     Counter::ServeErrors
                 },
                 1,
             );
-            let flight = (e.code == E_TIMEOUT).then(|| flight_tail_json(FLIGHT_ERROR_TAIL));
-            err_envelope_with_flight(id.as_ref(), e.code, &e.message, flight)
-        }
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            add(Counter::ServeTimeouts, 1);
-            flight_record(FlightKind::DeadlineExpiry, ctx.trace_id, deadline_ms);
-            err_envelope_with_flight(
-                id.as_ref(),
-                E_TIMEOUT,
-                &format!("deadline of {deadline_ms}ms expired"),
-                Some(flight_tail_json(FLIGHT_ERROR_TAIL)),
+            let flight = (e.code == E_TIMEOUT || e.code == E_OVERLOADED)
+                .then(|| flight_tail_json(FLIGHT_ERROR_TAIL));
+            (
+                err_envelope_with_flight(id, e.code, &e.message, flight),
+                false,
             )
         }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            add(Counter::ServeErrors, 1);
-            err_envelope(id.as_ref(), E_INTERNAL, "worker dropped the request")
+    }
+}
+
+/// One pipelined request awaiting its response. Slots flush strictly in
+/// arrival order; a filled slot behind an unfilled one waits.
+struct Slot {
+    seq: u64,
+    started: Instant,
+    trace_id: u64,
+    id: Option<Json>,
+    deadline_ms: u64,
+    /// `Some` only while a compute outcome is pending; inline ops and
+    /// batch parents (whose batch carries the deadline) have `None`.
+    expires: Option<Instant>,
+    response: Option<String>,
+    cache_hit: bool,
+}
+
+/// One client connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    slots: VecDeque<Slot>,
+    next_seq: u64,
+    peer_closed: bool,
+    dead: bool,
+}
+
+/// An in-progress `batch` op: sub-responses accumulate out of order and
+/// the parent slot fills when the last one lands (or the deadline does).
+struct BatchState {
+    conn: usize,
+    gen: u64,
+    seq: u64,
+    sub_ids: Vec<Option<Json>>,
+    responses: Vec<Option<String>>,
+    remaining: usize,
+    expires: Instant,
+    deadline_ms: u64,
+    trace_id: u64,
+}
+
+/// One readiness loop: a shared-listener acceptor plus the connections
+/// it has accepted.
+struct EventLoop {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    wake: WakePipe,
+    waker: Waker,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    batches: HashMap<u64, BatchState>,
+    next_batch: u64,
+    next_gen: u64,
+    stop_seen: Option<Instant>,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, shared: Arc<Shared>) -> Result<EventLoop, String> {
+        let wake = WakePipe::new().map_err(|e| format!("cannot build wake pipe: {e}"))?;
+        let waker = wake.waker();
+        shared
+            .wakers
+            .lock()
+            .expect("wakers poisoned")
+            .push(waker.clone());
+        Ok(EventLoop {
+            listener,
+            shared,
+            wake,
+            waker,
+            completions: Arc::new(Mutex::new(Vec::new())),
+            conns: Vec::new(),
+            free: Vec::new(),
+            batches: HashMap::new(),
+            next_batch: 0,
+            next_gen: 0,
+            stop_seen: None,
+        })
+    }
+
+    fn run(&mut self) -> Result<(), String> {
+        loop {
+            let stopping = self.shared.stopping.load(Ordering::Acquire);
+            if stopping {
+                if self.stop_seen.is_none() {
+                    self.stop_seen = Some(Instant::now());
+                }
+                let live = self.conns.iter().filter(|c| c.is_some()).count();
+                if live == 0 {
+                    return Ok(());
+                }
+                if self.stop_seen.is_some_and(|t| t.elapsed() > DRAIN_GRACE) {
+                    // Stragglers past the grace window are cut loose;
+                    // their unwritten responses die with them.
+                    for slot in &mut self.conns {
+                        if slot.take().is_some() {
+                            gauge_sub(Gauge::ServeOpenConnections, 1);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+            let mut fds = Vec::with_capacity(self.conns.len() + 2);
+            let mut owners = Vec::with_capacity(self.conns.len() + 2);
+            let listener_slot = (!stopping).then(|| {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                owners.push(usize::MAX);
+                fds.len() - 1
+            });
+            fds.push(PollFd::new(self.wake.fd(), POLLIN));
+            owners.push(usize::MAX);
+            for (i, conn) in self.conns.iter().enumerate() {
+                let Some(c) = conn else { continue };
+                let mut events = 0i16;
+                if !c.peer_closed && !stopping && c.slots.len() < MAX_PIPELINE {
+                    events |= POLLIN;
+                }
+                if !c.wbuf.is_empty() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd::new(c.stream.as_raw_fd(), events));
+                    owners.push(i);
+                }
+            }
+            let timeout = self.next_timeout(stopping);
+            reactor::poll(&mut fds, Some(timeout)).map_err(|e| format!("poll failed: {e}"))?;
+            self.wake.drain();
+            self.apply_completions();
+            self.expire();
+            let mut do_accept = false;
+            for (k, fd) in fds.iter().enumerate() {
+                if !fd.readable() && !fd.writable() {
+                    continue;
+                }
+                if owners[k] == usize::MAX {
+                    if listener_slot == Some(k) {
+                        do_accept = true;
+                    }
+                    continue;
+                }
+                if fd.readable() {
+                    self.read_conn(owners[k]);
+                }
+            }
+            if do_accept {
+                self.accept_all();
+            }
+            for i in 0..self.conns.len() {
+                self.pump(i);
+            }
+            self.reap(self.shared.stopping.load(Ordering::Acquire));
         }
-    };
-    (response, false)
+    }
+
+    /// The nearest pending deadline, clamped to the idle tick — what the
+    /// loop hands `poll` so an expiry is noticed on time even with no
+    /// socket activity.
+    fn next_timeout(&self, stopping: bool) -> Duration {
+        let mut tick = if stopping {
+            Duration::from_millis(25)
+        } else {
+            IDLE_TICK
+        };
+        let now = Instant::now();
+        for conn in self.conns.iter().flatten() {
+            for slot in &conn.slots {
+                if slot.response.is_none() {
+                    if let Some(t) = slot.expires {
+                        tick = tick.min(t.saturating_duration_since(now));
+                    }
+                }
+            }
+        }
+        for batch in self.batches.values() {
+            tick = tick.min(batch.expires.saturating_duration_since(now));
+        }
+        // Never hand poll a zero timeout: already-due work was expired
+        // above, and a 0ms poll under load degenerates into a busy spin.
+        tick.max(Duration::from_millis(1))
+    }
+
+    /// Drains the completion queue filled by worker callbacks.
+    fn apply_completions(&mut self) {
+        let done = std::mem::take(
+            &mut *self.completions.lock().expect("completions poisoned"),
+        );
+        for completion in done {
+            let deliver = match completion.outcome {
+                Ok(raw) => Deliver::Ok {
+                    raw,
+                    cached: false,
+                    coalesced: completion.coalesced,
+                },
+                Err(e) => Deliver::Err(e),
+            };
+            self.deliver(completion.target, &deliver);
+        }
+    }
+
+    fn deliver(&mut self, target: Target, deliver: &Deliver) {
+        match target {
+            Target::Conn { conn, gen, seq } => self.fill_conn(conn, gen, seq, deliver),
+            Target::Batch { batch, idx } => self.fill_batch(batch, idx, deliver),
+        }
+    }
+
+    /// Renders `deliver` into slot `seq` of connection `conn`. A stale
+    /// target (connection gone, generation recycled, slot already
+    /// answered by expiry) is ignored — late results only warm the
+    /// cache.
+    fn fill_conn(&mut self, conn: usize, gen: u64, seq: u64, deliver: &Deliver) {
+        let Some(Some(c)) = self.conns.get_mut(conn) else {
+            return;
+        };
+        if c.gen != gen {
+            return;
+        }
+        let Some(slot) = c.slots.iter_mut().find(|s| s.seq == seq) else {
+            return;
+        };
+        if slot.response.is_some() {
+            return;
+        }
+        let (response, cache_hit) = render_response(slot.id.as_ref(), deliver);
+        slot.response = Some(response);
+        slot.cache_hit = cache_hit;
+    }
+
+    fn fill_batch(&mut self, batch: u64, idx: usize, deliver: &Deliver) {
+        let Some(state) = self.batches.get_mut(&batch) else {
+            return;
+        };
+        if state.responses[idx].is_some() {
+            return;
+        }
+        let (response, _) = render_response(state.sub_ids[idx].as_ref(), deliver);
+        state.responses[idx] = Some(response);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.finalize_batch(batch);
+        }
+    }
+
+    /// Assembles a completed batch into its parent envelope:
+    /// `{"responses": [<sub envelope>, …]}` in request order.
+    fn finalize_batch(&mut self, batch: u64) {
+        let Some(state) = self.batches.remove(&batch) else {
+            return;
+        };
+        let mut raw = String::from("{\"responses\":[");
+        for (i, response) in state.responses.into_iter().enumerate() {
+            if i > 0 {
+                raw.push(',');
+            }
+            raw.push_str(&response.expect("finalized batch is complete"));
+        }
+        raw.push_str("]}");
+        self.fill_conn(
+            state.conn,
+            state.gen,
+            state.seq,
+            &Deliver::Ok {
+                raw: Arc::from(raw),
+                cached: false,
+                coalesced: false,
+            },
+        );
+    }
+
+    /// Answers every slot and batch whose deadline has passed with a
+    /// structured `timeout`. The underlying computation (if any) keeps
+    /// running and still warms the cache when it lands.
+    fn expire(&mut self) {
+        let now = Instant::now();
+        let mut due: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
+        for (i, conn) in self.conns.iter().enumerate() {
+            let Some(c) = conn else { continue };
+            for slot in &c.slots {
+                if slot.response.is_none()
+                    && slot.expires.is_some_and(|t| now >= t)
+                {
+                    due.push((i, c.gen, slot.seq, slot.trace_id, slot.deadline_ms));
+                }
+            }
+        }
+        for (conn, gen, seq, trace_id, deadline_ms) in due {
+            flight_record(FlightKind::DeadlineExpiry, trace_id, deadline_ms);
+            self.fill_conn(
+                conn,
+                gen,
+                seq,
+                &Deliver::Err(OpError {
+                    code: E_TIMEOUT,
+                    message: format!("deadline of {deadline_ms}ms expired"),
+                }),
+            );
+        }
+        let expired: Vec<u64> = self
+            .batches
+            .iter()
+            .filter(|(_, b)| now >= b.expires)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            let (n, trace_id, deadline_ms) = {
+                let b = &self.batches[&key];
+                (b.responses.len(), b.trace_id, b.deadline_ms)
+            };
+            flight_record(FlightKind::DeadlineExpiry, trace_id, deadline_ms);
+            for idx in 0..n {
+                // fill_batch skips already-answered positions and
+                // finalizes on the last fill.
+                self.fill_batch(
+                    key,
+                    idx,
+                    &Deliver::Err(OpError {
+                        code: E_TIMEOUT,
+                        message: format!("deadline of {deadline_ms}ms expired"),
+                    }),
+                );
+            }
+        }
+    }
+
+    fn read_conn(&mut self, index: usize) {
+        let Some(Some(c)) = self.conns.get_mut(index) else {
+            return;
+        };
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    c.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    c.rbuf.extend_from_slice(&buf[..n]);
+                    if c.rbuf.len() > MAX_LINE && !c.rbuf.contains(&b'\n') {
+                        c.dead = true; // not a protocol client
+                        break;
+                    }
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // One request = one response line; Nagle coalescing
+                    // only adds a delayed-ACK round trip per exchange.
+                    let _ = stream.set_nodelay(true);
+                    gauge_add(Gauge::ServeOpenConnections, 1);
+                    let gen = self.next_gen;
+                    self.next_gen += 1;
+                    let conn = Conn {
+                        stream,
+                        gen,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        slots: VecDeque::new(),
+                        next_seq: 0,
+                        peer_closed: false,
+                        dead: false,
+                    };
+                    match self.free.pop() {
+                        Some(i) => self.conns[i] = Some(conn),
+                        None => self.conns.push(Some(conn)),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (fd exhaustion, aborted
+                // handshake): leave the backlog for the next readiness.
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Parses buffered lines into dispatches (bounded by the pipeline
+    /// cap), then flushes whatever responses are ready.
+    fn pump(&mut self, index: usize) {
+        loop {
+            let Some(Some(c)) = self.conns.get_mut(index) else {
+                return;
+            };
+            if c.dead || c.slots.len() >= MAX_PIPELINE {
+                break;
+            }
+            let Some(pos) = c.rbuf.iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let line: Vec<u8> = c.rbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.dispatch_line(index, &line);
+        }
+        self.flush(index);
+    }
+
+    /// Moves completed in-order responses into the write buffer (doing
+    /// the per-request latency accounting at that moment) and writes as
+    /// much as the socket accepts.
+    fn flush(&mut self, index: usize) {
+        let Some(Some(c)) = self.conns.get_mut(index) else {
+            return;
+        };
+        if c.dead {
+            return;
+        }
+        while let Some(front) = c.slots.front() {
+            if front.response.is_none() {
+                break;
+            }
+            let slot = c.slots.pop_front().expect("front exists");
+            let elapsed_ns = slot.started.elapsed().as_nanos() as u64;
+            record_hist(
+                if slot.cache_hit {
+                    Hist::ServeLatencyCacheHit
+                } else {
+                    Hist::ServeLatencyCold
+                },
+                elapsed_ns,
+            );
+            flight_record(FlightKind::RequestEnd, slot.trace_id, elapsed_ns / 1_000);
+            c.wbuf
+                .extend_from_slice(slot.response.expect("checked above").as_bytes());
+            c.wbuf.push(b'\n');
+        }
+        while !c.wbuf.is_empty() {
+            match c.stream.write(&c.wbuf) {
+                Ok(0) => {
+                    c.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    c.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Closes connections that died or have nothing left to say.
+    fn reap(&mut self, stopping: bool) {
+        for i in 0..self.conns.len() {
+            let close = match &self.conns[i] {
+                Some(c) => {
+                    c.dead
+                        || ((c.peer_closed || stopping)
+                            && c.wbuf.is_empty()
+                            && c.slots.is_empty())
+                }
+                None => false,
+            };
+            if close {
+                self.conns[i] = None;
+                self.free.push(i);
+                gauge_sub(Gauge::ServeOpenConnections, 1);
+            }
+        }
+    }
+
+    /// Appends a response slot for connection `index`; returns the
+    /// (generation, sequence) pair that addresses it.
+    fn push_slot(
+        &mut self,
+        index: usize,
+        started: Instant,
+        trace_id: u64,
+        id: Option<Json>,
+        deadline_ms: u64,
+        expires: Option<Instant>,
+    ) -> Option<(u64, u64)> {
+        let Some(Some(c)) = self.conns.get_mut(index) else {
+            return None;
+        };
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        c.slots.push_back(Slot {
+            seq,
+            started,
+            trace_id,
+            id,
+            deadline_ms,
+            expires,
+            response: None,
+            cache_hit: false,
+        });
+        Some((c.gen, seq))
+    }
+
+    /// Processes one request line: parse, answer inline ops on the spot,
+    /// unpack batches, route compute through cache → singleflight →
+    /// worker pool.
+    fn dispatch_line(&mut self, index: usize, line: &str) {
+        add(Counter::ServeRequests, 1);
+        let started = Instant::now();
+        // Every request gets a trace id even when tracing is off: the
+        // flight recorder uses it to correlate events.
+        let root = TraceCtx::root();
+        let _attach = root.attach();
+        let request = match Request::parse_line(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                // Echo the id back even for bodies that failed
+                // validation — the document may still be well-formed
+                // JSON with a bad op.
+                let id = Json::parse(line).ok().and_then(|doc| doc.get("id").cloned());
+                if let Some((gen, seq)) =
+                    self.push_slot(index, started, root.trace_id, id, 0, None)
+                {
+                    self.fill_conn(
+                        index,
+                        gen,
+                        seq,
+                        &Deliver::Err(OpError {
+                            code: E_BAD_REQUEST,
+                            message: msg,
+                        }),
+                    );
+                }
+                return;
+            }
+        };
+        // The request span nests every child (cache probe, queue wait,
+        // execute) under one trace; its ctx is what crosses to the
+        // worker.
+        let request_span = trace_span_with("request", request.op.name());
+        let ctx = request_span.ctx().unwrap_or(root);
+        flight_record(FlightKind::RequestStart, ctx.trace_id, op_ordinal(&request.op));
+        let id = request.id.clone();
+        let deadline = request
+            .deadline_ms
+            .map_or(self.shared.default_deadline, Duration::from_millis);
+        let deadline_ms = deadline.as_millis() as u64;
+        if let Some(raw) = self.inline_result(&request.op) {
+            if let Some((gen, seq)) =
+                self.push_slot(index, started, ctx.trace_id, id, deadline_ms, None)
+            {
+                self.fill_conn(
+                    index,
+                    gen,
+                    seq,
+                    &Deliver::Ok {
+                        raw,
+                        cached: false,
+                        coalesced: false,
+                    },
+                );
+            }
+            return;
+        }
+        if let Op::Batch(subs) = request.op {
+            self.dispatch_batch(index, started, ctx, id, subs, deadline, deadline_ms);
+            return;
+        }
+        let expires = started + deadline;
+        let Some((gen, seq)) = self.push_slot(
+            index,
+            started,
+            ctx.trace_id,
+            id,
+            deadline_ms,
+            Some(expires),
+        ) else {
+            return;
+        };
+        self.dispatch_compute(
+            Target::Conn {
+                conn: index,
+                gen,
+                seq,
+            },
+            request.op,
+            request.cache_key,
+            ctx,
+            expires,
+            deadline_ms,
+        );
+    }
+
+    /// Answers a control/introspection op without touching the worker
+    /// pool; `None` means the op needs compute dispatch.
+    fn inline_result(&self, op: &Op) -> Option<Arc<str>> {
+        let raw: String = match op {
+            Op::Ping => r#""pong""#.to_string(),
+            Op::Stats { flight, series } => stats_result(&self.shared, *flight, *series),
+            Op::Health => health_result(&self.shared),
+            Op::Trace => chrome_trace_json(&take_trace_events()).to_string(),
+            Op::Prom => Json::str(prometheus_text(&datareuse_obs::snapshot())).to_string(),
+            Op::Shutdown => {
+                self.shared.stop();
+                r#""draining""#.to_string()
+            }
+            _ => return None,
+        };
+        Some(Arc::from(raw))
+    }
+
+    /// Unpacks a `batch` op: inline sub-ops answer immediately, compute
+    /// sub-ops are individually keyed (cached and coalesced exactly like
+    /// standalone requests); the parent's deadline governs them all.
+    fn dispatch_batch(
+        &mut self,
+        index: usize,
+        started: Instant,
+        ctx: TraceCtx,
+        id: Option<Json>,
+        subs: Vec<Request>,
+        deadline: Duration,
+        deadline_ms: u64,
+    ) {
+        add(Counter::ServeBatchRequests, subs.len() as u64);
+        let Some((gen, seq)) =
+            self.push_slot(index, started, ctx.trace_id, id, deadline_ms, None)
+        else {
+            return;
+        };
+        let expires = started + deadline;
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        self.batches.insert(
+            batch,
+            BatchState {
+                conn: index,
+                gen,
+                seq,
+                sub_ids: subs.iter().map(|r| r.id.clone()).collect(),
+                responses: vec![None; subs.len()],
+                remaining: subs.len(),
+                expires,
+                deadline_ms,
+                trace_id: ctx.trace_id,
+            },
+        );
+        for (idx, sub) in subs.into_iter().enumerate() {
+            let target = Target::Batch { batch, idx };
+            if let Some(raw) = self.inline_result(&sub.op) {
+                self.deliver(
+                    target,
+                    &Deliver::Ok {
+                        raw,
+                        cached: false,
+                        coalesced: false,
+                    },
+                );
+                continue;
+            }
+            self.dispatch_compute(target, sub.op, sub.cache_key, ctx, expires, deadline_ms);
+        }
+    }
+
+    /// Routes one compute op: cache probe, then singleflight join (the
+    /// leader submits the worker job; followers just subscribe), with
+    /// overload/drain refusals delivered through the same completion
+    /// path.
+    fn dispatch_compute(
+        &mut self,
+        target: Target,
+        op: Op,
+        key: Option<u64>,
+        ctx: TraceCtx,
+        expires: Instant,
+        deadline_ms: u64,
+    ) {
+        if let Some(key) = key {
+            let hit = {
+                let _cache = span("cache");
+                self.shared.cache.get(key)
+            };
+            if let Some(raw) = hit {
+                self.deliver(
+                    target,
+                    &Deliver::Ok {
+                        raw,
+                        cached: true,
+                        coalesced: false,
+                    },
+                );
+                return;
+            }
+        }
+        if self.shared.stopping.load(Ordering::Acquire) {
+            self.deliver(
+                target,
+                &Deliver::Err(OpError {
+                    code: E_SHUTTING_DOWN,
+                    message: "server is draining".to_string(),
+                }),
+            );
+            return;
+        }
+        let Some(key) = key else {
+            // Compute ops are always cacheable, so a missing key means a
+            // new op forgot its grammar entry; refuse loudly rather than
+            // compute outside the coalescing map.
+            self.deliver(
+                target,
+                &Deliver::Err(OpError {
+                    code: crate::protocol::E_INTERNAL,
+                    message: "compute op has no cache key".to_string(),
+                }),
+            );
+            return;
+        };
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        let subscriber: Subscriber = Box::new(move |outcome, coalesced| {
+            completions
+                .lock()
+                .expect("completions poisoned")
+                .push(Completion {
+                    target,
+                    outcome: outcome.clone(),
+                    coalesced,
+                });
+            waker.wake();
+        });
+        match self.shared.flights.join(key, subscriber) {
+            JoinRole::Follower => {
+                add(Counter::ServeCoalesced, 1);
+                flight_record(FlightKind::Coalesced, ctx.trace_id, key);
+            }
+            JoinRole::Leader => {
+                add(Counter::ServeCacheMisses, 1);
+                flight_record(FlightKind::CacheMiss, ctx.trace_id, key);
+                self.submit_leader(op, key, ctx, expires, deadline_ms);
+            }
+        }
+    }
+
+    /// Submits the singleflight leader's job to the worker pool; a full
+    /// queue refuses the whole flight (leader and any followers that
+    /// joined in the window) with one shared outcome.
+    fn submit_leader(&self, op: Op, key: u64, ctx: TraceCtx, expires: Instant, deadline_ms: u64) {
+        let shared = Arc::clone(&self.shared);
+        let submitted_at = Instant::now();
+        let submitted_ts = trace_now_ns();
+        let job = Box::new(move || {
+            // Re-install the request's trace context on the worker
+            // thread so spans opened here nest under the request.
+            let _attach = ctx.attach();
+            let wait_ns = submitted_at.elapsed().as_nanos() as u64;
+            record_hist(Hist::ServeQueueWait, wait_ns);
+            // The wait starts on the loop thread and ends here, so it is
+            // recorded directly rather than via a guard.
+            record_span_at("queue_wait", ctx, submitted_ts, wait_ns);
+            // A worker picking up an expired job may skip the compute —
+            // but only when nobody else coalesced onto it: a follower
+            // with a longer deadline still wants the result.
+            if Instant::now() >= expires && shared.flights.waiting(key) <= 1 {
+                flight_record(FlightKind::DeadlineExpiry, ctx.trace_id, deadline_ms);
+                shared.flights.complete(
+                    key,
+                    &Err(OpError {
+                        code: E_TIMEOUT,
+                        message: "deadline expired before execution".to_string(),
+                    }),
+                );
+                return;
+            }
+            let outcome = {
+                let _exec = trace_span_with("execute", op.name());
+                ops::execute(&op).map(|result| {
+                    let raw: Arc<str> = Arc::from(result.to_string());
+                    shared.cache.insert(key, Arc::clone(&raw));
+                    raw
+                })
+            };
+            shared.flights.complete(key, &outcome);
+        });
+        if self.shared.pool.try_submit(job).is_err() {
+            let queued = self.shared.pool.queued();
+            flight_record(FlightKind::QueueReject, ctx.trace_id, queued as u64);
+            let outcome = if self.shared.stopping.load(Ordering::Acquire) {
+                Err(OpError {
+                    code: E_SHUTTING_DOWN,
+                    message: "server is draining".to_string(),
+                })
+            } else {
+                Err(OpError {
+                    code: E_OVERLOADED,
+                    message: format!("queue full ({queued} waiting); retry later"),
+                })
+            };
+            self.shared.flights.complete(key, &outcome);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{BufRead, Write};
+    use std::io::{BufRead, BufReader, BufWriter, Write};
 
     fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
         let server = Server::bind(&config).unwrap();
@@ -682,6 +1468,94 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_come_back_in_request_order() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        // All four requests in one write; responses must arrive in the
+        // same order even though the pings answer inline while the
+        // explores cross the worker pool.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(
+                concat!(
+                    r#"{"op":"explore","kernel":"fir","id":1}"#,
+                    "\n",
+                    r#"{"op":"ping","id":2}"#,
+                    "\n",
+                    r#"{"op":"explore","kernel":"fir","id":3}"#,
+                    "\n",
+                    r#"{"op":"ping","id":4}"#,
+                    "\n",
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        writer.flush().unwrap();
+        for expect in 1..=4u64 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let doc = Json::parse(&line).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_u64), Some(expect));
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        roundtrip(addr, &[r#"{"op":"shutdown"}"#]);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn a_batch_answers_every_sub_request_in_one_envelope() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                concat!(
+                    r#"{"op":"batch","id":"b","requests":["#,
+                    r#"{"op":"ping","id":"p"},"#,
+                    r#"{"op":"explore","kernel":"fir","id":"e"},"#,
+                    r#"{"op":"explore","kernel":"fir","id":"e2"}"#,
+                    r#"]}"#
+                ),
+                r#"{"op":"explore","kernel":"fir","id":"solo"}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("b"));
+        let subs = responses[0]
+            .get("result")
+            .and_then(|r| r.get("responses"))
+            .and_then(Json::as_array)
+            .expect("responses array");
+        assert_eq!(subs.len(), 3);
+        assert_eq!(subs[0].get("id").and_then(Json::as_str), Some("p"));
+        assert_eq!(subs[0].get("result").and_then(Json::as_str), Some("pong"));
+        for sub in &subs[1..] {
+            assert_eq!(sub.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        // The two identical sub-explores shared one computation: one is
+        // the leader, the other either coalesced onto it or (having
+        // dispatched after the fill) hit the cache.
+        let coalesced_or_cached = subs[1..].iter().any(|s| {
+            s.get("coalesced").and_then(Json::as_bool) == Some(true)
+                || s.get("cached").and_then(Json::as_bool) == Some(true)
+        });
+        assert!(coalesced_or_cached, "identical subs shared work: {subs:?}");
+        // Batch sub-results are byte-identical to the standalone op.
+        assert_eq!(
+            subs[1].get("result").map(Json::to_string),
+            responses[1].get("result").map(Json::to_string)
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn stats_series_and_health_report_on_a_live_server() {
         let (addr, handle) = start(ServerConfig {
             threads: 1,
@@ -710,6 +1584,17 @@ mod tests {
             .and_then(Json::as_array)
             .expect("points array");
         assert!(!points.is_empty(), "scraper left at least one point");
+        let derived = responses[1]
+            .get("result")
+            .and_then(|r| r.get("derived"))
+            .expect("derived section");
+        assert!(derived.get("coalesced_requests").is_some());
+        assert!(
+            derived
+                .get("open_connections")
+                .and_then(Json::as_u64)
+                .is_some()
+        );
         // The health envelope grades every check; a freshly started
         // server under default SLOs is `ok` across the board.
         let health = responses[2].get("result").expect("health result");
@@ -781,5 +1666,68 @@ mod tests {
         );
         assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("t"));
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn the_hit_ratio_counts_coalesced_followers_as_cache_path() {
+        // 0 hits, 3 coalesced, 1 cold miss: three of four cacheable
+        // requests cost no compute, so the ratio is 0.75 — under the
+        // pre-singleflight accounting (hits / (hits + misses)) the same
+        // traffic would have read as 0.0 and tripped the health SLO.
+        assert!((hit_ratio(0, 3, 1) - 0.75).abs() < 1e-12);
+        assert!((hit_ratio(2, 0, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(hit_ratio(0, 0, 0), 0.0, "no probes, no ratio");
+        assert_eq!(hit_ratio(5, 5, 0), 1.0);
+    }
+
+    #[test]
+    fn a_snapshot_round_trip_survives_a_restart() {
+        let path = std::env::temp_dir().join(format!(
+            "datareuse-server-snap-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = ServerConfig {
+            threads: 1,
+            snapshot_path: Some(path.clone()),
+            ..ServerConfig::default()
+        };
+        // First life: compute once (miss), then shut down — the drain
+        // writes the snapshot.
+        let (addr, handle) = start(config.clone());
+        let first = roundtrip(
+            addr,
+            &[
+                r#"{"op":"explore","kernel":"fir","id":1}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        assert_eq!(first[0].get("cached").and_then(Json::as_bool), Some(false));
+        handle.join().unwrap();
+        assert!(path.exists(), "drain wrote the snapshot");
+        // Second life: the very first request is already a cache hit,
+        // with byte-identical result content.
+        let server = Server::bind(&config).unwrap();
+        assert_eq!(
+            server.snapshot_load_report(),
+            Some(&Ok(Some(1))),
+            "warm start restored the entry"
+        );
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let second = roundtrip(
+            addr,
+            &[
+                r#"{"op":"explore","kernel":"fir","id":1}"#,
+                r#"{"op":"shutdown"}"#,
+            ],
+        );
+        assert_eq!(second[0].get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            first[0].get("result").map(Json::to_string),
+            second[0].get("result").map(Json::to_string)
+        );
+        handle.join().unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,222 @@
+//! Versioned persistence for the result cache: write-on-drain,
+//! load-on-start.
+//!
+//! A restarted server used to start cold: every previously-answered
+//! exploration paid its compute again until the LRU refilled. With
+//! `--cache-snapshot PATH` the server serializes the cache contents on
+//! graceful drain and reloads them on the next start, so a fleet restart
+//! (deploy, host move) keeps its working set warm.
+//!
+//! The file is one JSON document:
+//!
+//! ```text
+//! { "schema":   "datareuse-cache-snapshot-v1",
+//!   "entries":  [ { "key": "<16-hex canonical request hash>",
+//!                   "value": "<serialized result document>" }, … ],
+//!   "checksum": "<16-hex FNV-1a over the serialized entries array>" }
+//! ```
+//!
+//! Two gates protect a warm start from bad state:
+//!
+//! - **Version gating** — the `schema` string must match exactly; a
+//!   snapshot from an older (or newer) format is rejected rather than
+//!   half-understood. Bump the suffix when the layout changes.
+//! - **Checksum gating** — the FNV-1a of the re-serialized `entries`
+//!   array must match the recorded value; torn writes and bit rot are
+//!   rejected rather than served as answers.
+//!
+//! A rejected or missing snapshot is not fatal: the server logs why and
+//! starts cold, exactly as if no snapshot existed. Keys are stored as
+//! hex strings (not JSON numbers) so 64-bit hashes survive any numeric
+//! round-trip exactly. LRU recency is deliberately *not* persisted: a
+//! restored cache is fully resident and recency rebuilds with traffic.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use datareuse_obs::{add, span, Counter, Json};
+
+use crate::cache::ResultCache;
+use crate::protocol::fnv1a;
+
+/// The exact schema string this build writes and accepts.
+pub const SNAPSHOT_SCHEMA: &str = "datareuse-cache-snapshot-v1";
+
+fn entries_json(entries: &[(u64, Arc<str>)]) -> Json {
+    Json::arr(entries.iter().map(|(key, value)| {
+        Json::obj([
+            ("key", Json::str(format!("{key:016x}"))),
+            ("value", Json::str(value.as_ref())),
+        ])
+    }))
+}
+
+/// Serializes every cache entry to `path` (via a temp file + rename, so
+/// a crash mid-write leaves the previous snapshot intact). Returns the
+/// number of entries written and records `serve_snapshot_saved`.
+///
+/// # Errors
+///
+/// When the file cannot be written or renamed.
+pub fn save(cache: &ResultCache, path: &Path) -> Result<usize, String> {
+    let _span = span("snapshot_save");
+    let mut entries = cache.entries();
+    entries.sort_by_key(|&(key, _)| key);
+    let body = entries_json(&entries);
+    let checksum = fnv1a(body.to_string().as_bytes());
+    let doc = Json::obj([
+        ("schema", Json::str(SNAPSHOT_SCHEMA)),
+        ("entries", body),
+        ("checksum", Json::str(format!("{checksum:016x}"))),
+    ]);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("{doc}\n"))
+        .map_err(|e| format!("cannot write snapshot `{}`: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot finalize snapshot `{}`: {e}", path.display()))?;
+    add(Counter::ServeSnapshotSaved, entries.len() as u64);
+    Ok(entries.len())
+}
+
+/// Loads `path` into `cache` after version and checksum gating. Returns
+/// `Ok(None)` when no snapshot exists (a normal first start), the number
+/// of entries restored otherwise, and records `serve_snapshot_loaded`.
+///
+/// # Errors
+///
+/// A human-readable rejection reason: unreadable file, unparseable
+/// JSON, wrong schema version, checksum mismatch, or malformed entries.
+/// On any rejection the cache is left untouched (cold).
+pub fn load(cache: &ResultCache, path: &Path) -> Result<Option<usize>, String> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let _span = span("snapshot_load");
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("<missing>");
+    if schema != SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "snapshot schema `{schema}` does not match `{SNAPSHOT_SCHEMA}`"
+        ));
+    }
+    let body = doc
+        .get("entries")
+        .ok_or_else(|| "snapshot has no `entries` array".to_string())?;
+    let recorded = doc
+        .get("checksum")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "snapshot has no hex `checksum`".to_string())?;
+    let actual = fnv1a(body.to_string().as_bytes());
+    if actual != recorded {
+        return Err(format!(
+            "snapshot checksum mismatch (recorded {recorded:016x}, computed {actual:016x})"
+        ));
+    }
+    let items = body
+        .as_array()
+        .ok_or_else(|| "snapshot `entries` is not an array".to_string())?;
+    // Validate every entry before touching the cache, so a malformed
+    // tail cannot leave a half-restored state.
+    let mut restored: Vec<(u64, Arc<str>)> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let key = item
+            .get("key")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| format!("snapshot entry {i} has no hex `key`"))?;
+        let value = item
+            .get("value")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("snapshot entry {i} has no string `value`"))?;
+        restored.push((key, Arc::from(value)));
+    }
+    let count = restored.len();
+    for (key, value) in restored {
+        cache.insert(key, value);
+    }
+    add(Counter::ServeSnapshotLoaded, count as u64);
+    Ok(Some(count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "datareuse-snap-{tag}-{}.json",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn round_trips_a_populated_cache() {
+        let path = tmp_path("roundtrip");
+        let cache = ResultCache::new(64);
+        cache.insert(0xdead_beef, Arc::from(r#"{"x":1}"#));
+        cache.insert(7, Arc::from(r#""quoted \"result\"""#));
+        assert_eq!(save(&cache, &path).unwrap(), 2);
+        let warm = ResultCache::new(64);
+        assert_eq!(load(&warm, &path).unwrap(), Some(2));
+        assert_eq!(warm.get(0xdead_beef).as_deref(), Some(r#"{"x":1}"#));
+        assert_eq!(warm.get(7).as_deref(), Some(r#""quoted \"result\"""#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_missing_snapshot_is_a_quiet_cold_start() {
+        let cache = ResultCache::new(8);
+        assert_eq!(
+            load(&cache, Path::new("/nonexistent/dir/snap.json")).unwrap(),
+            None
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn rejects_a_wrong_schema_version() {
+        let path = tmp_path("version");
+        std::fs::write(
+            &path,
+            r#"{"schema":"datareuse-cache-snapshot-v0","entries":[],"checksum":"0"}"#,
+        )
+        .unwrap();
+        let cache = ResultCache::new(8);
+        let err = load(&cache, &path).unwrap_err();
+        assert!(err.contains("snapshot-v0"), "{err}");
+        assert!(cache.is_empty(), "rejected snapshot must not touch the cache");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_a_corrupted_body() {
+        let path = tmp_path("corrupt");
+        let cache = ResultCache::new(8);
+        cache.insert(1, Arc::from("\"one\""));
+        save(&cache, &path).unwrap();
+        // Flip one byte inside the entries body.
+        let text = std::fs::read_to_string(&path).unwrap().replace("one", "two");
+        std::fs::write(&path, text).unwrap();
+        let warm = ResultCache::new(8);
+        let err = load(&warm, &path).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(warm.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let cache = ResultCache::new(8);
+        assert!(load(&cache, &path).is_err());
+        std::fs::write(&path, r#"{"schema":"datareuse-cache-snapshot-v1"}"#).unwrap();
+        assert!(load(&cache, &path).unwrap_err().contains("entries"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,6 +19,14 @@ cargo test -q
 cargo test -q --workspace
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Doc-drift gate: the operator runbook (docs/SERVING.md) is checked
+# against the code-side enumerations — wire ops, serve metrics, error
+# codes, query exit codes — so it cannot rot silently. This already ran
+# under `cargo test` above; run it by name so a drift failure is
+# unmistakable in CI output.
+cargo test -q --test doc_drift
+echo "doc drift gate passed (docs/SERVING.md matches the code)"
+
 # Serving smoke test: start the daemon on an ephemeral port, prove the
 # second identical query is a cache hit, and check it drains and exits 0
 # on `shutdown` within a timeout. Tracing is on (--trace-out) so the
@@ -209,8 +217,8 @@ echo "cross-validation gate passed (me-small, fir)"
 # like a harness artifact (the full Json::parse + schema check runs in
 # tests/bench_artifacts.rs under `cargo test` above).
 for group in analytical_vs_simulation batch_and_hierarchy model_stages \
-    pareto_and_codegen policies serve_latency serve_throughput \
-    stack_distances symbolic_vs_simulation; do
+    pareto_and_codegen policies serve_latency serve_ops serve_scaling \
+    serve_throughput stack_distances symbolic_vs_simulation; do
     ARTIFACT="benchmarks/BENCH_$group.json"
     if ! [ -s "$ARTIFACT" ]; then
         echo "bench gate: missing committed baseline $ARTIFACT" >&2
@@ -246,5 +254,24 @@ if ! awk -v sim="$SIM_NS" -v sym="$SYM_NS" 'BEGIN { exit !(sim >= 10 * sym) }'; 
     exit 1
 fi
 echo "bench regression guard passed (symbolic $SYM_NS ns vs simulate $SIM_NS ns)"
+
+# Serve-scaling guard: re-run a reduced connection ramp fresh (the
+# committed benchmarks/BENCH_serve_scaling.json comes from a full
+# 10k-connection run; this tripwire holds 200 and proves the event loop
+# still ramps, saturates, and reports the schema bench_artifacts.rs
+# pins on the big artifact).
+SCALING_FRESH="$(mktemp)"
+target/release/datareuse bench-serve --connections 200 \
+    --out "$SCALING_FRESH" 2> /dev/null
+for needle in '"group":"serve_scaling"' '"id":"conns_00200"' \
+    '"saturation":' '"rps":' '"open_connections":'; do
+    if ! grep -qF "$needle" "$SCALING_FRESH"; then
+        echo "serve-scaling guard: fresh ramp output lacks $needle" >&2
+        cat "$SCALING_FRESH" >&2
+        exit 1
+    fi
+done
+rm -f "$SCALING_FRESH"
+echo "serve-scaling guard passed (fresh 200-connection ramp)"
 
 echo "tier-1 verification passed"

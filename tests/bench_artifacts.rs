@@ -96,12 +96,46 @@ fn symbolic_baseline_covers_every_bench_group() {
         "pareto_and_codegen",
         "policies",
         "serve_latency",
+        "serve_ops",
+        "serve_scaling",
         "serve_throughput",
         "stack_distances",
         "symbolic_vs_simulation",
     ] {
         let want = format!("BENCH_{group}.json");
         assert!(names.contains(&want), "missing committed baseline {want}");
+    }
+}
+
+#[test]
+fn the_scaling_baseline_reports_a_saturation_point_at_10k_connections() {
+    let artifacts = artifacts();
+    let (_, scaling) = artifacts
+        .iter()
+        .find(|(n, _)| n == "BENCH_serve_scaling.json")
+        .expect("serve_scaling baseline committed");
+    // The committed artifact must come from a run that actually drove
+    // ten thousand concurrent connections...
+    let top_rung = scaling
+        .get("benches")
+        .and_then(Json::as_array)
+        .expect("benches array")
+        .iter()
+        .filter_map(|b| b.get("elements").and_then(Json::as_f64))
+        .fold(0.0f64, f64::max);
+    assert!(
+        top_rung >= 10_000.0,
+        "largest rung covers only {top_rung} connections"
+    );
+    // ...and record where throughput saturated, with the fields the
+    // capacity-planning section of docs/SERVING.md is written against.
+    let saturation = scaling.get("saturation").expect("saturation object");
+    for field in ["connections", "rps", "p99_ns", "open_connections"] {
+        let v = saturation
+            .get(field)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("saturation missing {field}"));
+        assert!(v > 0.0, "non-positive saturation {field}");
     }
 }
 

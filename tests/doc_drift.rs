@@ -1,0 +1,135 @@
+//! Drift guards between the serving code and `docs/SERVING.md`.
+//!
+//! The operator runbook documents the wire protocol, the metrics
+//! surface, and the `query` exit codes. Each of those lives in code as
+//! an enumerable constant (`protocol::OP_NAMES`, `Counter::ALL`,
+//! `Gauge::ALL`, `Hist::ALL`, the `E_*` error codes, the CLI usage
+//! text), so documentation rot is checkable: every name the code
+//! exposes must appear in the runbook, and every op section in the
+//! runbook must name a real wire op. `scripts/verify.sh` runs this
+//! test; adding an op or a serve counter without documenting it fails
+//! the build, as does documenting an op that no longer exists.
+
+use std::fs;
+use std::path::PathBuf;
+
+use datareuse::obs::{Counter, Gauge, Hist};
+use datareuse::server::protocol::{
+    E_BAD_REQUEST, E_INTERNAL, E_OVERLOADED, E_SHUTTING_DOWN, E_TIMEOUT, OP_NAMES,
+};
+
+fn repo_file(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_wire_op_has_a_runbook_section() {
+    let doc = repo_file("docs/SERVING.md");
+    for op in OP_NAMES {
+        assert!(
+            doc.contains(&format!("### `{op}`")),
+            "docs/SERVING.md has no `### `{op}`` section for the `{op}` op"
+        );
+    }
+}
+
+#[test]
+fn every_runbook_op_section_names_a_real_wire_op() {
+    let doc = repo_file("docs/SERVING.md");
+    let mut checked = 0;
+    for line in doc.lines() {
+        // Op sections are exactly "### `name`"; flag and file sections
+        // use other heading shapes, and any h3 whose backticked name is
+        // a bare lowercase word is held to the op registry.
+        let Some(name) = line
+            .strip_prefix("### `")
+            .and_then(|rest| rest.strip_suffix('`'))
+        else {
+            continue;
+        };
+        if !name.chars().all(|c| c.is_ascii_lowercase()) {
+            continue;
+        }
+        assert!(
+            OP_NAMES.contains(&name),
+            "docs/SERVING.md documents `{name}`, which is not a wire op \
+             (protocol::OP_NAMES = {OP_NAMES:?})"
+        );
+        checked += 1;
+    }
+    assert_eq!(
+        checked,
+        OP_NAMES.len(),
+        "expected one op section per wire op"
+    );
+}
+
+#[test]
+fn every_serve_metric_in_code_is_documented() {
+    let doc = repo_file("docs/SERVING.md");
+    let counters = Counter::ALL.iter().map(|c| c.name());
+    let gauges = Gauge::ALL.iter().map(|g| g.name());
+    let hists = Hist::ALL.iter().map(|h| h.name());
+    for name in counters.chain(gauges).chain(hists) {
+        if !name.starts_with("serve_") {
+            continue; // exploration-side metrics live in other docs
+        }
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "serve metric `{name}` is not documented in docs/SERVING.md"
+        );
+    }
+}
+
+#[test]
+fn every_protocol_error_code_is_documented() {
+    let doc = repo_file("docs/SERVING.md");
+    for code in [E_BAD_REQUEST, E_OVERLOADED, E_TIMEOUT, E_SHUTTING_DOWN, E_INTERNAL] {
+        assert!(
+            doc.contains(&format!("`{code}`")),
+            "error code `{code}` is not documented in docs/SERVING.md"
+        );
+    }
+}
+
+#[test]
+fn every_query_exit_code_has_a_table_row() {
+    // The CLI's usage text is the authoritative enumeration of `query`
+    // exit codes; mine it rather than duplicating the list here.
+    let cli = repo_file("crates/cli/src/main.rs");
+    let idx = cli
+        .find("query exit codes:")
+        .expect("usage text enumerates the query exit codes");
+    let sentence = &cli[idx..cli[idx..].find('"').map_or(cli.len(), |e| idx + e)];
+    let mut codes: Vec<u32> = sentence
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    codes.push(2); // usage errors, documented separately from `query`
+    codes.sort_unstable();
+    codes.dedup();
+    assert!(codes.len() >= 6, "mined too few exit codes: {codes:?}");
+    let doc = repo_file("docs/SERVING.md");
+    for code in codes {
+        assert!(
+            doc.contains(&format!("| {code} |")),
+            "exit code {code} has no row in the docs/SERVING.md exit-code table"
+        );
+    }
+}
+
+#[test]
+fn the_runbook_is_linked_from_the_readme_and_architecture_docs() {
+    for (file, link) in [
+        ("README.md", "docs/SERVING.md"),
+        ("docs/ARCHITECTURE.md", "SERVING.md"),
+    ] {
+        let text = repo_file(file);
+        assert!(
+            text.contains(link),
+            "{file} does not link to the serving runbook ({link})"
+        );
+    }
+}
