@@ -1,15 +1,15 @@
 //! `datareuse` — the prototype exploration tool of the paper, as a CLI.
 //!
 //! ```text
-//! datareuse kernels
-//! datareuse emit    <kernel>
+//! datareuse kernels [--json]
+//! datareuse emit    <kernel> [--rust]
 //! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--workingset]
 //!                   [--cross-validate] [--gnuplot FILE] [--json] [--explain FILE]
 //!                   [--metrics FILE] [--progress]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
-//!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
+//!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH] [--rust]
 //! datareuse report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
 //! datareuse serve   [--addr HOST:PORT] [--threads N] [--loops N] [--queue-depth N]
 //!                   [--cache-entries N] [--cache-snapshot FILE] [--deadline-ms MS]
@@ -19,10 +19,23 @@
 //! datareuse query   --addr HOST:PORT <request-json>...
 //! datareuse top     --addr HOST:PORT [--interval-ms MS] [--once] [--ascii]
 //! datareuse bench-serve [--connections N] [--out FILE] [--threads N] [--loops N]
+//! datareuse bench-corpus [--out FILE] [--samples N]
 //! ```
 //!
-//! `<kernel>` is a built-in name (see `datareuse kernels`) or a path to a
-//! `.dr` DSL file.
+//! `<kernel>` is a built-in name (see `datareuse kernels`), a
+//! generated-corpus name (`gen-matmul-32x32x32`, …), an inline einsum
+//! expression such as `'C[i,j] += A[i,k] * B[k,j]'` (also accepted via
+//! `--expr EXPR`), or a path to a `.dr` DSL file. Expression parse
+//! errors print a caret snippet pointing at the offending line:column
+//! and exit with the usage code (2).
+//!
+//! `emit --rust` prints the kernel as a runnable Rust `main.rs` instead
+//! of C; `codegen --band DEPTH --rust` prints the footprint-level band
+//! copy as a self-checking Rust program (compile it with `rustc`, run
+//! it, and it prints `OK <checksum>` iff the transformed stream matches
+//! the original). `bench-corpus` sweeps the generated corpus through
+//! the explorer and writes a benchmark artifact with per-kernel explore
+//! latency and the symbolic-profile hit rate.
 //!
 //! `--metrics FILE` enables the observability registry for the run and
 //! writes a `datareuse-metrics-v2` JSON snapshot (span timings, event
@@ -61,13 +74,16 @@ mod top;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use datareuse_codegen::{emit_program, gnuplot_script, Series};
+use datareuse_codegen::{
+    emit_program, emit_rust_program, emit_rust_selfcheck_band, gnuplot_script, Series,
+};
 use datareuse_core::{
     explore_orders, explore_program_explained, explore_signal_explained, ExplorationReport,
     ExploreOptions,
 };
-use datareuse_kernels::{load_kernel, BUILTINS};
-use datareuse_loopir::{read_addresses, Program};
+use datareuse_exprlang::{looks_like_expression, parse_expression};
+use datareuse_kernels::{corpus, load_kernel, BUILTINS, DEFAULT_CORPUS_SEED};
+use datareuse_loopir::{read_addresses, AccessKind, Program};
 use datareuse_memmodel::{BitCount, MemoryTechnology};
 use datareuse_obs::Json;
 use datareuse_server::ops::{codegen_text, default_array};
@@ -76,8 +92,8 @@ use datareuse_server::{Client, Server, ServerConfig};
 use datareuse_trace::{CurvePolicy, ReuseCurve, TraceStats};
 
 const USAGE: &str = "usage: datareuse <command> [args]
-  kernels                       list built-in kernels
-  emit    <kernel>              print the kernel as C
+  kernels [--json]              list built-in and generated-corpus kernels
+  emit    <kernel> [--rust]     print the kernel as C (or runnable Rust)
   explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
                    [--workingset] [--cross-validate] [--gnuplot FILE]
                    [--explain FILE] [--metrics FILE] [--progress]
@@ -86,6 +102,7 @@ const USAGE: &str = "usage: datareuse <command> [args]
   curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
   codegen <kernel> [--array NAME] [--pair O,I] [--strategy max|partial:G|bypass:G]
                    [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH]
+                   [--rust]
   serve   [--addr HOST:PORT] [--threads N] [--loops N] [--queue-depth N]
           [--cache-entries N] [--cache-snapshot FILE] [--deadline-ms MS]
           [--metrics FILE] [--trace-out FILE] [--series-out FILE] [--scrape-ms MS]
@@ -93,7 +110,10 @@ const USAGE: &str = "usage: datareuse <command> [args]
   query   --addr HOST:PORT <request-json>...
   top     --addr HOST:PORT [--interval-ms MS] [--once] [--ascii]
   bench-serve [--connections N] [--out FILE] [--threads N] [--loops N]
-<kernel> is a built-in name (`datareuse kernels`) or a path to a .dr file.
+  bench-corpus [--out FILE] [--samples N]
+<kernel> is a built-in name (`datareuse kernels`), a generated-corpus name
+(gen-matmul-32x32x32, ...), an inline einsum expression like
+'C[i,j] += A[i,k] * B[k,j]' (also via --expr EXPR), or a path to a .dr file.
 query exit codes: 0 ok, 1 transport/server error, 3 timeout, 4 overloaded,
 5 health degraded, 6 health failing.";
 
@@ -169,6 +189,36 @@ impl Args {
     }
 }
 
+/// Parses an inline einsum expression, rendering parse failures as
+/// usage errors (exit 2) with a caret snippet pointing at the offending
+/// line:column on stderr.
+fn parse_cli_expression(src: &str) -> Result<Program, CliError> {
+    parse_expression(src).map_err(|e| {
+        let line = src.lines().nth(e.line.saturating_sub(1)).unwrap_or("");
+        let caret = format!("{}^", " ".repeat(e.column.saturating_sub(1)));
+        usage(format!("expression parse error at {e}\n  {line}\n  {caret}"))
+    })
+}
+
+/// Resolves the command's kernel operand: `--expr SOURCE`, or the first
+/// positional — which may itself be an inline expression, a built-in or
+/// generated-corpus name, or a `.dr` file path. Expression parse errors
+/// are usage errors with a caret snippet; `.dr` file errors stay
+/// runtime errors (exit 1).
+fn cli_kernel(args: &Args) -> Result<Program, CliError> {
+    if let Some(src) = args.flag("expr") {
+        return parse_cli_expression(src);
+    }
+    if args.has("expr") {
+        return Err(usage("--expr expects an expression string"));
+    }
+    let name = args.kernel()?;
+    if looks_like_expression(name) && !name.ends_with(".dr") {
+        return parse_cli_expression(name);
+    }
+    load_kernel(name).map_err(CliError::Runtime)
+}
+
 fn pick_array(args: &Args, program: &Program) -> Result<String, String> {
     match args.flag("array") {
         Some(a) => Ok(a.to_string()),
@@ -176,16 +226,109 @@ fn pick_array(args: &Args, program: &Program) -> Result<String, String> {
     }
 }
 
-fn cmd_kernels() {
+/// One kernel's iteration-domain / array-footprint summary for the
+/// `kernels` listing: (nest count, total iterations, array count, total
+/// array elements).
+fn kernel_summary(program: &Program) -> (usize, u64, usize, u64) {
+    let iters = program.nests().iter().map(|n| n.iteration_count()).sum();
+    let elems = program
+        .arrays()
+        .iter()
+        .map(|a| a.extents().iter().product::<i64>() as u64)
+        .sum();
+    (program.nests().len(), iters, program.arrays().len(), elems)
+}
+
+fn kernel_summary_json(name: &str, desc: &str, program: &Program) -> Json {
+    let (nests, iters, _, elems) = kernel_summary(program);
+    Json::obj([
+        ("name", Json::str(name)),
+        ("description", Json::str(desc)),
+        ("nests", Json::UInt(nests as u64)),
+        ("iterations", Json::UInt(iters)),
+        (
+            "arrays",
+            Json::arr(program.arrays().iter().map(|a| {
+                Json::obj([
+                    ("name", Json::str(a.name())),
+                    (
+                        "extents",
+                        Json::arr(a.extents().iter().map(|&e| Json::UInt(e as u64))),
+                    ),
+                    ("bits", Json::UInt(a.elem_bits() as u64)),
+                ])
+            })),
+        ),
+        ("footprint_elements", Json::UInt(elems)),
+    ])
+}
+
+fn cmd_kernels(args: &Args) -> Result<(), CliError> {
+    if args.has("json") {
+        let builtins: Vec<Json> = BUILTINS
+            .iter()
+            .map(|(name, desc)| {
+                let p = load_kernel(name).expect("builtins load");
+                kernel_summary_json(name, desc, &p)
+            })
+            .collect();
+        let corpus_entries: Vec<Json> = corpus()
+            .iter()
+            .map(|e| {
+                let p = load_kernel(&e.name).expect("corpus entries load");
+                let mut doc = kernel_summary_json(&e.name, &e.description, &p);
+                if let Json::Obj(fields) = &mut doc {
+                    fields.insert(2, ("expr".to_string(), Json::str(&e.expr)));
+                }
+                doc
+            })
+            .collect();
+        println!(
+            "{}",
+            Json::obj([
+                ("builtins", Json::Arr(builtins)),
+                ("corpus_seed", Json::UInt(DEFAULT_CORPUS_SEED)),
+                ("corpus", Json::Arr(corpus_entries)),
+            ])
+        );
+        return Ok(());
+    }
     println!("built-in kernels:");
     for (name, desc) in BUILTINS {
-        println!("  {name:<16} {desc}");
+        let p = load_kernel(name).expect("builtins load");
+        let (nests, iters, arrays, elems) = kernel_summary(&p);
+        println!("  {name:<22} {desc}");
+        println!(
+            "  {:<22} {nests} nest(s), {iters} iterations, \
+             {arrays} array(s), {elems} elements",
+            ""
+        );
     }
+    println!();
+    println!(
+        "generated corpus ({} entries, seed {DEFAULT_CORPUS_SEED:#x}):",
+        corpus().len()
+    );
+    for e in corpus() {
+        let p = load_kernel(&e.name).expect("corpus entries load");
+        let (nests, iters, arrays, elems) = kernel_summary(&p);
+        println!("  {:<22} {}", e.name, e.description);
+        println!(
+            "  {:<22} {nests} nest(s), {iters} iterations, \
+             {arrays} array(s), {elems} elements",
+            ""
+        );
+    }
+    Ok(())
 }
 
 fn cmd_emit(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
-    print!("{}", emit_program(&program));
+    let program = cli_kernel(args)?;
+    if args.has("rust") {
+        print!("{}", emit_rust_program(&program));
+    } else {
+        print!("{}", emit_program(&program));
+    }
     Ok(())
 }
 
@@ -292,7 +435,7 @@ fn cross_validate(
 }
 
 fn cmd_explore(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
+    let program = cli_kernel(args)?;
     let array = pick_array(args, &program)?;
     let mut opts = ExploreOptions::default();
     if let Some(d) = args.flag("depth") {
@@ -388,7 +531,7 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_report(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
+    let program = cli_kernel(args)?;
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
     let (metrics_path, progress) = start_observability(args);
@@ -430,7 +573,7 @@ fn cmd_report(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_orders(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
+    let program = cli_kernel(args)?;
     let array = pick_array(args, &program)?;
     let limit: usize = args
         .flag("limit")
@@ -460,7 +603,7 @@ fn cmd_orders(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_curve(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
+    let program = cli_kernel(args)?;
     let array = pick_array(args, &program)?;
     let sizes: Vec<u64> = args
         .flag("sizes")
@@ -480,7 +623,7 @@ fn cmd_curve(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_codegen(args: &Args) -> Result<(), CliError> {
-    let program = load_kernel(args.kernel()?)?;
+    let program = cli_kernel(args)?;
     let array = pick_array(args, &program)?;
     let pair = match args.flag("pair") {
         Some(p) => {
@@ -506,10 +649,112 @@ fn cmd_codegen(args: &Args) -> Result<(), CliError> {
             .map(|d| d.parse().map_err(|_| usage("bad --band depth")))
             .transpose()?,
     };
+    if args.has("rust") {
+        // The Rust emitter covers the band template only (the Fig. 8
+        // pairwise forms stay C); it is always a self-check program.
+        let Some(depth) = spec.band else {
+            return Err(usage("--rust requires --band DEPTH"));
+        };
+        let (nest_idx, access_idx) = program
+            .nests()
+            .iter()
+            .enumerate()
+            .find_map(|(ni, nest)| {
+                nest.accesses()
+                    .iter()
+                    .position(|a| a.array() == array && a.kind() == AccessKind::Read)
+                    .map(|ai| (ni, ai))
+            })
+            .ok_or_else(|| format!("no read access to `{array}`"))?;
+        let code = emit_rust_selfcheck_band(&program, nest_idx, access_idx, depth)
+            .map_err(|e| e.to_string())?;
+        print!("{code}");
+        return Ok(());
+    }
     // The server's codegen op runs through the same function, so
     // serve-mode output is byte-identical to this subcommand's.
     let code = codegen_text(&program, &array, &spec)?;
     print!("{code}");
+    Ok(())
+}
+
+/// `bench-corpus`: sweeps the generated corpus through the symbolic-first
+/// explorer and writes `benchmarks/BENCH_corpus.json` — one bench per
+/// corpus kernel (explore latency over `--samples` runs, `elements` =
+/// iteration-domain size) plus a `symbolic` object with the sweep-wide
+/// symbolic-profile hit rate. The artifact is schema-checked by
+/// `tests/bench_artifacts.rs` and regenerated by `scripts/verify.sh`.
+fn cmd_bench_corpus(args: &Args) -> Result<(), CliError> {
+    use std::time::Instant;
+
+    let out_path = args
+        .flag("out")
+        .unwrap_or("benchmarks/BENCH_corpus.json")
+        .to_string();
+    let samples: usize = args
+        .flag("samples")
+        .map(|v| v.parse().map_err(|_| usage("bad --samples")))
+        .transpose()?
+        .unwrap_or(3);
+    if samples == 0 {
+        return Err(usage("--samples must be positive"));
+    }
+    datareuse_obs::set_metrics_enabled(true);
+    let opts = ExploreOptions::default();
+    let hits_before = datareuse_obs::counter_value(datareuse_obs::Counter::SymbolicHits);
+    let falls_before = datareuse_obs::counter_value(datareuse_obs::Counter::SimFallbacks);
+    let mut benches = Vec::new();
+    for entry in corpus() {
+        let program = load_kernel(&entry.name)?;
+        let array = default_array(&program)
+            .ok_or_else(|| format!("{}: no read accesses", entry.name))?;
+        let mut latencies: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let started = Instant::now();
+            explore_signal_explained(&program, &array, &opts, None)
+                .map_err(|e| format!("{}: {e}", entry.name))?;
+            latencies.push((started.elapsed().as_nanos() as u64).max(1));
+        }
+        latencies.sort_unstable();
+        let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+        let iters: u64 = program.nests().iter().map(|n| n.iteration_count()).sum();
+        benches.push(Json::obj([
+            ("id", Json::str(entry.name.as_str())),
+            ("samples", Json::UInt(latencies.len() as u64)),
+            ("min_ns", Json::UInt(latencies[0])),
+            ("median_ns", Json::UInt(latencies[latencies.len() / 2])),
+            ("mean_ns", Json::Num(mean)),
+            ("elements", Json::UInt(iters)),
+        ]));
+        eprintln!(
+            "bench-corpus: {:<26} median {:>9.1}us over {samples} samples",
+            entry.name,
+            latencies[latencies.len() / 2] as f64 / 1e3
+        );
+    }
+    let hits = datareuse_obs::counter_value(datareuse_obs::Counter::SymbolicHits) - hits_before;
+    let fallbacks =
+        datareuse_obs::counter_value(datareuse_obs::Counter::SimFallbacks) - falls_before;
+    let hit_rate = hits as f64 / ((hits + fallbacks) as f64).max(1.0);
+    let doc = Json::obj([
+        ("group", Json::str("corpus")),
+        ("corpus_seed", Json::UInt(DEFAULT_CORPUS_SEED)),
+        ("benches", Json::Arr(benches)),
+        (
+            "symbolic",
+            Json::obj([
+                ("hits", Json::UInt(hits)),
+                ("fallbacks", Json::UInt(fallbacks)),
+                ("hit_rate", Json::Num(hit_rate)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_string() + "\n")
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    eprintln!(
+        "bench-corpus: {} kernels, symbolic hit rate {hit_rate:.2}; written to {out_path}",
+        corpus().len()
+    );
     Ok(())
 }
 
@@ -944,10 +1189,7 @@ fn run() -> Result<(), CliError> {
     };
     let args = Args::parse(&argv[1..]);
     match cmd.as_str() {
-        "kernels" => {
-            cmd_kernels();
-            Ok(())
-        }
+        "kernels" => cmd_kernels(&args),
         "emit" => cmd_emit(&args),
         "explore" => cmd_explore(&args),
         "orders" => cmd_orders(&args),
@@ -956,6 +1198,7 @@ fn run() -> Result<(), CliError> {
         "codegen" => cmd_codegen(&args),
         "serve" => cmd_serve(&args),
         "bench-serve" => cmd_bench_serve(&args),
+        "bench-corpus" => cmd_bench_corpus(&args),
         "query" => cmd_query(&args),
         "top" => cmd_top(&args),
         other => Err(usage(format!("unknown command `{other}`"))),

@@ -36,6 +36,120 @@ fn kernels_lists_builtins() {
 }
 
 #[test]
+fn kernels_lists_the_generated_corpus_with_domain_summaries() {
+    let (ok, stdout, _) = datareuse(&["kernels"]);
+    assert!(ok);
+    for flagship in ["gen-matmul-32x32x32", "gen-conv2d-32x32x3", "gen-stencil2d-32x32"] {
+        assert!(stdout.contains(flagship), "missing `{flagship}` in:\n{stdout}");
+    }
+    // Every listing row carries its iteration-domain / footprint line.
+    assert!(stdout.contains("iterations"), "{stdout}");
+    assert!(stdout.contains("elements"), "{stdout}");
+}
+
+#[test]
+fn kernels_json_is_machine_readable_and_covers_both_registries() {
+    let (ok, stdout, stderr) = datareuse(&["kernels", "--json"]);
+    assert!(ok, "{stderr}");
+    let doc = Json::parse(stdout.trim()).expect("kernels JSON parses");
+    let builtins = doc.get("builtins").and_then(Json::as_array).expect("builtins");
+    assert!(builtins.len() >= 10);
+    let corpus = doc.get("corpus").and_then(Json::as_array).expect("corpus");
+    assert!(corpus.len() >= 36, "corpus has {} entries", corpus.len());
+    for entry in corpus {
+        let name = entry.get("name").and_then(Json::as_str).expect("name");
+        assert!(name.starts_with("gen-"), "{name}");
+        assert!(entry.get("expr").and_then(Json::as_str).is_some(), "{name}: no expr");
+        assert!(
+            entry.get("iterations").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "{name}: empty domain"
+        );
+        let arrays = entry.get("arrays").and_then(Json::as_array).expect("arrays");
+        assert!(!arrays.is_empty(), "{name}: no array footprint");
+    }
+}
+
+#[test]
+fn inline_expressions_explore_like_builtin_kernels() {
+    // Positional expression operand.
+    let (ok, stdout, stderr) =
+        datareuse(&["explore", "C[i,j] += A[i,k] * B[k,j]", "--array", "A"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("signal `A`"), "{stdout}");
+    // Same program through --expr; matmul at the default extent is the
+    // builtin matmul, so the reports must agree.
+    let (ok2, stdout2, _) =
+        datareuse(&["explore", "--expr", "C[i,j] += A[i,k] * B[k,j]", "--array", "A", "--json"]);
+    assert!(ok2);
+    let (ok3, stdout3, _) = datareuse(&["explore", "matmul", "--array", "A", "--json"]);
+    assert!(ok3);
+    assert_eq!(stdout2, stdout3, "expression-derived matmul diverges from builtin");
+}
+
+#[test]
+fn expression_parse_errors_print_a_caret_snippet_and_exit_2() {
+    let (code, stderr) = exit_code_of(&["explore", "C[i,j] += A[i,k * B[k,j]"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("1:17"), "no line:column in: {stderr}");
+    assert!(
+        stderr.lines().any(|l| l.trim_end().ends_with('^')),
+        "no caret line in: {stderr}"
+    );
+    assert!(stderr.contains("C[i,j] += A[i,k * B[k,j]"), "{stderr}");
+    assert!(stderr.contains("usage: datareuse"), "{stderr}");
+}
+
+#[test]
+fn emit_rust_prints_a_runnable_program() {
+    let (ok, stdout, _) = datareuse(&["emit", "gen-matmul-32x32x32", "--rust"]);
+    assert!(ok);
+    assert!(stdout.contains("fn main() {"), "{stdout}");
+    assert!(stdout.contains("let mut A: Vec<u16>"), "{stdout}");
+    assert!(stdout.contains("println!(\"OK {checksum}\");"), "{stdout}");
+}
+
+#[test]
+fn codegen_rust_band_emits_a_selfcheck_program() {
+    let (ok, stdout, stderr) = datareuse(&[
+        "codegen",
+        "gen-conv2d-32x32x3",
+        "--array",
+        "image",
+        "--band",
+        "1",
+        "--rust",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fn run_original"), "{stdout}");
+    assert!(stdout.contains("fn run_transformed"), "{stdout}");
+    assert!(stdout.contains("MISMATCH"), "{stdout}");
+    // --rust without --band is a usage error.
+    let (code, stderr) = exit_code_of(&["codegen", "matmul", "--array", "A", "--rust"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("--band"), "{stderr}");
+}
+
+#[test]
+fn bench_corpus_writes_a_schema_conforming_artifact() {
+    let path = temp_path("bench_corpus.json");
+    let (ok, _, stderr) = datareuse(&[
+        "bench-corpus",
+        "--samples",
+        "1",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).expect("artifact parses");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(doc.get("group").and_then(Json::as_str), Some("corpus"));
+    let benches = doc.get("benches").and_then(Json::as_array).expect("benches");
+    assert!(benches.len() >= 36);
+    let symbolic = doc.get("symbolic").expect("symbolic summary");
+    assert!(symbolic.get("hit_rate").and_then(Json::as_f64).expect("hit_rate") >= 0.99);
+}
+
+#[test]
 fn emit_prints_c_for_builtin() {
     let (ok, stdout, _) = datareuse(&["emit", "me-small"]);
     assert!(ok);

@@ -135,6 +135,25 @@ fn concurrent_clients_get_results_byte_identical_to_the_one_shot_cli() {
 }
 
 #[test]
+fn expression_kernels_round_trip_byte_identical_to_the_one_shot_cli() {
+    // An inline einsum expression must flow parse → lower →
+    // symbolic-first explore identically whether it arrives as a CLI
+    // operand or over the wire as a serve op.
+    let expr = "C[i,j] += A[i,k] * B[k,j]";
+    let expected = one_shot_stdout(&["explore", expr, "--json"]);
+    let expected = expected.trim();
+    let server = ServerProc::spawn(&[]);
+    let request = format!(r#"{{"op":"explore","kernel":"{expr}","id":7}}"#);
+    let responses = exchange(&server.addr, &[&request]);
+    let doc = &responses[0];
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc}");
+    assert_eq!(doc.get("id").and_then(Json::as_u64), Some(7));
+    let result = doc.get("result").expect("result present").to_string();
+    assert_eq!(result, expected, "served expression result differs from CLI output");
+    server.shutdown();
+}
+
+#[test]
 fn repeated_queries_hit_the_cache_and_the_counters_prove_it() {
     let metrics = std::env::temp_dir().join(format!(
         "datareuse_serve_metrics_{}.json",

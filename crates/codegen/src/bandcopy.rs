@@ -15,21 +15,33 @@
 //! carrier step.
 
 use datareuse_core::{footprint_levels, PairGeometry};
-use datareuse_loopir::Program;
+use datareuse_loopir::{AffineExpr, Program};
 
 use crate::ctext::{c_type, CWriter};
 use crate::schedule::ScheduleError;
 
-/// Geometry of one band dimension.
-struct BandDim {
+/// Geometry of one band dimension, language-neutral: the C emitter in
+/// this module and the Rust emitter in [`crate::rustgen`] both render
+/// from it.
+pub(crate) struct BandDim {
     /// Window width (dense value count of the inner-restricted index).
-    width: i64,
+    pub width: i64,
     /// Shift per carrier iteration (carrier coefficient).
-    shift: i64,
-    /// Base expression over outer + carrier iterators (C text).
-    base: String,
-    /// Inner-iterator offset expression relative to the base (C text).
-    offset: String,
+    pub shift: i64,
+    /// Base expression over outer + carrier iterators.
+    pub base: AffineExpr,
+    /// Inner-iterator offset expression relative to the base.
+    pub offset: AffineExpr,
+}
+
+/// The full band geometry of one footprint-level copy-candidate.
+pub(crate) struct BandGeometry {
+    /// One entry per array dimension.
+    pub dims: Vec<BandDim>,
+    /// Candidate size in elements (product of the widths).
+    pub size: u64,
+    /// The candidate's reuse factor `F_R`.
+    pub reuse_factor: f64,
 }
 
 /// Emits C code introducing the footprint-level copy-candidate at `depth`
@@ -60,6 +72,19 @@ pub fn emit_band_copy(
     access: usize,
     depth: usize,
 ) -> Result<String, ScheduleError> {
+    let geometry = band_geometry(program, nest, access, depth)?;
+    emit_band_copy_c(program, nest, access, depth, &geometry)
+}
+
+/// Validates the candidate and computes the band geometry shared by the
+/// C and Rust emitters: per-dimension window width, per-carrier shift,
+/// and the base/offset expressions of the sliding window.
+pub(crate) fn band_geometry(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    depth: usize,
+) -> Result<BandGeometry, ScheduleError> {
     let raw_nest = program
         .nests()
         .get(nest)
@@ -80,7 +105,6 @@ pub fn emit_band_copy(
     let norm = raw_nest.normalized();
     let loops = norm.loops();
     let acc = &norm.accesses()[access];
-    let decl = program.array(acc.array()).expect("validated program");
     let inner_names: Vec<&str> = loops[depth..].iter().map(|l| l.name()).collect();
     let carrier = &loops[depth - 1];
 
@@ -130,8 +154,8 @@ pub fn emit_band_copy(
         dims.push(BandDim {
             width,
             shift,
-            base: (base + lo).to_string(),
-            offset: (inner_part + (-lo)).to_string(),
+            base: base + lo,
+            offset: inner_part + (-lo),
         });
     }
     if shifting > 1 {
@@ -142,14 +166,34 @@ pub fn emit_band_copy(
         level.size,
         "band dims must reproduce the candidate size"
     );
+    Ok(BandGeometry {
+        dims,
+        size: level.size,
+        reuse_factor: level.reuse_factor(),
+    })
+}
+
+/// Renders the C template from a validated band geometry.
+fn emit_band_copy_c(
+    program: &Program,
+    nest: usize,
+    access: usize,
+    depth: usize,
+    geometry: &BandGeometry,
+) -> Result<String, ScheduleError> {
+    let norm = program.nests()[nest].normalized();
+    let loops = norm.loops();
+    let acc = &norm.accesses()[access];
+    let decl = program.array(acc.array()).expect("validated program");
+    let carrier = &loops[depth - 1];
+    let dims = &geometry.dims;
 
     let band = format!("{}_band", acc.array());
     let bits = decl.elem_bits();
     let mut w = CWriter::new();
     w.line(format!(
         "/* footprint-level copy-candidate (depth {depth}): {} elements, F_R = {:.2} */",
-        level.size,
-        level.reuse_factor()
+        geometry.size, geometry.reuse_factor
     ));
     let band_dims: String = dims.iter().map(|d| format!("[{}]", d.width)).collect();
     w.line(format!("{} {band}{band_dims};", c_type(bits)));
@@ -194,7 +238,7 @@ pub fn emit_band_copy(
         .map(|(d, bd)| format!("[({}) + w{d}]", bd.base))
         .collect();
     w.line(format!("{band}{band_slot} = {}{src_slot};", acc.array()));
-    for _ in &dims {
+    for _ in dims {
         w.close();
     }
     // Inner loops with the rewritten access.

@@ -8,6 +8,9 @@
 //! machinery to *prove* the generated copy discipline correct:
 //!
 //! - [`emit_program`] — C text for the original loop nests;
+//! - [`emit_rust_program`] / [`emit_rust_selfcheck_band`] — the same
+//!   programs as runnable Rust, so the tests can compile and execute the
+//!   generated code with nothing but `rustc`;
 //! - [`emit_transformed`] — the Fig. 8 copy-candidate template, with the
 //!   partial-reuse, bypass (Section 6.2) and single-assignment
 //!   (Section 6.1) variants;
@@ -37,6 +40,7 @@ mod adopt;
 mod bandcopy;
 mod ctext;
 mod gnuplot;
+mod rustgen;
 mod schedule;
 mod selfcheck;
 mod template;
@@ -45,6 +49,7 @@ pub use adopt::emit_transformed_adopt;
 pub use bandcopy::emit_band_copy;
 pub use ctext::{c_expr, c_type, emit_program, CWriter};
 pub use gnuplot::{gnuplot_script, Series};
+pub use rustgen::{emit_rust_program, emit_rust_selfcheck_band, rust_type};
 pub use schedule::{run_schedule, ScheduleError, ScheduleReport, Strategy};
 pub use selfcheck::{emit_selfcheck, emit_selfcheck_adopt, emit_selfcheck_band};
 pub use template::{emit_transformed, verify_fig8_addressing, Fig8Report, TemplateOptions};

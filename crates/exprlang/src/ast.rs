@@ -1,0 +1,81 @@
+//! The expression-language AST: what one einsum statement says, before
+//! domain inference turns it into loops and array declarations.
+
+use std::collections::BTreeMap;
+
+use datareuse_loopir::AffineExpr;
+
+/// A source position (1-based line and column), carried by every AST
+/// node that can still fail during lowering so diagnostics point at the
+/// offending token rather than the whole statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Pos {
+    pub line: usize,
+    pub column: usize,
+}
+
+/// One indexed tensor occurrence, e.g. `A[i,k]` or `x[n - t + 63]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorRef {
+    pub(crate) name: String,
+    pub(crate) indices: Vec<AffineExpr>,
+    pub(crate) pos: Pos,
+}
+
+impl TensorRef {
+    /// The array name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The affine index expression of each dimension.
+    pub fn indices(&self) -> &[AffineExpr] {
+        &self.indices
+    }
+}
+
+/// One einsum statement: `output (+=|=) input (* input)* (~ order)?
+/// (where clauses)?`.
+///
+/// Statements are produced by [`crate::parse_statements`] and consumed
+/// by [`crate::lower`]; the accessors exist so tools (the CLI `kernels`
+/// listing, tests) can inspect the inferred domain without lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    pub(crate) output: TensorRef,
+    pub(crate) accumulate: bool,
+    pub(crate) inputs: Vec<TensorRef>,
+    /// Loop order from `~`, with the position of each name.
+    pub(crate) order: Option<Vec<(String, Pos)>>,
+    /// Iterator extents from `where i=N` clauses.
+    pub(crate) extents: BTreeMap<String, (i64, Pos)>,
+    /// Array element widths from `where A:BITS` clauses.
+    pub(crate) bits: BTreeMap<String, (u32, Pos)>,
+    /// Every iterator mentioned in an index expression, in order of
+    /// first appearance (output indices first, then inputs left to
+    /// right) — the default loop order.
+    pub(crate) iterators: Vec<String>,
+}
+
+impl Statement {
+    /// The written output tensor.
+    pub fn output(&self) -> &TensorRef {
+        &self.output
+    }
+
+    /// The read input tensors, left to right.
+    pub fn inputs(&self) -> &[TensorRef] {
+        &self.inputs
+    }
+
+    /// Whether the statement accumulates (`+=`) rather than assigns.
+    pub fn is_accumulate(&self) -> bool {
+        self.accumulate
+    }
+
+    /// The iterators of the statement in first-appearance order (the
+    /// default loop order when no `~` clause is given).
+    pub fn iterators(&self) -> &[String] {
+        &self.iterators
+    }
+}

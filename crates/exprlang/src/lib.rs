@@ -1,0 +1,147 @@
+//! # datareuse-exprlang
+//!
+//! Einsum-style array-expression front end for the `datareuse` project
+//! (reproduction of the DATE 2002 data-reuse exploration paper).
+//!
+//! The paper's exploration step consumes *read accesses with affine
+//! index expressions in nested loops*; this crate lets any tensor
+//! contraction or stencil reach that IR from a one-line description:
+//!
+//! ```text
+//! C[i,j] += A[i,k] * B[k,j] ~ i j k  where i=32, j=32, k=32
+//! ```
+//!
+//! The pipeline has three stages, each with its own module:
+//!
+//! 1. **parse** ([`parse_statements`]) — a lexer and recursive-descent
+//!    parser producing [`Statement`]s, with line/column diagnostics in
+//!    the shared [`ParseNestError`] shape;
+//! 2. **domain inference** — iterators are collected in first-appearance
+//!    order, extents come from the `where` clause (default
+//!    [`DEFAULT_EXTENT`]), and array extents are inferred per dimension
+//!    as the maximum reachable index plus one;
+//! 3. **lowering** ([`lower`]) — each statement becomes one
+//!    [`LoopNest`](datareuse_loopir::LoopNest): reads in right-hand-side
+//!    order followed by a single write of the output, so the lowered
+//!    nest of `C[i,j] += A[i,k] * B[k,j]` is *identical* to the
+//!    hand-coded `matmul` kernel and flows through the symbolic-first
+//!    exploration unchanged.
+//!
+//! [`parse_expression`] runs all three stages.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program := stmt (";" stmt)* ";"?
+//! stmt    := tensor ("+=" | "=") tensor ("*" tensor)*
+//!            ("~" order)? ("where" clause ("," clause)*)?
+//! tensor  := IDENT "[" expr ("," expr)* "]"
+//! order   := IDENT ("," IDENT)*      -- or one word like `ijk`, split
+//!                                       into single-letter iterators
+//! clause  := IDENT "=" INT           -- iterator extent (loop 0..INT-1)
+//!          | IDENT ":" INT           -- array element width in bits
+//! expr    := affine arithmetic over iterators: +, -, *, parentheses
+//! ```
+//!
+//! Defaults: unmentioned iterators get extent [`DEFAULT_EXTENT`]; arrays
+//! that are only read are 16-bit, the written output is 32-bit (matching
+//! the hand-coded kernel library). Comments run from `#` or `//` to end
+//! of line.
+//!
+//! # Examples
+//!
+//! ```
+//! use datareuse_exprlang::parse_expression;
+//!
+//! let program = parse_expression(
+//!     "C[i,j] += A[i,k] * B[k,j] ~ i j k  where i=8, j=8, k=8",
+//! ).unwrap();
+//! assert_eq!(program.nests()[0].depth(), 3);
+//! assert_eq!(program.array("A").unwrap().extents(), &[8, 8]);
+//!
+//! // A shifted-index FIR: the x window is inferred as outputs+taps-1.
+//! let fir = parse_expression("y[n] += x[n + t] * h[t] where n=64, t=8").unwrap();
+//! assert_eq!(fir.array("x").unwrap().extents(), &[71]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod lower;
+mod parse;
+
+pub use ast::{Statement, TensorRef};
+pub use datareuse_loopir::ParseNestError;
+pub use lower::{lower, DEFAULT_EXTENT};
+pub use parse::parse_statements;
+
+use datareuse_loopir::Program;
+
+/// Parses and lowers an expression program in one call: the einsum
+/// source becomes a validated [`Program`] ready for exploration.
+///
+/// # Errors
+///
+/// A [`ParseNestError`] carrying the 1-based line and column of the
+/// offending token, for both syntax errors and domain-inference errors
+/// (an index that can reach a negative value, an unknown iterator in
+/// the `~` order, conflicting array shapes across statements).
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_exprlang::parse_expression;
+///
+/// let e = parse_expression("C[i,j] += A[i,k * B[k,j]").unwrap_err();
+/// assert_eq!(e.line, 1);
+/// assert!(e.column > 1);
+/// ```
+pub fn parse_expression(src: &str) -> Result<Program, ParseNestError> {
+    lower(&parse_statements(src)?)
+}
+
+/// A quick syntactic test for "is this kernel argument an expression
+/// rather than a registered name or a `.dr` file path?".
+///
+/// Expressions always contain an indexed tensor on the left of `=` or
+/// `+=`; names and paths never contain both `[` and `=`.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_exprlang::looks_like_expression;
+///
+/// assert!(looks_like_expression("C[i,j] += A[i,k] * B[k,j]"));
+/// assert!(looks_like_expression("y[i] = x[i]"));
+/// assert!(!looks_like_expression("me-small"));
+/// assert!(!looks_like_expression("kernels/window.dr"));
+/// ```
+pub fn looks_like_expression(src: &str) -> bool {
+    src.contains('[') && src.contains('=')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_does_not_trip_on_paths_or_names() {
+        for name in ["me", "fir", "/tmp/a.dr", "a=b", "x[3]"] {
+            assert!(!looks_like_expression(name), "{name}");
+        }
+        assert!(looks_like_expression("out[y,x] += img[y+i, x+j] where i=3, j=3"));
+    }
+
+    #[test]
+    fn parse_expression_round_trips_a_conv() {
+        let p = parse_expression(
+            "out[y,x] += image[y+i, x+j] * coef[i,j] where y=16, x=16, i=3, j=3, image:8",
+        )
+        .unwrap();
+        assert_eq!(p.array("image").unwrap().extents(), &[18, 18]);
+        assert_eq!(p.array("image").unwrap().elem_bits(), 8);
+        assert_eq!(p.array("out").unwrap().elem_bits(), 32);
+        assert_eq!(p.nests()[0].accesses().len(), 3);
+    }
+}

@@ -11,7 +11,15 @@
 //!   (paper Section 6.4), in both the interleaved and the pre-processed
 //!   series-of-loops forms;
 //! - [`Conv2d`], [`Sobel`], [`Downsample`], [`MatMul`], [`Fir`] — additional
-//!   loop-dominated kernels for tests, examples and ablations.
+//!   loop-dominated kernels for tests, examples and ablations;
+//! - the **generated corpus** ([`corpus`], [`generate_corpus`],
+//!   [`DEFAULT_CORPUS_SEED`]) — `gen-*` workloads minted as
+//!   `datareuse-exprlang` einsum expressions (matmul, conv1d, conv2d,
+//!   attention score, LU update, 5-point stencil at several sizes), a
+//!   pure function of the seed;
+//! - [`load_kernel`] — the one resolution path every CLI command and
+//!   serve op uses: builtin name → corpus name → inline einsum
+//!   expression → `.dr` file path.
 //!
 //! # Examples
 //!
@@ -27,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod corpus;
 mod fir;
 mod matmul;
 mod mc;
@@ -35,6 +44,7 @@ mod registry;
 mod stencils;
 mod susan;
 
+pub use corpus::{corpus, corpus_kernel, generate_corpus, CorpusEntry, DEFAULT_CORPUS_SEED};
 pub use fir::Fir;
 pub use registry::{builtin_kernel, load_kernel, BUILTINS};
 pub use matmul::{MatMul, MatMulOrder};

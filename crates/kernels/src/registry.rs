@@ -7,8 +7,11 @@
 //! everywhere and the server's responses stay byte-identical to the
 //! equivalent CLI invocation.
 
+use datareuse_exprlang::{looks_like_expression, parse_expression};
 use datareuse_loopir::{parse_program, Program};
+use datareuse_obs::{add, Counter};
 
+use crate::corpus::corpus_kernel;
 use crate::{Conv2d, Downsample, Fir, MatMul, MotionEstimation, Sobel, Susan};
 
 /// The built-in kernels, as `(name, description)` pairs in display order.
@@ -64,23 +67,45 @@ pub fn builtin_kernel(name: &str) -> Option<Program> {
     }
 }
 
-/// Loads a kernel by built-in name, falling back to reading `name` as a
-/// path to a `.dr` DSL file.
+/// Loads a kernel by name: a built-in, a generated-corpus entry, an
+/// inline einsum expression (anything that
+/// [`looks_like_expression`]), or a path to a `.dr` DSL file — in that
+/// order.
+///
+/// Every consumer of kernels resolves through this one function (the
+/// CLI subcommands and the serve ops), so an expression string in a
+/// served request's `kernel` field means the same program — and gets
+/// the same canonical cache key — as the equivalent one-shot CLI run.
 ///
 /// # Errors
 ///
-/// A human-readable message when the file cannot be read or fails to
-/// parse (prefixed with the path, as the CLI has always reported it).
+/// A human-readable message when the file cannot be read or the source
+/// fails to parse; expression errors keep the `line:column:` prefix of
+/// [`datareuse_exprlang::ParseNestError`].
 ///
 /// # Examples
 ///
 /// ```
 /// let p = datareuse_kernels::load_kernel("me-small").unwrap();
 /// assert!(!p.nests().is_empty());
+/// let p = datareuse_kernels::load_kernel("gen-matmul-32x32x32").unwrap();
+/// assert_eq!(p.nests()[0].depth(), 3);
+/// let p = datareuse_kernels::load_kernel("y[n] += x[n+t] * h[t] where n=64, t=8").unwrap();
+/// assert_eq!(p.array("x").unwrap().extents(), &[71]);
 /// assert!(datareuse_kernels::load_kernel("/no/such/file.dr").is_err());
 /// ```
 pub fn load_kernel(name: &str) -> Result<Program, String> {
     if let Some(program) = builtin_kernel(name) {
+        return Ok(program);
+    }
+    if let Some(program) = corpus_kernel(name) {
+        add(Counter::CorpusKernelsLoaded, 1);
+        return Ok(program);
+    }
+    if looks_like_expression(name) {
+        let program =
+            parse_expression(name).map_err(|e| format!("expression:{e}"))?;
+        add(Counter::ExprKernelsLowered, 1);
         return Ok(program);
     }
     let src =
@@ -105,5 +130,19 @@ mod tests {
         assert!(builtin_kernel("not-a-kernel").is_none());
         let e = load_kernel("/no/such/file.dr").unwrap_err();
         assert!(e.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn expression_errors_keep_the_line_column_prefix() {
+        let e = load_kernel("C[i,j] += A[i,k * B[k,j]").unwrap_err();
+        assert!(e.starts_with("expression:1:17:"), "{e}");
+    }
+
+    #[test]
+    fn every_corpus_entry_resolves_through_the_registry() {
+        for entry in crate::corpus() {
+            let p = load_kernel(&entry.name).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert!(!p.nests().is_empty(), "{}", entry.name);
+        }
     }
 }

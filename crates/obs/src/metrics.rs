@@ -33,6 +33,8 @@ pub enum Counter {
     ExploreCandidatesPruned,
     SymbolicHits,
     SimFallbacks,
+    ExprKernelsLowered,
+    CorpusKernelsLoaded,
     ChainsEnumerated,
     ChainsEvaluated,
     ParetoPointsKept,
@@ -61,13 +63,15 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 32] = [
         Counter::ExploreGroups,
         Counter::ExplorePairsSwept,
         Counter::ExploreCandidatesGenerated,
         Counter::ExploreCandidatesPruned,
         Counter::SymbolicHits,
         Counter::SimFallbacks,
+        Counter::ExprKernelsLowered,
+        Counter::CorpusKernelsLoaded,
         Counter::ChainsEnumerated,
         Counter::ChainsEvaluated,
         Counter::ParetoPointsKept,
@@ -103,6 +107,8 @@ impl Counter {
             Counter::ExploreCandidatesPruned => "explore_candidates_pruned",
             Counter::SymbolicHits => "symbolic_hits",
             Counter::SimFallbacks => "sim_fallbacks",
+            Counter::ExprKernelsLowered => "expr_kernels_lowered",
+            Counter::CorpusKernelsLoaded => "corpus_kernels_loaded",
             Counter::ChainsEnumerated => "chains_enumerated",
             Counter::ChainsEvaluated => "chains_evaluated",
             Counter::ParetoPointsKept => "pareto_points_kept",

@@ -216,9 +216,9 @@ echo "cross-validation gate passed (me-small, fir)"
 # checked-in BENCH_<group>.json under benchmarks/ that at least looks
 # like a harness artifact (the full Json::parse + schema check runs in
 # tests/bench_artifacts.rs under `cargo test` above).
-for group in analytical_vs_simulation batch_and_hierarchy model_stages \
-    pareto_and_codegen policies serve_latency serve_ops serve_scaling \
-    serve_throughput stack_distances symbolic_vs_simulation; do
+for group in analytical_vs_simulation batch_and_hierarchy corpus \
+    model_stages pareto_and_codegen policies serve_latency serve_ops \
+    serve_scaling serve_throughput stack_distances symbolic_vs_simulation; do
     ARTIFACT="benchmarks/BENCH_$group.json"
     if ! [ -s "$ARTIFACT" ]; then
         echo "bench gate: missing committed baseline $ARTIFACT" >&2
@@ -273,5 +273,33 @@ for needle in '"group":"serve_scaling"' '"id":"conns_00200"' \
 done
 rm -f "$SCALING_FRESH"
 echo "serve-scaling guard passed (fresh 200-connection ramp)"
+
+# Rust-selfcheck gate: the Rust emitter's output must actually compile
+# and run. For three corpus kernels, emit the self-checking band-copy
+# program (original nest vs transformed access stream, checksummed),
+# build it with bare rustc, and require the OK verdict. The same check
+# runs wider in tests/rust_selfcheck.rs; this proves it on the shipped
+# binary's `codegen --rust` path.
+RUSTGEN_DIR="$(mktemp -d)"
+for spec in "gen-matmul-32x32x32 A" "gen-conv2d-32x32x3 image" \
+    "gen-stencil2d-32x32 img"; do
+    kernel="${spec% *}"
+    array="${spec#* }"
+    RS="$RUSTGEN_DIR/check.rs"
+    BIN="$RUSTGEN_DIR/check"
+    target/release/datareuse codegen "$kernel" --array "$array" \
+        --band 1 --rust > "$RS"
+    rustc -O --edition 2021 -o "$BIN" "$RS"
+    VERDICT="$("$BIN")"
+    case "$VERDICT" in
+        OK\ *) ;;
+        *)
+            echo "rust-selfcheck gate: $kernel band copy failed: $VERDICT" >&2
+            exit 1
+            ;;
+    esac
+done
+rm -rf "$RUSTGEN_DIR"
+echo "rust-selfcheck gate passed (3 corpus kernels compiled and verified)"
 
 echo "tier-1 verification passed"

@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`loopir`] | `datareuse-loopir` | loop-nest IR, affine expressions, DSL parser, traces |
+//! | [`exprlang`] | `datareuse-exprlang` | einsum-style expression front end: parse, infer domains, lower |
 //! | [`trace`] | `datareuse-trace` | Belady OPT / LRU / FIFO simulators, reuse curves |
 //! | [`memmodel`] | `datareuse-memmodel` | SRAM power/area models, chain costs (eq. 1–3), Pareto |
 //! | [`model`] | `datareuse-core` | the paper's analytical model (eq. 4–22) and exploration |
@@ -48,6 +49,7 @@
 
 pub use datareuse_codegen as codegen;
 pub use datareuse_core as model;
+pub use datareuse_exprlang as exprlang;
 pub use datareuse_obs as obs;
 pub use datareuse_kernels as kernels;
 pub use datareuse_loopir as loopir;

@@ -92,6 +92,7 @@ fn symbolic_baseline_covers_every_bench_group() {
     for group in [
         "analytical_vs_simulation",
         "batch_and_hierarchy",
+        "corpus",
         "model_stages",
         "pareto_and_codegen",
         "policies",
@@ -137,6 +138,46 @@ fn the_scaling_baseline_reports_a_saturation_point_at_10k_connections() {
             .unwrap_or_else(|| panic!("saturation missing {field}"));
         assert!(v > 0.0, "non-positive saturation {field}");
     }
+}
+
+#[test]
+fn the_corpus_baseline_sweeps_the_generated_workloads_symbolically() {
+    let artifacts = artifacts();
+    let (_, corpus) = artifacts
+        .iter()
+        .find(|(n, _)| n == "BENCH_corpus.json")
+        .expect("corpus baseline committed");
+    // One bench per generated kernel, with the iteration-domain size as
+    // the `elements` axis.
+    let benches = corpus
+        .get("benches")
+        .and_then(Json::as_array)
+        .expect("benches array");
+    assert!(
+        benches.len() >= 36,
+        "corpus sweep covers only {} kernels",
+        benches.len()
+    );
+    for bench in benches {
+        let id = bench.get("id").and_then(Json::as_str).expect("bench id");
+        assert!(id.starts_with("gen-"), "non-corpus bench id `{id}`");
+        let elements = bench.get("elements").and_then(Json::as_f64).expect("elements");
+        assert!(elements > 0.0, "{id}: empty iteration domain");
+    }
+    // The sweep must be served by the symbolic engine: the einsum
+    // lowerer only emits conforming affine nests, so a fallback means a
+    // regression in either the lowerer or the dispatch boundary.
+    let symbolic = corpus.get("symbolic").expect("symbolic summary");
+    let hits = symbolic.get("hits").and_then(Json::as_f64).expect("hits");
+    let hit_rate = symbolic
+        .get("hit_rate")
+        .and_then(Json::as_f64)
+        .expect("hit_rate");
+    assert!(hits > 0.0, "no symbolic hits recorded");
+    assert!(
+        hit_rate >= 0.99,
+        "symbolic hit rate {hit_rate} below 0.99 over the corpus"
+    );
 }
 
 #[test]

@@ -121,6 +121,41 @@ fn every_query_exit_code_has_a_table_row() {
 }
 
 #[test]
+fn the_usage_text_and_docs_cover_the_expression_workflow() {
+    // The usage summary is the authoritative surface of the CLI; the
+    // expression front end's flags and subcommands must appear there.
+    let cli = repo_file("crates/cli/src/main.rs");
+    let usage_start = cli.find("const USAGE:").expect("usage text present");
+    let usage = &cli[usage_start..cli[usage_start..]
+        .find("\";")
+        .map_or(cli.len(), |e| usage_start + e)];
+    for needle in ["bench-corpus", "--expr", "--rust", "kernels [--json]"] {
+        assert!(
+            usage.contains(needle),
+            "usage text does not mention `{needle}`"
+        );
+    }
+    // The quickstart and architecture docs must describe the same
+    // workflow the code ships.
+    let readme = repo_file("README.md");
+    for needle in ["C[i,j] += A[i,k] * B[k,j]", "gen-matmul-32x32x32", "--expr"] {
+        assert!(readme.contains(needle), "README.md does not show `{needle}`");
+    }
+    let arch = repo_file("docs/ARCHITECTURE.md");
+    for needle in ["exprlang", "corpus"] {
+        assert!(
+            arch.contains(needle),
+            "docs/ARCHITECTURE.md does not describe `{needle}`"
+        );
+    }
+    let experiments = repo_file("EXPERIMENTS.md");
+    assert!(
+        experiments.contains("bench-corpus"),
+        "EXPERIMENTS.md does not walk through the corpus sweep"
+    );
+}
+
+#[test]
 fn the_runbook_is_linked_from_the_readme_and_architecture_docs() {
     for (file, link) in [
         ("README.md", "docs/SERVING.md"),
