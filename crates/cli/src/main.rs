@@ -5,12 +5,15 @@
 //! datareuse emit    <kernel> [--rust]
 //! datareuse explore <kernel> --array NAME [--depth N] [--simulate] [--workingset]
 //!                   [--cross-validate] [--gnuplot FILE] [--json] [--explain FILE]
-//!                   [--metrics FILE] [--progress]
+//!                   [--metrics FILE] [--profile-out FILE] [--progress]
 //! datareuse curve   <kernel> --array NAME --sizes 8,64,512 [--policy opt|opt-bypass]
 //! datareuse orders  <kernel> --array NAME [--limit N]
 //! datareuse codegen <kernel> --array NAME [--pair O,I] [--strategy max|partial:G|bypass:G]
 //!                   [--selfcheck] [--single-assignment] [--adopt] [--band DEPTH] [--rust]
-//! datareuse report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
+//! datareuse report  <kernel> [--json] [--explain FILE] [--metrics FILE]
+//!                   [--profile-out FILE] [--progress]
+//! datareuse scorecard [--json] [--baseline FILE] [--update-baseline]
+//!                   [--bench-dir DIR]
 //! datareuse serve   [--addr HOST:PORT] [--threads N] [--loops N] [--queue-depth N]
 //!                   [--cache-entries N] [--cache-snapshot FILE] [--deadline-ms MS]
 //!                   [--metrics FILE] [--trace-out FILE] [--series-out FILE]
@@ -46,6 +49,16 @@
 //! additionally records request traces and writes them as Chrome
 //! trace-event JSON (loadable in Perfetto) when the server drains.
 //!
+//! `--profile-out FILE` additionally opens a root `run` span around the
+//! command and writes the span-derived self-time profile in collapsed-
+//! stack format (one `a;b;c SELF_NS` line, `flamegraph.pl`-compatible)
+//! when the command finishes; a `profile: wall_ns N` line on stderr
+//! reports the measured wall time the self times partition. `scorecard`
+//! folds every committed `benchmarks/BENCH_*.json` artifact plus a
+//! fresh smoke sweep into a `datareuse-scorecard-v1` document and, when
+//! a baseline (`benchmarks/SCORECARD.json` by default) exists, judges
+//! each metric `better`, `within-noise`, or `regressed` against it.
+//!
 //! `--explain FILE` runs the exploration through the audit sink and
 //! writes one NDJSON record per copy-candidate and per evaluated
 //! hierarchy — the `(c', b')` reuse vector, the eq. 1 `C_tot`/`C_R`/
@@ -67,7 +80,9 @@
 //! structured server errors to distinct codes: 3 for `timeout`, 4 for
 //! `overloaded`, and prints any attached flight-recorder tail to stderr;
 //! a `health` response maps its status to 5 (`degraded`) or 6
-//! (`failing`) so probes can alert without parsing JSON.
+//! (`failing`) so probes can alert without parsing JSON. `scorecard`
+//! exits 7 when any metric regresses past its noise band, which is what
+//! lets `scripts/verify.sh` gate on it.
 
 mod top;
 
@@ -96,8 +111,11 @@ const USAGE: &str = "usage: datareuse <command> [args]
   emit    <kernel> [--rust]     print the kernel as C (or runnable Rust)
   explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
                    [--workingset] [--cross-validate] [--gnuplot FILE]
-                   [--explain FILE] [--metrics FILE] [--progress]
-  report  <kernel> [--json] [--explain FILE] [--metrics FILE] [--progress]
+                   [--explain FILE] [--metrics FILE] [--profile-out FILE]
+                   [--progress]
+  report  <kernel> [--json] [--explain FILE] [--metrics FILE]
+                   [--profile-out FILE] [--progress]
+  scorecard [--json] [--baseline FILE] [--update-baseline] [--bench-dir DIR]
   orders  <kernel> [--array NAME] [--limit N]
   curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
   codegen <kernel> [--array NAME] [--pair O,I] [--strategy max|partial:G|bypass:G]
@@ -115,13 +133,14 @@ const USAGE: &str = "usage: datareuse <command> [args]
 (gen-matmul-32x32x32, ...), an inline einsum expression like
 'C[i,j] += A[i,k] * B[k,j]' (also via --expr EXPR), or a path to a .dr file.
 query exit codes: 0 ok, 1 transport/server error, 3 timeout, 4 overloaded,
-5 health degraded, 6 health failing.";
+5 health degraded, 6 health failing; scorecard exits 7 on a regression.";
 
 /// A CLI failure, split by whose fault it is: `Usage` is a malformed
 /// invocation (exit 2, prints the usage summary), `Runtime` is a
-/// failure of valid work (exit 1), and `Server` is a structured server
-/// error response carrying its own exit code (3 timeout, 4 overloaded)
-/// so scripts can distinguish retry-later refusals from hard failures.
+/// failure of valid work (exit 1), and `Server` is a structured failure
+/// carrying its own exit code (3 timeout, 4 overloaded, 7 scorecard
+/// regression) so scripts can distinguish retry-later refusals and
+/// regression verdicts from hard failures.
 enum CliError {
     Usage(String),
     Runtime(String),
@@ -332,18 +351,65 @@ fn cmd_emit(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Enables the metrics registry when `--metrics`/`--progress` is given.
-/// Returns the snapshot destination and the live narrator handle (kept
-/// alive by the caller for the duration of the command).
-fn start_observability(args: &Args) -> (Option<String>, Option<datareuse_obs::Progress>) {
+/// One command's observability lifecycle: `--metrics FILE` and
+/// `--profile-out FILE` enable the registry, `--progress` starts the
+/// live narrator, and a root `run` span brackets the command whenever a
+/// profile was requested so the exported self times partition the
+/// measured wall time. [`Observability::finish`] closes the span and
+/// writes the requested artifacts.
+struct Observability {
+    metrics_path: Option<String>,
+    profile_path: Option<String>,
+    progress: Option<datareuse_obs::Progress>,
+    run_span: Option<datareuse_obs::SpanGuard>,
+    started: std::time::Instant,
+}
+
+fn start_observability(args: &Args) -> Result<Observability, CliError> {
     let metrics_path = args.flag("metrics").map(str::to_string);
-    if metrics_path.is_some() {
+    let profile_path = match args.flag("profile-out") {
+        Some(path) => Some(path.to_string()),
+        None if args.has("profile-out") => {
+            return Err(usage("--profile-out expects a file path"));
+        }
+        None => None,
+    };
+    if metrics_path.is_some() || profile_path.is_some() {
         datareuse_obs::set_metrics_enabled(true);
     }
+    let run_span = profile_path.is_some().then(|| datareuse_obs::span("run"));
     let progress = args
         .has("progress")
         .then(|| datareuse_obs::Progress::start(std::time::Duration::from_secs(1)));
-    (metrics_path, progress)
+    Ok(Observability {
+        metrics_path,
+        profile_path,
+        progress,
+        run_span,
+        started: std::time::Instant::now(),
+    })
+}
+
+impl Observability {
+    /// Stops the narrator, closes the root `run` span, and writes the
+    /// profile and metrics artifacts if they were requested. The
+    /// `profile: wall_ns N` stderr line is the wall time the collapsed
+    /// stacks' self times must sum back to (pinned by the CLI gates).
+    fn finish(mut self) -> Result<(), String> {
+        self.progress.take();
+        self.run_span.take();
+        if let Some(path) = &self.profile_path {
+            let wall_ns = self.started.elapsed().as_nanos();
+            eprintln!("profile: wall_ns {wall_ns}");
+            std::fs::write(path, datareuse_obs::collapsed_stacks())
+                .map_err(|e| format!("cannot write profile to `{path}`: {e}"))?;
+            eprintln!("profile (collapsed stacks) written to {path}");
+        }
+        if let Some(path) = &self.metrics_path {
+            write_metrics(path)?;
+        }
+        Ok(())
+    }
 }
 
 /// Writes the metrics snapshot accumulated so far to `path`.
@@ -441,7 +507,7 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
     if let Some(d) = args.flag("depth") {
         opts.max_chain_depth = d.parse().map_err(|_| usage("bad --depth"))?;
     }
-    let (metrics_path, progress) = start_observability(args);
+    let obs = start_observability(args)?;
     let explain = explain_sink(args)?;
     let sink = explain.as_ref().map(|(_, s)| s);
     let ex = explore_signal_explained(&program, &array, &opts, sink).map_err(|e| e.to_string())?;
@@ -461,13 +527,10 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
     }
     if args.has("json") {
         println!("{}", report.to_json());
-        drop(progress);
         if let Some((path, s)) = &explain {
             write_explain(path, s)?;
         }
-        if let Some(path) = &metrics_path {
-            write_metrics(path)?;
-        }
+        obs.finish()?;
         return Ok(());
     }
     print!("{report}");
@@ -520,13 +583,10 @@ fn cmd_explore(args: &Args) -> Result<(), CliError> {
         std::fs::write(path, script).map_err(|e| e.to_string())?;
         println!("\ngnuplot script written to {path}");
     }
-    drop(progress);
     if let Some((path, s)) = &explain {
         write_explain(path, s)?;
     }
-    if let Some(path) = &metrics_path {
-        write_metrics(path)?;
-    }
+    obs.finish()?;
     Ok(())
 }
 
@@ -534,7 +594,7 @@ fn cmd_report(args: &Args) -> Result<(), CliError> {
     let program = cli_kernel(args)?;
     let opts = ExploreOptions::default();
     let tech = MemoryTechnology::new();
-    let (metrics_path, progress) = start_observability(args);
+    let obs = start_observability(args)?;
     let explain = explain_sink(args)?;
     let sink = explain.as_ref().map(|(_, s)| s);
     let explorations =
@@ -562,13 +622,10 @@ fn cmd_report(args: &Args) -> Result<(), CliError> {
             print!("{}", build(ex));
         }
     }
-    drop(progress);
     if let Some((path, s)) = &explain {
         write_explain(path, s)?;
     }
-    if let Some(path) = &metrics_path {
-        write_metrics(path)?;
-    }
+    obs.finish()?;
     Ok(())
 }
 
@@ -758,6 +815,187 @@ fn cmd_bench_corpus(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Reads every committed `BENCH_*.json` under `dir` as a `(group,
+/// parsed document)` pair, sorted by group name. Non-artifact files
+/// (including `SCORECARD.json`) are ignored.
+fn read_bench_artifacts(dir: &str) -> Result<Vec<(String, Json)>, CliError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read bench dir `{dir}`: {e}"))?;
+    let mut docs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read bench dir `{dir}`: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(group) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read `{dir}/{name}`: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+        docs.push((group.to_string(), doc));
+    }
+    if docs.is_empty() {
+        return Err(format!("no BENCH_*.json artifacts under `{dir}`").into());
+    }
+    docs.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(docs)
+}
+
+/// Runs the fresh smoke sweep the scorecard folds in alongside the
+/// committed artifacts: explore latency for two pinned kernels, the
+/// sweep's symbolic-profile hit rate, and agreement between the
+/// analytical `C_tot` and the independent trace length. Recorded
+/// through the process-global smoke registry so `reset_metrics` owns
+/// the state like every other observability surface.
+fn scorecard_smoke_sweep() -> Result<(), CliError> {
+    use datareuse_obs::{Counter, Direction, Metric, NOISE_RATE, NOISE_SMOKE};
+    datareuse_obs::set_metrics_enabled(true);
+    let opts = ExploreOptions::default();
+    let hits_before = datareuse_obs::counter_value(Counter::SymbolicHits);
+    let falls_before = datareuse_obs::counter_value(Counter::SimFallbacks);
+    let mut agree = true;
+    for name in ["fir", "me-small"] {
+        let program = load_kernel(name)?;
+        let array =
+            default_array(&program).ok_or_else(|| format!("{name}: no read accesses"))?;
+        let started = std::time::Instant::now();
+        let ex = explore_signal_explained(&program, &array, &opts, None)
+            .map_err(|e| format!("{name}: {e}"))?;
+        let elapsed = (started.elapsed().as_nanos() as f64).max(1.0);
+        agree &= read_addresses(&program, &array).len() as u64 == ex.c_tot;
+        datareuse_obs::record_smoke_metric(Metric::new(
+            format!("smoke_explore_{}_ns", name.replace('-', "_")),
+            elapsed,
+            NOISE_SMOKE,
+            Direction::LowerIsBetter,
+        ));
+    }
+    let hits = datareuse_obs::counter_value(Counter::SymbolicHits) - hits_before;
+    let falls = datareuse_obs::counter_value(Counter::SimFallbacks) - falls_before;
+    let rate = hits as f64 / ((hits + falls) as f64).max(1.0);
+    datareuse_obs::record_smoke_metric(Metric::new(
+        "smoke_symbolic_hit_rate",
+        rate,
+        NOISE_RATE,
+        Direction::HigherIsBetter,
+    ));
+    datareuse_obs::record_smoke_metric(Metric::new(
+        "smoke_symbolic_agreement",
+        if agree { 1.0 } else { 0.0 },
+        NOISE_RATE,
+        Direction::HigherIsBetter,
+    ));
+    Ok(())
+}
+
+/// Prints the human-readable scorecard table; with a baseline, each row
+/// carries its baseline value and verdict plus a closing tally line.
+fn print_scorecard_table(
+    card: &datareuse_obs::Scorecard,
+    baseline: Option<&datareuse_obs::Scorecard>,
+) {
+    use datareuse_obs::Verdict;
+    println!("datareuse scorecard ({} metrics)", card.metrics.len());
+    let Some(base) = baseline else {
+        for m in &card.metrics {
+            println!(
+                "  {:<32} {:>16.3}  ({}-is-better, noise {:.2})",
+                m.id,
+                m.value,
+                m.direction.word(),
+                m.noise
+            );
+        }
+        return;
+    };
+    let (mut better, mut within, mut regressed) = (0u64, 0u64, 0u64);
+    for (m, base_value, verdict) in card.compare(base) {
+        match verdict {
+            Some(Verdict::Better) => better += 1,
+            Some(Verdict::WithinNoise) => within += 1,
+            Some(Verdict::Regressed) => regressed += 1,
+            None => {}
+        }
+        println!(
+            "  {:<32} {:>16.3} {:>16} {:>14}",
+            m.id,
+            m.value,
+            base_value.map_or("-".to_string(), |b| format!("{b:.3}")),
+            verdict.map_or("new", Verdict::word),
+        );
+    }
+    println!("summary: {better} better, {within} within noise, {regressed} regressed");
+}
+
+/// `scorecard`: folds the committed bench artifacts plus a fresh smoke
+/// sweep into a `datareuse-scorecard-v1` document and judges it against
+/// the committed baseline. Any `regressed` verdict exits 7 — the code
+/// `scripts/verify.sh` gates on.
+fn cmd_scorecard(args: &Args) -> Result<(), CliError> {
+    use datareuse_obs::Scorecard;
+    let bench_dir = args.flag("bench-dir").unwrap_or("benchmarks");
+    let baseline_path = args.flag("baseline").unwrap_or("benchmarks/SCORECARD.json");
+    if args.has("baseline") && args.flag("baseline").is_none() {
+        return Err(usage("--baseline expects a file path"));
+    }
+    let artifacts = read_bench_artifacts(bench_dir)?;
+    scorecard_smoke_sweep()?;
+    let mut metrics = datareuse_obs::fold_bench_artifacts(&artifacts);
+    metrics.extend(datareuse_obs::smoke_metrics());
+    let card = Scorecard { metrics };
+    if args.has("update-baseline") {
+        std::fs::write(baseline_path, card.to_json().to_string() + "\n")
+            .map_err(|e| format!("cannot write `{baseline_path}`: {e}"))?;
+        eprintln!(
+            "scorecard: baseline ({} metrics) written to {baseline_path}",
+            card.metrics.len()
+        );
+        return Ok(());
+    }
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => {
+            let doc = Json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+            Some(Scorecard::from_json(&doc).map_err(|e| format!("{baseline_path}: {e}"))?)
+        }
+        // The default baseline not existing yet is not an error — the
+        // scorecard still prints, just without verdicts. An explicitly
+        // named baseline must exist.
+        Err(_) if !args.has("baseline") => None,
+        Err(e) => return Err(format!("cannot read baseline `{baseline_path}`: {e}").into()),
+    };
+    let Some(base) = &baseline else {
+        if args.has("json") {
+            println!("{}", card.to_json());
+        } else {
+            print_scorecard_table(&card, None);
+        }
+        eprintln!(
+            "scorecard: no baseline at {baseline_path}; \
+             run `datareuse scorecard --update-baseline` to create one"
+        );
+        return Ok(());
+    };
+    if args.has("json") {
+        println!("{}", card.compare_json(base));
+    } else {
+        print_scorecard_table(&card, Some(base));
+    }
+    let regressions = card.regressions(base);
+    if !regressions.is_empty() {
+        return Err(CliError::Server {
+            exit: 7,
+            msg: format!(
+                "scorecard: {} metric(s) regressed past the noise band: {}",
+                regressions.len(),
+                regressions.join(", ")
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut config = ServerConfig {
         addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
@@ -810,7 +1048,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         config.slo.max_queue_saturation = frac;
     }
     let series_path = args.flag("series-out").map(str::to_string);
-    let (metrics_path, progress) = start_observability(args);
+    let obs = start_observability(args)?;
     // Serving always records metrics: the `stats`/`prom` ops and the
     // flight recorder must have data even without `--metrics FILE`.
     datareuse_obs::set_metrics_enabled(true);
@@ -834,10 +1072,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     println!("datareuse-serve: listening on {addr}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.run()?;
-    drop(progress);
-    if let Some(path) = &metrics_path {
-        write_metrics(path)?;
-    }
+    obs.finish()?;
     if let Some(path) = &series_path {
         // The ring survives the drain; this is the full retained window
         // (up to SERIES_CAPACITY points), one NDJSON line per scrape.
@@ -1199,6 +1434,7 @@ fn run() -> Result<(), CliError> {
         "serve" => cmd_serve(&args),
         "bench-serve" => cmd_bench_serve(&args),
         "bench-corpus" => cmd_bench_corpus(&args),
+        "scorecard" => cmd_scorecard(&args),
         "query" => cmd_query(&args),
         "top" => cmd_top(&args),
         other => Err(usage(format!("unknown command `{other}`"))),
@@ -1212,11 +1448,19 @@ fn cmd_top(args: &Args) -> Result<(), CliError> {
         .map(|v| v.parse().map_err(|_| usage("bad --interval-ms")))
         .transpose()?
         .unwrap_or(1000);
+    // The dashboard's verdict strip judges the live window p99 against
+    // the committed scorecard baseline when one is present in the
+    // working directory; absence just renders a no-baseline strip.
+    let baseline = std::fs::read_to_string("benchmarks/SCORECARD.json")
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| datareuse_obs::Scorecard::from_json(&doc).ok());
     top::run_top(&top::TopOptions {
         addr: addr.to_string(),
         interval: std::time::Duration::from_millis(interval_ms.max(50)),
         once: args.has("once"),
         ascii: args.has("ascii"),
+        baseline,
     })
     .map_err(CliError::Runtime)
 }

@@ -9,7 +9,7 @@
 //! `--once` renders a single frame without touching the screen, which
 //! is what `scripts/verify.sh` pins.
 
-use datareuse_obs::Json;
+use datareuse_obs::{Json, Scorecard, Verdict};
 use datareuse_server::Client;
 
 /// How `datareuse top` was asked to behave.
@@ -22,6 +22,8 @@ pub struct TopOptions {
     pub once: bool,
     /// Use the ASCII bar ramp instead of Unicode blocks.
     pub ascii: bool,
+    /// Committed scorecard baseline for the frame's verdict strip.
+    pub baseline: Option<Scorecard>,
 }
 
 /// Eight-level ramps, lowest to highest.
@@ -92,7 +94,10 @@ impl SeriesView {
 
 /// Renders one dashboard frame from a parsed `stats` result document.
 /// Pure so tests (and the golden gate) can pin it without a server.
-pub fn render_frame(addr: &str, stats: &Json, ascii: bool) -> String {
+/// With a scorecard `baseline`, the last line is a one-line verdict
+/// strip judging the live window p99 against the committed
+/// `serve_p99_ns` metric.
+pub fn render_frame(addr: &str, stats: &Json, ascii: bool, baseline: Option<&Scorecard>) -> String {
     let derived = |name: &str| stats.get("derived").and_then(|d| d.get(name));
     let num = |name: &str| derived(name).and_then(Json::as_u64).unwrap_or(0);
     let counter = |name: &str| {
@@ -151,6 +156,17 @@ pub fn render_frame(addr: &str, stats: &Json, ascii: bool) -> String {
         ));
         out.push_str(&format!("points   {}\n", view.requests.len()));
     }
+    match baseline.and_then(|b| b.metric("serve_p99_ns")) {
+        Some(base) => {
+            let verdict = Verdict::judge(last_p99 as f64, base.value, base.noise, base.direction);
+            out.push_str(&format!(
+                "scorecard p99 {} vs baseline ({} metrics)\n",
+                verdict.word(),
+                baseline.map_or(0, |b| b.metrics.len()),
+            ));
+        }
+        None => out.push_str("scorecard (no baseline)\n"),
+    }
     out
 }
 
@@ -169,7 +185,7 @@ pub fn run_top(opts: &TopOptions) -> Result<(), String> {
             return Err(format!("stats request failed: {response}"));
         }
         let stats = doc.get("result").ok_or("stats response without result")?;
-        let frame = render_frame(&opts.addr, stats, opts.ascii);
+        let frame = render_frame(&opts.addr, stats, opts.ascii, opts.baseline.as_ref());
         if opts.once {
             print!("{frame}");
             return Ok(());
@@ -210,11 +226,12 @@ mod tests {
                    "hists":{"serve_latency_cold_ns":{"count":5,"p50":1500,"p99":9000}}}]}}"#,
         )
         .unwrap();
-        let frame = render_frame("127.0.0.1:1", &stats, true);
+        let frame = render_frame("127.0.0.1:1", &stats, true, None);
         assert!(frame.contains("requests        9"), "frame:\n{frame}");
         assert!(frame.contains("hit ratio  75.0%"), "frame:\n{frame}");
         assert!(frame.contains("p99      "), "frame:\n{frame}");
         assert!(frame.contains("points   2"), "frame:\n{frame}");
+        assert!(frame.ends_with("scorecard (no baseline)\n"), "frame:\n{frame}");
         // ASCII frames stay ANSI-free so golden diffs are stable.
         assert!(!frame.contains('\x1b'));
     }
@@ -222,7 +239,43 @@ mod tests {
     #[test]
     fn a_frame_without_series_points_says_so() {
         let stats = Json::parse(r#"{"derived":{"requests_served":0}}"#).unwrap();
-        let frame = render_frame("x", &stats, true);
+        let frame = render_frame("x", &stats, true, None);
         assert!(frame.contains("(no points scraped yet)"));
+    }
+
+    #[test]
+    fn the_verdict_strip_judges_the_live_p99_against_the_baseline() {
+        let stats = Json::parse(
+            r#"{"series":{"points":[
+                {"seq":0,"counters":{"serve_requests":1},
+                 "hists":{"serve_latency_cold_ns":{"count":1,"p50":900,"p99":1000}}}]}}"#,
+        )
+        .unwrap();
+        let baseline = |p99: f64| {
+            Scorecard::from_json(
+                &Json::parse(&format!(
+                    r#"{{"schema":"datareuse-scorecard-v1","metrics":[
+                        {{"id":"serve_p99_ns","value":{p99},"noise":0.5,
+                          "direction":"lower"}},
+                        {{"id":"other","value":1,"noise":0.1,"direction":"higher"}}]}}"#
+                ))
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        // Live p99 = 1000ns. Baseline 10000 → better; 1000 → within
+        // noise; 100 → regressed. The metric count covers the whole card.
+        for (base_p99, verdict) in
+            [(10000.0, "better"), (1000.0, "within-noise"), (100.0, "regressed")]
+        {
+            let card = baseline(base_p99);
+            let frame = render_frame("x", &stats, true, Some(&card));
+            let want = format!("scorecard p99 {verdict} vs baseline (2 metrics)\n");
+            assert!(frame.ends_with(&want), "want {want:?} in frame:\n{frame}");
+        }
+        // A baseline without the p99 metric degrades to the no-baseline strip.
+        let empty = Scorecard { metrics: Vec::new() };
+        let frame = render_frame("x", &stats, true, Some(&empty));
+        assert!(frame.ends_with("scorecard (no baseline)\n"), "frame:\n{frame}");
     }
 }

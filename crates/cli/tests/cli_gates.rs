@@ -1,0 +1,198 @@
+//! End-to-end gates on the shipped `datareuse` binary.
+//!
+//! These pin the two contracts that only exist at the process level:
+//!
+//! - `--profile-out` writes a collapsed-stack profile whose self times
+//!   sum back to the command's measured wall time (the `profile:
+//!   wall_ns N` stderr line) within 5% — the partition invariant of the
+//!   span-derived profiler, checked on a real `explore fir` run.
+//! - `scorecard` exits 7 (and only 7) when a metric regresses past its
+//!   noise band against the baseline, exits 0 against a matching
+//!   baseline, and writes/reads the `datareuse-scorecard-v1` shape.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_datareuse"))
+}
+
+/// A per-test scratch directory under the target tmpdir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "datareuse-cli-gates-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn datareuse binary")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn profile_out_self_times_sum_to_the_measured_wall_time() {
+    let scratch = Scratch::new("profile");
+    let profile = scratch.path("fir.collapsed");
+    let output = run(bin().args(["explore", "fir", "--profile-out"]).arg(&profile));
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "explore failed:\n{stderr}");
+    let wall_ns: f64 = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("profile: wall_ns "))
+        .expect("stderr reports `profile: wall_ns N`")
+        .trim()
+        .parse()
+        .expect("numeric wall time");
+    let text = std::fs::read_to_string(&profile).expect("profile file written");
+    assert!(
+        text.lines().any(|l| l.starts_with("run")),
+        "no root `run` stack in profile:\n{text}"
+    );
+    let mut self_sum = 0.0f64;
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("`stack SELF_NS` shape");
+        assert!(!stack.is_empty() && !stack.contains('/'), "bad stack: {line}");
+        let v: f64 = value.parse().expect("numeric self time");
+        assert!(v > 0.0, "zero-self line emitted: {line}");
+        self_sum += v;
+    }
+    // Self times partition the root span's total, and the root span
+    // brackets the same region the wall clock measures.
+    let ratio = self_sum / wall_ns;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "self-time sum {self_sum} vs wall {wall_ns} ns (ratio {ratio:.4}):\n{text}"
+    );
+}
+
+#[test]
+fn profile_out_without_a_path_is_a_usage_error() {
+    let output = run(bin().args(["explore", "fir", "--profile-out"]));
+    assert_eq!(output.status.code(), Some(2), "stderr: {}", stderr_of(&output));
+    assert!(stderr_of(&output).contains("--profile-out expects a file path"));
+}
+
+/// One minimal bench artifact the scorecard can fold: a single group
+/// with one bench.
+fn write_artifact(dir: &Path, group: &str, median_ns: u64) {
+    std::fs::create_dir_all(dir).expect("create bench dir");
+    std::fs::write(
+        dir.join(format!("BENCH_{group}.json")),
+        format!(
+            r#"{{"group":"{group}","benches":[{{"id":"only","samples":3,"median_ns":{median_ns}}}]}}"#,
+        ),
+    )
+    .expect("write bench artifact");
+}
+
+#[test]
+fn scorecard_exits_seven_only_on_a_regression() {
+    let scratch = Scratch::new("scorecard");
+    let bench_dir = scratch.path("benchmarks");
+    write_artifact(&bench_dir, "tiny", 1_000_000);
+    let baseline = scratch.path("SCORECARD.json");
+    let bench_dir = bench_dir.to_str().unwrap().to_string();
+    let baseline_arg = baseline.to_str().unwrap().to_string();
+
+    // Seed the baseline from the same artifacts, then compare: nothing
+    // can regress (committed metrics identical, smoke within its 4x
+    // band on the same machine).
+    let seeded = run(bin().args([
+        "scorecard",
+        "--bench-dir",
+        &bench_dir,
+        "--baseline",
+        &baseline_arg,
+        "--update-baseline",
+    ]));
+    assert!(seeded.status.success(), "seed failed:\n{}", stderr_of(&seeded));
+    let text = std::fs::read_to_string(&baseline).expect("baseline written");
+    assert!(text.starts_with(r#"{"schema":"datareuse-scorecard-v1""#), "baseline: {text}");
+    let clean = run(bin().args([
+        "scorecard",
+        "--json",
+        "--bench-dir",
+        &bench_dir,
+        "--baseline",
+        &baseline_arg,
+    ]));
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "clean compare:\n{}",
+        stderr_of(&clean)
+    );
+    let doc = String::from_utf8_lossy(&clean.stdout).into_owned();
+    assert!(doc.contains(r#""schema":"datareuse-scorecard-v1""#), "doc: {doc}");
+    assert!(doc.contains(r#""id":"suite_tiny_median_ns""#), "doc: {doc}");
+    assert!(doc.contains(r#""id":"smoke_explore_fir_ns""#), "doc: {doc}");
+    assert!(doc.contains(r#""verdict":"#), "doc: {doc}");
+    assert!(doc.contains(r#""regressed":0"#), "doc: {doc}");
+
+    // Shrink the committed baseline value far below the measured suite
+    // median: lower-is-better, so the unchanged measurement now reads
+    // as a regression and the exit code must be exactly 7.
+    std::fs::write(
+        &baseline,
+        text.replace("1000000", "10"),
+    )
+    .expect("tamper baseline");
+    let regressed = run(bin().args([
+        "scorecard",
+        "--json",
+        "--bench-dir",
+        &bench_dir,
+        "--baseline",
+        &baseline_arg,
+    ]));
+    assert_eq!(
+        regressed.status.code(),
+        Some(7),
+        "tampered compare:\n{}",
+        stderr_of(&regressed)
+    );
+    let doc = String::from_utf8_lossy(&regressed.stdout).into_owned();
+    assert!(doc.contains(r#""verdict":"regressed""#), "doc: {doc}");
+    assert!(
+        stderr_of(&regressed).contains("suite_tiny_median_ns"),
+        "stderr names the regressed metric:\n{}",
+        stderr_of(&regressed)
+    );
+}
+
+#[test]
+fn scorecard_against_a_missing_explicit_baseline_is_a_runtime_error() {
+    let scratch = Scratch::new("scorecard-missing");
+    let bench_dir = scratch.path("benchmarks");
+    write_artifact(&bench_dir, "tiny", 1_000);
+    let output = run(bin().args([
+        "scorecard",
+        "--bench-dir",
+        bench_dir.to_str().unwrap(),
+        "--baseline",
+        scratch.path("nope.json").to_str().unwrap(),
+    ]));
+    assert_eq!(output.status.code(), Some(1), "stderr: {}", stderr_of(&output));
+    assert!(stderr_of(&output).contains("cannot read baseline"));
+}

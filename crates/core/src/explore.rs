@@ -17,12 +17,27 @@ use datareuse_obs::{add, span, Counter, Explain};
 use crate::error::AnalyzeError;
 use crate::explain::{emit_candidate_records, emit_chain_records, symbolic_record, PairVector};
 use crate::footprint::{footprint_levels, footprint_levels_merged, guarded_count};
-use crate::symbolic::{symbolic_profile, SymbolicProfile};
+use crate::symbolic::{symbolic_profile, SymbolicFallback, SymbolicProfile};
 use crate::levels::{
     dedupe_candidates, dedupe_candidates_explained, enumerate_chains, CandidatePoint,
 };
 use crate::pairwise::{max_reuse, PairGeometry};
 use crate::partial::partial_sweep;
+
+/// The per-reason counter behind the aggregate `sim_fallbacks`: each
+/// fallback bumps both, so the prom/scorecard breakdown always sums to
+/// the total and says *why* work left the symbolic fast path.
+fn fallback_counter(fallback: SymbolicFallback) -> Counter {
+    match fallback {
+        SymbolicFallback::Guarded => Counter::SimFallbackGuarded,
+        SymbolicFallback::SharedIterators => Counter::SimFallbackSharedIterators,
+        SymbolicFallback::SparseDim => Counter::SimFallbackSparseDim,
+        SymbolicFallback::UnalignedUnion => Counter::SimFallbackUnalignedUnion,
+        SymbolicFallback::NotTranslated => Counter::SimFallbackNotTranslated,
+        SymbolicFallback::Overflow => Counter::SimFallbackOverflow,
+        SymbolicFallback::BadAccess => Counter::SimFallbackBadAccess,
+    }
+}
 
 /// Options steering [`explore_signal`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -261,6 +276,7 @@ pub fn explore_signal_explained(
                 }
                 Err(fallback) => {
                     add(Counter::SimFallbacks, 1);
+                    add(fallback_counter(fallback), 1);
                     if let Some(sink) = explain {
                         sink.emit(&symbolic_record(array, nest_idx, false, Err(fallback)));
                     }
@@ -336,6 +352,7 @@ pub fn explore_signal_explained(
                 // on either path — no fallback work ran, no counter).
                 if let Ok(levels) = footprint_levels_merged(nest, &members) {
                     add(Counter::SimFallbacks, 1);
+                    add(fallback_counter(fallback), 1);
                     if let Some(sink) = explain {
                         sink.emit(&symbolic_record(array, nest_idx, true, Err(fallback)));
                     }
@@ -667,6 +684,28 @@ mod tests {
             explore_signal(&q, "B", &ExploreOptions::default()),
             Err(AnalyzeError::NoAccesses(_))
         ));
+    }
+
+    #[test]
+    fn guarded_fallbacks_are_attributed_by_reason() {
+        use datareuse_obs::{counter_value, set_metrics_enabled};
+        // A guarded access leaves the symbolic path with the `Guarded`
+        // classification; the aggregate counter and its per-reason
+        // breakdown must move together so the prom/scorecard breakdown
+        // always sums to `sim_fallbacks`.
+        let p = parse_program(
+            "array A[23]; for j in 0..16 { for k in 0..8 { read A[j + k] if j != 3; } }",
+        )
+        .unwrap();
+        let total0 = counter_value(Counter::SimFallbacks);
+        let guarded0 = counter_value(Counter::SimFallbackGuarded);
+        set_metrics_enabled(true);
+        explore_signal(&p, "A", &ExploreOptions::default()).unwrap();
+        set_metrics_enabled(false);
+        let total = counter_value(Counter::SimFallbacks) - total0;
+        let guarded = counter_value(Counter::SimFallbackGuarded) - guarded0;
+        assert!(guarded >= 1, "guarded nest must record a guarded fallback");
+        assert_eq!(total, guarded, "every fallback here is a guard fallback");
     }
 
     #[test]

@@ -27,6 +27,16 @@
 //!   lock-free ring buffer of the last [`FLIGHT_CAPACITY`] structured
 //!   serving events, dumped on demand and attached to timeout/overload
 //!   error responses.
+//! - **Self-time profiler** ([`profile_rows`], [`collapsed_stacks`],
+//!   [`profile_json`]) — derives per-phase cumulative/self-time
+//!   attribution from the span registry and exports it as structured
+//!   rows (`datareuse-profile-v1`) or flamegraph.pl-compatible
+//!   collapsed-stack text.
+//! - **Scorecard** ([`Scorecard`], [`fold_bench_artifacts`],
+//!   [`Verdict`]) — folds committed benchmark artifacts plus a fresh
+//!   smoke sweep into one `datareuse-scorecard-v1` roll-up with
+//!   per-metric `better|within-noise|regressed` verdicts against a
+//!   committed baseline.
 //! - **Snapshots** ([`snapshot`], [`MetricsSnapshot`]) — serialize the
 //!   registry to the workspace's hand-rolled [`Json`] as a
 //!   `METRICS_*.json` artifact (schema `datareuse-metrics-v2`, embedding
@@ -73,8 +83,10 @@ mod flight;
 mod hist;
 mod json;
 mod metrics;
+mod profile;
 mod progress;
 mod prom;
+mod scorecard;
 mod span;
 mod timeseries;
 mod tracing;
@@ -92,8 +104,13 @@ pub use metrics::{
     record_worker_items, reset_metrics, set_metrics_enabled, snapshot, Counter, Gauge,
     LocalCounter, MetricsSnapshot,
 };
+pub use profile::{collapsed_stacks, profile_json, profile_rows, ProfileRow};
 pub use progress::Progress;
 pub use prom::prometheus_text;
+pub use scorecard::{
+    fold_bench_artifacts, record_smoke_metric, smoke_metrics, Direction, Metric, Scorecard,
+    Verdict, NOISE_RATE, NOISE_SMOKE, NOISE_SPEEDUP, NOISE_TIMING, SCORECARD_SCHEMA,
+};
 pub use span::{span, SpanGuard};
 pub use timeseries::{
     reset_series, scrape_series, series_json, series_len, series_ndjson, series_points,

@@ -33,6 +33,13 @@ pub enum Counter {
     ExploreCandidatesPruned,
     SymbolicHits,
     SimFallbacks,
+    SimFallbackGuarded,
+    SimFallbackSharedIterators,
+    SimFallbackSparseDim,
+    SimFallbackUnalignedUnion,
+    SimFallbackNotTranslated,
+    SimFallbackOverflow,
+    SimFallbackBadAccess,
     ExprKernelsLowered,
     CorpusKernelsLoaded,
     ChainsEnumerated,
@@ -63,13 +70,20 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 39] = [
         Counter::ExploreGroups,
         Counter::ExplorePairsSwept,
         Counter::ExploreCandidatesGenerated,
         Counter::ExploreCandidatesPruned,
         Counter::SymbolicHits,
         Counter::SimFallbacks,
+        Counter::SimFallbackGuarded,
+        Counter::SimFallbackSharedIterators,
+        Counter::SimFallbackSparseDim,
+        Counter::SimFallbackUnalignedUnion,
+        Counter::SimFallbackNotTranslated,
+        Counter::SimFallbackOverflow,
+        Counter::SimFallbackBadAccess,
         Counter::ExprKernelsLowered,
         Counter::CorpusKernelsLoaded,
         Counter::ChainsEnumerated,
@@ -107,6 +121,13 @@ impl Counter {
             Counter::ExploreCandidatesPruned => "explore_candidates_pruned",
             Counter::SymbolicHits => "symbolic_hits",
             Counter::SimFallbacks => "sim_fallbacks",
+            Counter::SimFallbackGuarded => "sim_fallbacks_guarded",
+            Counter::SimFallbackSharedIterators => "sim_fallbacks_shared_iterators",
+            Counter::SimFallbackSparseDim => "sim_fallbacks_sparse_dim",
+            Counter::SimFallbackUnalignedUnion => "sim_fallbacks_unaligned_union",
+            Counter::SimFallbackNotTranslated => "sim_fallbacks_not_translated",
+            Counter::SimFallbackOverflow => "sim_fallbacks_overflow",
+            Counter::SimFallbackBadAccess => "sim_fallbacks_bad_access",
             Counter::ExprKernelsLowered => "expr_kernels_lowered",
             Counter::CorpusKernelsLoaded => "corpus_kernels_loaded",
             Counter::ChainsEnumerated => "chains_enumerated",
@@ -266,9 +287,12 @@ pub fn record_worker_items(items: u64) {
 }
 
 /// Clears the entire registry — counters, gauges, spans, worker-load
-/// records, latency histograms, the flight recorder, and buffered trace
-/// events — and turns recording (metrics *and* tracing) off. Intended
-/// for tests and for reusing a process across independent runs.
+/// records, latency histograms, the flight recorder, buffered trace
+/// events, and scorecard smoke-run state — and turns recording (metrics
+/// *and* tracing) off. Clearing the spans also empties the derived
+/// profile ([`crate::profile_rows`] is a pure function of the span
+/// registry). Intended for tests and for reusing a process across
+/// independent runs.
 pub fn reset_metrics() {
     set_metrics_enabled(false);
     crate::tracing::set_tracing_enabled(false);
@@ -286,6 +310,7 @@ pub fn reset_metrics() {
     crate::hist::reset_hists();
     crate::flight::reset_flight();
     crate::tracing::reset_tracing();
+    crate::scorecard::reset_scorecard_smoke();
     // Under the same call as the counter wipe so a scraper thread racing
     // this reset sees either (old counters, old baseline) or (zeroed
     // counters, zeroed baseline) — never a stale baseline above fresh
@@ -605,9 +630,24 @@ mod tests {
         crate::record_hist(Hist::ServeLatencyCold, 100);
         crate::flight_record(crate::FlightKind::RequestStart, 1, 1);
         gauge_add(Gauge::ServeQueueDepth, 5);
+        {
+            let _span = crate::span("reset_probe");
+        }
+        crate::record_smoke_metric(crate::Metric::new(
+            "smoke_probe",
+            1.0,
+            0.1,
+            crate::Direction::LowerIsBetter,
+        ));
+        assert!(!crate::profile_rows().is_empty());
         reset_metrics();
         assert_eq!(snapshot().hist(Hist::ServeLatencyCold).unwrap().count, 0);
         assert!(crate::flight_tail(16).is_empty());
         assert_eq!(gauge_value(Gauge::ServeQueueDepth), 0);
+        // The derived profiler view and the scorecard's smoke-run state
+        // are wiped too: a reused process starts from a clean slate.
+        assert!(crate::profile_rows().is_empty());
+        assert!(crate::collapsed_stacks().is_empty());
+        assert!(crate::smoke_metrics().is_empty());
     }
 }

@@ -1,0 +1,276 @@
+//! Span-derived self-time profiler.
+//!
+//! The span registry ([`crate::span`]) aggregates wall time by
+//! `/`-joined hierarchical path (`explore/pairs`, `explore/chains`).
+//! Those totals are *cumulative*: time spent in `explore/pairs` is also
+//! inside `explore`. This module derives the classic profiler view from
+//! them — per-path **self time** (cumulative minus the time attributed
+//! to direct children) — and exports it in two shapes:
+//!
+//! - [`profile_rows`] / [`profile_json`]: structured rows (schema
+//!   `datareuse-profile-v1`) for the `profile` serve op and for tests.
+//! - [`collapsed_stacks`]: the collapsed-stack text format consumed by
+//!   `flamegraph.pl` and compatible viewers — one line per path with
+//!   positive self time, `a;b;c SELF_NS`.
+//!
+//! Self times partition cumulative time: for any span tree, the sum of
+//! the self times of a root and all its descendants equals the root's
+//! cumulative total, so summing every line of a collapsed-stack export
+//! reconstructs total profiled wall time exactly. No extra accumulator
+//! state lives here — the profile is a pure function of the span
+//! registry, so [`crate::reset_metrics`] clearing the spans clears the
+//! profile too.
+
+use crate::json::Json;
+
+/// One aggregated profile row: a span path with cumulative and self time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// `/`-joined span path, e.g. `explore/pairs`.
+    pub path: String,
+    /// Number of times a span completed at this path.
+    pub calls: u64,
+    /// Cumulative nanoseconds: all time with this path on the stack.
+    pub total_ns: u64,
+    /// Self nanoseconds: cumulative minus direct children's cumulative.
+    pub self_ns: u64,
+}
+
+/// Derives profile rows from the live span registry, sorted by path.
+///
+/// Self time is `total_ns` minus the summed `total_ns` of *direct*
+/// children (paths one `/` segment deeper). Clock jitter can make a
+/// child's recorded total marginally exceed its parent's; self time
+/// saturates at zero rather than going negative.
+///
+/// # Examples
+///
+/// ```
+/// use datareuse_obs::{profile_rows, reset_metrics, set_metrics_enabled, span};
+/// reset_metrics();
+/// set_metrics_enabled(true);
+/// {
+///     let _outer = span("outer");
+///     let _inner = span("inner");
+/// }
+/// set_metrics_enabled(false);
+/// let rows = profile_rows();
+/// assert_eq!(rows.len(), 2);
+/// let outer = &rows[0];
+/// let inner = &rows[1];
+/// assert_eq!(outer.path, "outer");
+/// assert_eq!(inner.path, "outer/inner");
+/// assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+/// assert_eq!(inner.self_ns, inner.total_ns);
+/// reset_metrics();
+/// ```
+pub fn profile_rows() -> Vec<ProfileRow> {
+    rows_from(&crate::span::span_rows())
+}
+
+/// Pure core of [`profile_rows`]: derives rows from `(path, calls,
+/// total_ns)` tuples. Input order does not matter; output is sorted by
+/// path.
+fn rows_from(spans: &[(String, u64, u64)]) -> Vec<ProfileRow> {
+    let mut rows: Vec<ProfileRow> = spans
+        .iter()
+        .map(|(path, calls, total_ns)| ProfileRow {
+            path: path.clone(),
+            calls: *calls,
+            total_ns: *total_ns,
+            self_ns: *total_ns,
+        })
+        .collect();
+    rows.sort_by(|a, b| a.path.cmp(&b.path));
+    // Subtract each direct child's cumulative time from its parent's
+    // self time. A direct child of `p` is `p/<segment>` with no further
+    // separator.
+    let totals: Vec<(String, u64)> = rows
+        .iter()
+        .map(|r| (r.path.clone(), r.total_ns))
+        .collect();
+    for row in &mut rows {
+        let prefix = format!("{}/", row.path);
+        let children: u64 = totals
+            .iter()
+            .filter(|(p, _)| {
+                p.strip_prefix(&prefix)
+                    .is_some_and(|rest| !rest.contains('/'))
+            })
+            .map(|&(_, ns)| ns)
+            .sum();
+        row.self_ns = row.total_ns.saturating_sub(children);
+    }
+    rows
+}
+
+/// Renders the profile in collapsed-stack format: one `a;b;c SELF_NS`
+/// line per path with positive self time, sorted by path, ending in a
+/// newline when non-empty. The output feeds `flamegraph.pl` directly
+/// (sample unit: nanoseconds).
+///
+/// Because self times partition cumulative time, the values on all
+/// emitted lines sum to the total profiled wall time (the sum of the
+/// root spans' cumulative totals).
+pub fn collapsed_stacks() -> String {
+    let mut out = String::new();
+    for row in profile_rows() {
+        if row.self_ns == 0 {
+            continue;
+        }
+        out.push_str(&row.path.replace('/', ";"));
+        out.push(' ');
+        out.push_str(&row.self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes the profile as a `datareuse-profile-v1` document:
+/// `{"schema":"datareuse-profile-v1","rows":[{path,calls,total_ns,self_ns},…]}`.
+///
+/// Rows are sorted by path and every field is an unsigned integer, so
+/// the document is canonical: re-parsing and re-serializing it is
+/// byte-identical, which the `profile` serve op's round-trip test pins.
+pub fn profile_json() -> Json {
+    let rows = profile_rows()
+        .into_iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("path", Json::str(&r.path)),
+                ("calls", Json::UInt(r.calls)),
+                ("total_ns", Json::UInt(r.total_ns)),
+                ("self_ns", Json::UInt(r.self_ns)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("datareuse-profile-v1")),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed() -> Vec<(String, u64, u64)> {
+        vec![
+            ("explore".into(), 2, 1_000),
+            ("explore/pairs".into(), 2, 300),
+            ("explore/chains".into(), 2, 500),
+            ("explore/chains/pareto".into(), 4, 200),
+            ("serve".into(), 1, 50),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_only_direct_children() {
+        let rows = rows_from(&fixed());
+        let by_path: std::collections::HashMap<&str, u64> = rows
+            .iter()
+            .map(|r| (r.path.as_str(), r.self_ns))
+            .collect();
+        assert_eq!(by_path["explore"], 1_000 - 300 - 500);
+        assert_eq!(by_path["explore/chains"], 500 - 200);
+        assert_eq!(by_path["explore/chains/pareto"], 200);
+        assert_eq!(by_path["explore/pairs"], 300);
+        assert_eq!(by_path["serve"], 50);
+    }
+
+    #[test]
+    fn self_times_partition_root_totals() {
+        let rows = rows_from(&fixed());
+        let self_sum: u64 = rows.iter().map(|r| r.self_ns).sum();
+        let root_sum: u64 = rows
+            .iter()
+            .filter(|r| !r.path.contains('/'))
+            .map(|r| r.total_ns)
+            .sum();
+        assert_eq!(self_sum, root_sum);
+    }
+
+    #[test]
+    fn sibling_prefixes_are_not_mistaken_for_children() {
+        // `explore2` shares a string prefix with `explore` but is not
+        // its child; `a/bc` is not a child of `a/b`.
+        let rows = rows_from(&[
+            ("explore".into(), 1, 100),
+            ("explore2".into(), 1, 40),
+            ("a/b".into(), 1, 30),
+            ("a/bc".into(), 1, 20),
+            ("a".into(), 1, 60),
+        ]);
+        let by_path: std::collections::HashMap<&str, u64> = rows
+            .iter()
+            .map(|r| (r.path.as_str(), r.self_ns))
+            .collect();
+        assert_eq!(by_path["explore"], 100);
+        assert_eq!(by_path["explore2"], 40);
+        assert_eq!(by_path["a"], 60 - 30 - 20);
+        assert_eq!(by_path["a/b"], 30);
+        assert_eq!(by_path["a/bc"], 20);
+    }
+
+    #[test]
+    fn grandchildren_do_not_double_subtract() {
+        // Only `a/b` is subtracted from `a`; `a/b/c` charges to `a/b`.
+        let rows = rows_from(&[
+            ("a".into(), 1, 100),
+            ("a/b".into(), 1, 80),
+            ("a/b/c".into(), 1, 30),
+        ]);
+        assert_eq!(rows[0].self_ns, 20);
+        assert_eq!(rows[1].self_ns, 50);
+        assert_eq!(rows[2].self_ns, 30);
+    }
+
+    #[test]
+    fn jitter_saturates_instead_of_underflowing() {
+        let rows = rows_from(&[("a".into(), 1, 100), ("a/b".into(), 1, 120)]);
+        assert_eq!(rows[0].self_ns, 0);
+    }
+
+    #[test]
+    fn collapsed_format_replaces_separators_and_skips_zero_self() {
+        use crate::metrics::test_lock;
+        use crate::{reset_metrics, set_metrics_enabled, span};
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        set_metrics_enabled(false);
+        let text = collapsed_stacks();
+        for line in text.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("`stack VALUE` shape");
+            assert!(!stack.contains('/'), "separator not collapsed: {line}");
+            let v: u64 = value.parse().expect("numeric self time");
+            assert!(v > 0, "zero-self line emitted: {line}");
+        }
+        assert!(text.lines().any(|l| l.starts_with("outer;inner ")));
+        reset_metrics();
+        assert!(collapsed_stacks().is_empty());
+    }
+
+    #[test]
+    fn profile_json_is_canonical_under_reparse() {
+        use crate::metrics::test_lock;
+        use crate::{reset_metrics, set_metrics_enabled, span};
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        set_metrics_enabled(false);
+        let text = profile_json().to_string();
+        let reparsed = Json::parse(&text).expect("profile json parses");
+        assert_eq!(text, reparsed.to_string());
+        assert!(text.starts_with("{\"schema\":\"datareuse-profile-v1\""));
+        reset_metrics();
+    }
+}

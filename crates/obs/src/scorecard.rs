@@ -1,0 +1,645 @@
+//! The `datareuse-scorecard-v1` roll-up: one document that says whether
+//! the system got faster or slower.
+//!
+//! The workspace commits per-group benchmark artifacts
+//! (`benchmarks/BENCH_*.json`), but an artifact is only a pile of
+//! numbers until something reads it back. A [`Scorecard`] folds every
+//! committed artifact — plus a fresh in-process smoke sweep recorded
+//! through [`record_smoke_metric`] — into a flat list of [`Metric`]s,
+//! each carrying the measured value, a fractional noise band, and a
+//! direction (whether lower or higher is better). Comparing a fresh
+//! scorecard against a committed baseline
+//! (`benchmarks/SCORECARD.json`) yields a [`Verdict`] per metric:
+//! `better`, `within-noise`, or `regressed`. The CLI's `scorecard`
+//! subcommand exits 7 when anything regresses, which is what turns
+//! `scripts/verify.sh` into a no-regression gate.
+//!
+//! This module is the pure model: folding parsed artifact [`Json`],
+//! verdict arithmetic, and (de)serialization. File I/O, the smoke
+//! sweep itself, and exit codes live in the CLI. The smoke-sweep
+//! registry here is process-global state like the rest of the crate,
+//! and [`crate::reset_metrics`] clears it.
+
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// The scorecard document's schema tag.
+pub const SCORECARD_SCHEMA: &str = "datareuse-scorecard-v1";
+
+/// Noise band for committed latency/throughput metrics: the committed
+/// BENCH artifacts are regenerated on maintainer machines with
+/// different clocks and load, so a regression must beat 1.5x drift.
+pub const NOISE_TIMING: f64 = 0.5;
+/// Noise band for rates and ratios in `[0, 1]` (symbolic hit rate,
+/// agreement): these are deterministic, so the band is a hair above
+/// float formatting error.
+pub const NOISE_RATE: f64 = 0.01;
+/// Noise band for headline speedup ratios (symbolic vs simulation,
+/// cold vs cache-hit): both sides are timing, so the band compounds.
+pub const NOISE_SPEEDUP: f64 = 0.9;
+/// Noise band for the fresh smoke sweep's absolute latencies: the
+/// baseline was measured on a different machine entirely, so only a
+/// multiple-of-baseline blowup counts as a regression.
+pub const NOISE_SMOKE: f64 = 4.0;
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (latencies).
+    LowerIsBetter,
+    /// Larger values are better (throughput, hit rates, speedups).
+    HigherIsBetter,
+}
+
+impl Direction {
+    /// Stable wire word: `lower` or `higher`.
+    pub const fn word(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+        }
+    }
+
+    /// Parses the wire word.
+    pub fn from_word(word: &str) -> Option<Direction> {
+        match word {
+            "lower" => Some(Direction::LowerIsBetter),
+            "higher" => Some(Direction::HigherIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of comparing a metric against its baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Moved past the noise band in the good direction.
+    Better,
+    /// Inside the noise band either way.
+    WithinNoise,
+    /// Moved past the noise band in the bad direction.
+    Regressed,
+}
+
+impl Verdict {
+    /// Stable wire word: `better`, `within-noise`, or `regressed`.
+    pub const fn word(self) -> &'static str {
+        match self {
+            Verdict::Better => "better",
+            Verdict::WithinNoise => "within-noise",
+            Verdict::Regressed => "regressed",
+        }
+    }
+
+    /// Judges `value` against `baseline` with a fractional `noise` band.
+    ///
+    /// For a lower-is-better metric the band is
+    /// `[baseline·(1−noise), baseline·(1+noise)]`: below it is better,
+    /// inside is within-noise, above is regressed (mirrored for
+    /// higher-is-better). A non-finite or non-positive baseline judges
+    /// within-noise — there is nothing sane to compare against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datareuse_obs::{Direction, Verdict};
+    /// let lower = Direction::LowerIsBetter;
+    /// assert_eq!(Verdict::judge(40.0, 100.0, 0.5, lower), Verdict::Better);
+    /// assert_eq!(Verdict::judge(149.0, 100.0, 0.5, lower), Verdict::WithinNoise);
+    /// assert_eq!(Verdict::judge(151.0, 100.0, 0.5, lower), Verdict::Regressed);
+    /// let higher = Direction::HigherIsBetter;
+    /// assert_eq!(Verdict::judge(40.0, 100.0, 0.5, higher), Verdict::Regressed);
+    /// ```
+    pub fn judge(value: f64, baseline: f64, noise: f64, direction: Direction) -> Verdict {
+        if !baseline.is_finite() || baseline <= 0.0 || !value.is_finite() {
+            return Verdict::WithinNoise;
+        }
+        let low = baseline * (1.0 - noise.max(0.0));
+        let high = baseline * (1.0 + noise.max(0.0));
+        match direction {
+            Direction::LowerIsBetter if value < low => Verdict::Better,
+            Direction::LowerIsBetter if value > high => Verdict::Regressed,
+            Direction::HigherIsBetter if value > high => Verdict::Better,
+            Direction::HigherIsBetter if value < low => Verdict::Regressed,
+            _ => Verdict::WithinNoise,
+        }
+    }
+}
+
+/// One scorecard metric: an id, its measured value, and how to judge it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric id, e.g. `suite_corpus_median_ns`.
+    pub id: String,
+    /// The measured value.
+    pub value: f64,
+    /// Fractional noise band for baseline comparison.
+    pub noise: f64,
+    /// Whether lower or higher is better.
+    pub direction: Direction,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, value: f64, noise: f64, direction: Direction) -> Metric {
+        Metric {
+            id: id.into(),
+            value,
+            noise,
+            direction,
+        }
+    }
+}
+
+/// A full scorecard: the folded metrics, in a stable order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scorecard {
+    /// The metrics, committed-artifact folds first, smoke sweep last.
+    pub metrics: Vec<Metric>,
+}
+
+impl Scorecard {
+    /// Looks up a metric by id.
+    pub fn metric(&self, id: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.id == id)
+    }
+
+    /// Serializes as a plain `datareuse-scorecard-v1` document (no
+    /// baseline/verdict annotations) — the shape committed as
+    /// `benchmarks/SCORECARD.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCORECARD_SCHEMA)),
+            (
+                "metrics",
+                Json::arr(self.metrics.iter().map(|m| {
+                    Json::obj([
+                        ("id", Json::str(&m.id)),
+                        ("value", Json::Num(m.value)),
+                        ("noise", Json::Num(m.noise)),
+                        ("direction", Json::str(m.direction.word())),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parses a scorecard document (the plain form or the compared form
+    /// — baseline/verdict annotations are ignored).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing or ill-typed field.
+    pub fn from_json(doc: &Json) -> Result<Scorecard, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some(SCORECARD_SCHEMA) {
+            return Err(format!("not a {SCORECARD_SCHEMA} document"));
+        }
+        let items = doc
+            .get("metrics")
+            .and_then(Json::as_array)
+            .ok_or("missing `metrics` array")?;
+        let mut metrics = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("metric without `id`")?;
+            let value = item
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{id}: missing `value`"))?;
+            let noise = item
+                .get("noise")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{id}: missing `noise`"))?;
+            let direction = item
+                .get("direction")
+                .and_then(Json::as_str)
+                .and_then(Direction::from_word)
+                .ok_or_else(|| format!("{id}: bad `direction`"))?;
+            metrics.push(Metric::new(id, value, noise, direction));
+        }
+        Ok(Scorecard { metrics })
+    }
+
+    /// Compares this scorecard against `baseline`, yielding
+    /// `(metric, baseline value, verdict)` rows in metric order. A
+    /// metric absent from the baseline has no verdict (it is new).
+    pub fn compare<'a>(
+        &'a self,
+        baseline: &Scorecard,
+    ) -> Vec<(&'a Metric, Option<f64>, Option<Verdict>)> {
+        self.metrics
+            .iter()
+            .map(|m| match baseline.metric(&m.id) {
+                Some(base) => (
+                    m,
+                    Some(base.value),
+                    Some(Verdict::judge(m.value, base.value, m.noise, m.direction)),
+                ),
+                None => (m, None, None),
+            })
+            .collect()
+    }
+
+    /// Serializes the comparison against `baseline` as a
+    /// `datareuse-scorecard-v1` document whose metrics carry `baseline`
+    /// and `verdict` annotations, plus a `summary` tally. The result
+    /// still parses with [`Scorecard::from_json`].
+    pub fn compare_json(&self, baseline: &Scorecard) -> Json {
+        let rows = self.compare(baseline);
+        let mut better = 0u64;
+        let mut within = 0u64;
+        let mut regressed = 0u64;
+        let metrics = rows
+            .iter()
+            .map(|(m, base, verdict)| {
+                let mut fields = vec![
+                    ("id".to_string(), Json::str(&m.id)),
+                    ("value".to_string(), Json::Num(m.value)),
+                    ("noise".to_string(), Json::Num(m.noise)),
+                    ("direction".to_string(), Json::str(m.direction.word())),
+                ];
+                if let Some(base) = base {
+                    fields.push(("baseline".to_string(), Json::Num(*base)));
+                }
+                if let Some(v) = verdict {
+                    match v {
+                        Verdict::Better => better += 1,
+                        Verdict::WithinNoise => within += 1,
+                        Verdict::Regressed => regressed += 1,
+                    }
+                    fields.push(("verdict".to_string(), Json::str(v.word())));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str(SCORECARD_SCHEMA)),
+            ("metrics", Json::Arr(metrics)),
+            (
+                "summary",
+                Json::obj([
+                    ("metrics", Json::UInt(self.metrics.len() as u64)),
+                    ("better", Json::UInt(better)),
+                    ("within_noise", Json::UInt(within)),
+                    ("regressed", Json::UInt(regressed)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Ids of the metrics that regressed against `baseline`.
+    pub fn regressions(&self, baseline: &Scorecard) -> Vec<String> {
+        self.compare(baseline)
+            .into_iter()
+            .filter(|(_, _, v)| *v == Some(Verdict::Regressed))
+            .map(|(m, _, _)| m.id.clone())
+            .collect()
+    }
+}
+
+/// The median of a bench's `median_ns` values. Returns `None` when the
+/// artifact has no finite medians.
+fn suite_median(doc: &Json) -> Option<f64> {
+    let mut medians: Vec<f64> = doc
+        .get("benches")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|b| b.get("median_ns").and_then(Json::as_f64))
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if medians.is_empty() {
+        return None;
+    }
+    medians.sort_by(f64::total_cmp);
+    Some(medians[medians.len() / 2])
+}
+
+/// One bench's numeric field, by bench id.
+fn bench_field(doc: &Json, id: &str, field: &str) -> Option<f64> {
+    doc.get("benches")
+        .and_then(Json::as_array)?
+        .iter()
+        .find(|b| b.get("id").and_then(Json::as_str) == Some(id))?
+        .get(field)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+}
+
+/// Folds committed bench artifacts — `(group, parsed document)` pairs —
+/// into scorecard metrics:
+///
+/// - `suite_<group>_median_ns` per artifact: the median of the group's
+///   per-bench medians (the one-number health of that suite);
+/// - `serve_p50_ns` / `serve_p99_ns` from the `serve_latency` group's
+///   cache-hit bench, and `serve_cache_speedup` (cold ÷ cache-hit);
+/// - `serve_saturation_rps` from the `serve_scaling` saturation object;
+/// - `corpus_symbolic_hit_rate` from the `corpus` symbolic summary;
+/// - `symbolic_speedup_depth3` / `symbolic_speedup_me_small` from the
+///   `symbolic_vs_simulation` group (simulation ÷ symbolic medians).
+///
+/// Groups are folded in sorted order, so the metric list is stable for
+/// a given artifact set. Artifacts missing a field simply contribute no
+/// metric — the comparison side treats absence as "new metric".
+pub fn fold_bench_artifacts(artifacts: &[(String, Json)]) -> Vec<Metric> {
+    let mut sorted: Vec<&(String, Json)> = artifacts.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    for (group, doc) in &sorted {
+        if let Some(median) = suite_median(doc) {
+            out.push(Metric::new(
+                format!("suite_{group}_median_ns"),
+                median,
+                NOISE_TIMING,
+                Direction::LowerIsBetter,
+            ));
+        }
+    }
+    let by_group = |name: &str| sorted.iter().find(|(g, _)| g == name).map(|(_, d)| d);
+    if let Some(doc) = by_group("serve_latency") {
+        if let Some(p50) = bench_field(doc, "explore_cache_hit", "p50_ns") {
+            out.push(Metric::new(
+                "serve_p50_ns",
+                p50,
+                NOISE_TIMING,
+                Direction::LowerIsBetter,
+            ));
+        }
+        if let Some(p99) = bench_field(doc, "explore_cache_hit", "p99_ns") {
+            out.push(Metric::new(
+                "serve_p99_ns",
+                p99,
+                NOISE_TIMING,
+                Direction::LowerIsBetter,
+            ));
+        }
+        if let (Some(cold), Some(hit)) = (
+            bench_field(doc, "explore_cold", "median_ns"),
+            bench_field(doc, "explore_cache_hit", "median_ns"),
+        ) {
+            out.push(Metric::new(
+                "serve_cache_speedup",
+                cold / hit,
+                NOISE_SPEEDUP,
+                Direction::HigherIsBetter,
+            ));
+        }
+    }
+    if let Some(rps) = by_group("serve_scaling")
+        .and_then(|d| d.get("saturation"))
+        .and_then(|s| s.get("rps"))
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+    {
+        out.push(Metric::new(
+            "serve_saturation_rps",
+            rps,
+            NOISE_TIMING,
+            Direction::HigherIsBetter,
+        ));
+    }
+    if let Some(rate) = by_group("corpus")
+        .and_then(|d| d.get("symbolic"))
+        .and_then(|s| s.get("hit_rate"))
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+    {
+        out.push(Metric::new(
+            "corpus_symbolic_hit_rate",
+            rate,
+            NOISE_RATE,
+            Direction::HigherIsBetter,
+        ));
+    }
+    if let Some(doc) = by_group("symbolic_vs_simulation") {
+        for (metric, fast, slow) in [
+            (
+                "symbolic_speedup_depth3",
+                "symbolic_profile_depth3",
+                "simulate_one_point_depth3",
+            ),
+            (
+                "symbolic_speedup_me_small",
+                "symbolic_profile_me_small",
+                "simulate_one_point_me_small",
+            ),
+        ] {
+            if let (Some(f), Some(s)) = (
+                bench_field(doc, fast, "median_ns"),
+                bench_field(doc, slow, "median_ns"),
+            ) {
+                out.push(Metric::new(
+                    metric,
+                    s / f,
+                    NOISE_SPEEDUP,
+                    Direction::HigherIsBetter,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Metrics recorded by the current process's smoke sweep, in recording
+/// order. Process-global like the counter registry; cleared by
+/// [`crate::reset_metrics`].
+static SMOKE: Mutex<Vec<Metric>> = Mutex::new(Vec::new());
+
+/// Appends one smoke-sweep metric to the process-global scorecard state.
+///
+/// The CLI's `scorecard` subcommand times a fresh explore sweep and
+/// records its latencies, hit rate, and model-agreement here before
+/// assembling the final document, so the smoke results survive in one
+/// place whether the caller wants JSON, text, or a baseline update.
+pub fn record_smoke_metric(metric: Metric) {
+    SMOKE
+        .lock()
+        .expect("scorecard smoke registry poisoned")
+        .push(metric);
+}
+
+/// Copies the recorded smoke-sweep metrics.
+pub fn smoke_metrics() -> Vec<Metric> {
+    SMOKE
+        .lock()
+        .expect("scorecard smoke registry poisoned")
+        .clone()
+}
+
+/// Clears the smoke-sweep state (part of [`crate::reset_metrics`]).
+pub(crate) fn reset_scorecard_smoke() {
+    SMOKE
+        .lock()
+        .expect("scorecard smoke registry poisoned")
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(group: &str, text: &str) -> (String, Json) {
+        (group.to_string(), Json::parse(text).expect("test artifact"))
+    }
+
+    fn fixture() -> Vec<(String, Json)> {
+        vec![
+            artifact(
+                "serve_latency",
+                r#"{"group":"serve_latency","benches":[
+                    {"id":"explore_cold","median_ns":200000,"p50_ns":200000,"p99_ns":400000},
+                    {"id":"explore_cache_hit","median_ns":10000,"p50_ns":10000,"p99_ns":50000}]}"#,
+            ),
+            artifact(
+                "corpus",
+                r#"{"group":"corpus","benches":[{"id":"gen-a","median_ns":5000}],
+                    "symbolic":{"hits":36,"fallbacks":0,"hit_rate":1.0}}"#,
+            ),
+            artifact(
+                "symbolic_vs_simulation",
+                r#"{"group":"symbolic_vs_simulation","benches":[
+                    {"id":"symbolic_profile_depth3","median_ns":2000},
+                    {"id":"simulate_one_point_depth3","median_ns":6000000},
+                    {"id":"symbolic_profile_me_small","median_ns":1000},
+                    {"id":"simulate_one_point_me_small","median_ns":100000}]}"#,
+            ),
+            artifact(
+                "serve_scaling",
+                r#"{"group":"serve_scaling","benches":[{"id":"conns_00100","median_ns":9000}],
+                    "saturation":{"connections":100,"rps":31500.0,"p99_ns":90000}}"#,
+            ),
+        ]
+    }
+
+    #[test]
+    fn verdict_boundaries_both_directions() {
+        use Direction::*;
+        // Exactly on the band edge is within-noise, both sides.
+        assert_eq!(
+            Verdict::judge(150.0, 100.0, 0.5, LowerIsBetter),
+            Verdict::WithinNoise
+        );
+        assert_eq!(
+            Verdict::judge(50.0, 100.0, 0.5, LowerIsBetter),
+            Verdict::WithinNoise
+        );
+        assert_eq!(
+            Verdict::judge(150.1, 100.0, 0.5, LowerIsBetter),
+            Verdict::Regressed
+        );
+        assert_eq!(
+            Verdict::judge(49.9, 100.0, 0.5, LowerIsBetter),
+            Verdict::Better
+        );
+        assert_eq!(
+            Verdict::judge(150.1, 100.0, 0.5, HigherIsBetter),
+            Verdict::Better
+        );
+        assert_eq!(
+            Verdict::judge(49.9, 100.0, 0.5, HigherIsBetter),
+            Verdict::Regressed
+        );
+        // Degenerate baselines never regress.
+        assert_eq!(
+            Verdict::judge(10.0, 0.0, 0.5, LowerIsBetter),
+            Verdict::WithinNoise
+        );
+        assert_eq!(
+            Verdict::judge(10.0, f64::NAN, 0.5, LowerIsBetter),
+            Verdict::WithinNoise
+        );
+    }
+
+    #[test]
+    fn folding_extracts_suite_and_headline_metrics() {
+        let metrics = fold_bench_artifacts(&fixture());
+        let card = Scorecard { metrics };
+        // One suite median per artifact, in sorted group order.
+        assert_eq!(card.metrics[0].id, "suite_corpus_median_ns");
+        // Even-length suites take the upper median (index len/2).
+        assert_eq!(card.metric("suite_serve_latency_median_ns").unwrap().value, 200000.0);
+        assert_eq!(card.metric("serve_p99_ns").unwrap().value, 50000.0);
+        assert_eq!(card.metric("serve_cache_speedup").unwrap().value, 20.0);
+        assert_eq!(card.metric("serve_saturation_rps").unwrap().value, 31500.0);
+        assert_eq!(card.metric("corpus_symbolic_hit_rate").unwrap().value, 1.0);
+        assert_eq!(card.metric("symbolic_speedup_depth3").unwrap().value, 3000.0);
+        assert_eq!(card.metric("symbolic_speedup_me_small").unwrap().value, 100.0);
+        assert_eq!(
+            card.metric("corpus_symbolic_hit_rate").unwrap().direction,
+            Direction::HigherIsBetter
+        );
+    }
+
+    #[test]
+    fn scorecard_documents_round_trip() {
+        let card = Scorecard {
+            metrics: fold_bench_artifacts(&fixture()),
+        };
+        let doc = card.to_json();
+        let back = Scorecard::from_json(&doc).expect("round trip");
+        assert_eq!(card, back);
+        // The compared form parses too (annotations are ignored).
+        let compared = card.compare_json(&back);
+        let reback = Scorecard::from_json(&compared).expect("compared form parses");
+        assert_eq!(card, reback);
+    }
+
+    #[test]
+    fn comparison_counts_verdicts_and_flags_regressions() {
+        let baseline = Scorecard {
+            metrics: fold_bench_artifacts(&fixture()),
+        };
+        let mut current = baseline.clone();
+        // Blow the p99 past its 1.5x band and add a brand-new metric.
+        current.metric("serve_p99_ns").unwrap();
+        for m in &mut current.metrics {
+            if m.id == "serve_p99_ns" {
+                m.value *= 2.0;
+            }
+        }
+        current
+            .metrics
+            .push(Metric::new("brand_new", 1.0, 0.1, Direction::LowerIsBetter));
+        assert_eq!(current.regressions(&baseline), vec!["serve_p99_ns"]);
+        let doc = current.compare_json(&baseline);
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("regressed").and_then(Json::as_u64), Some(1));
+        // The new metric has no verdict and does not count anywhere.
+        let total = summary.get("better").and_then(Json::as_u64).unwrap()
+            + summary.get("within_noise").and_then(Json::as_u64).unwrap()
+            + summary.get("regressed").and_then(Json::as_u64).unwrap();
+        assert_eq!(total as usize, current.metrics.len() - 1);
+    }
+
+    #[test]
+    fn smoke_state_records_and_resets() {
+        let _guard = crate::metrics::test_lock::hold();
+        crate::reset_metrics();
+        record_smoke_metric(Metric::new(
+            "smoke_explore_fir_ns",
+            123.0,
+            NOISE_SMOKE,
+            Direction::LowerIsBetter,
+        ));
+        assert_eq!(smoke_metrics().len(), 1);
+        crate::reset_metrics();
+        assert!(smoke_metrics().is_empty());
+    }
+
+    #[test]
+    fn malformed_documents_name_the_failure() {
+        let missing = Json::parse(r#"{"schema":"datareuse-scorecard-v1"}"#).unwrap();
+        assert!(Scorecard::from_json(&missing).unwrap_err().contains("metrics"));
+        let wrong = Json::parse(r#"{"schema":"other","metrics":[]}"#).unwrap();
+        assert!(Scorecard::from_json(&wrong).unwrap_err().contains("scorecard"));
+        let bad_dir = Json::parse(
+            r#"{"schema":"datareuse-scorecard-v1","metrics":[
+                {"id":"x","value":1,"noise":0.1,"direction":"sideways"}]}"#,
+        )
+        .unwrap();
+        assert!(Scorecard::from_json(&bad_dir).unwrap_err().contains("direction"));
+    }
+}

@@ -330,6 +330,98 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_keeps_newest_points_and_conserves_deltas() {
+        use datareuse_proptest::{check, prop_assert_eq, Config};
+        let _guard = test_lock::hold();
+        // Property: after N > SERIES_CAPACITY scrapes the ring holds
+        // exactly the newest 256 points with contiguous sequence
+        // numbers, each point's delta matches the work done in its
+        // window, and retained + evicted deltas recompose the absolute
+        // counter — eviction loses history, never accounting.
+        check(
+            "series_wraparound_conserves_deltas",
+            &Config::with_cases(6),
+            |rng| {
+                rng.vec(SERIES_CAPACITY + 1, SERIES_CAPACITY + 32, |r| {
+                    r.u64_in(0, 1_000)
+                })
+            },
+            |increments| {
+                reset_metrics();
+                set_metrics_enabled(true);
+                let mut total = 0u64;
+                for &n in increments {
+                    add(Counter::ServeRequests, n);
+                    total += n;
+                    scrape_series();
+                }
+                set_metrics_enabled(false);
+                let points = series_points();
+                prop_assert_eq!(points.len(), SERIES_CAPACITY);
+                let first = increments.len() - SERIES_CAPACITY;
+                for (i, p) in points.iter().enumerate() {
+                    prop_assert_eq!(p.seq, (first + i) as u64);
+                    prop_assert_eq!(
+                        p.counter(Counter::ServeRequests),
+                        increments[first + i],
+                        "window {} delta",
+                        first + i
+                    );
+                }
+                let evicted: u64 = increments[..first].iter().sum();
+                let kept: u64 = points
+                    .iter()
+                    .map(|p| p.counter(Counter::ServeRequests))
+                    .sum();
+                prop_assert_eq!(kept + evicted, total);
+                reset_metrics();
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn window_hists_recompose_the_cumulative_count() {
+        use datareuse_proptest::{check, prop_assert, prop_assert_eq, Config};
+        let _guard = test_lock::hold();
+        // Property: each point's window histogram counts exactly the
+        // values recorded in that window (the bucket-difference merge is
+        // lossless), window percentiles stay ordered, and the windows
+        // sum back to the cumulative histogram count.
+        check(
+            "series_window_hists_recompose",
+            &Config::with_cases(16),
+            |rng| {
+                rng.vec(1, 8, |r| {
+                    r.vec(0, 12, |v| v.u64_in(1, 10_000_000))
+                })
+            },
+            |windows| {
+                reset_metrics();
+                set_metrics_enabled(true);
+                let mut per_window = Vec::new();
+                for batch in windows {
+                    for &v in batch {
+                        record_hist(Hist::ServeQueueWait, v);
+                    }
+                    per_window.push(scrape_series());
+                }
+                set_metrics_enabled(false);
+                let mut windowed = 0u64;
+                for (point, batch) in per_window.iter().zip(windows) {
+                    let h = point.hist(Hist::ServeQueueWait);
+                    prop_assert_eq!(h.count, batch.len() as u64);
+                    prop_assert!(h.p50 <= h.p99, "window p50 {} > p99 {}", h.p50, h.p99);
+                    windowed += h.count;
+                }
+                prop_assert_eq!(windowed, hist_snapshot(Hist::ServeQueueWait).count);
+                reset_metrics();
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
     fn ring_is_bounded_and_json_parses() {
         let _guard = test_lock::hold();
         reset_metrics();

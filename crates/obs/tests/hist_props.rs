@@ -149,6 +149,44 @@ fn histogram_json_is_parseable_and_consistent() {
     );
 }
 
+#[test]
+fn merged_histogram_percentiles_stay_monotone_and_in_range() {
+    // The scorecard and the series ring both consume *merged* snapshots
+    // (shard merges, window differences), so monotonicity must survive
+    // the merge, not just a single-recorder histogram.
+    check(
+        "hist_merged_percentile_monotone",
+        &Config::default(),
+        |rng| (rng.vec(1, 48, any_value), rng.vec(1, 48, any_value)),
+        |(a, b)| {
+            let (sa, sb) = (snapshot_of(a), snapshot_of(b));
+            let merged = sa.merge(&sb);
+            let grid = [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+            for q in grid.windows(2) {
+                prop_assert!(
+                    merged.percentile(q[0]) <= merged.percentile(q[1]),
+                    "merged p{} > p{}",
+                    q[0],
+                    q[1]
+                );
+            }
+            for &q in &grid {
+                let p = merged.percentile(q);
+                prop_assert!(
+                    merged.min <= p && p <= merged.max,
+                    "merged p({q}) = {p} escapes [{}, {}]",
+                    merged.min,
+                    merged.max
+                );
+            }
+            prop_assert_eq!(merged.percentile(1.0), sa.max.max(sb.max));
+            // Merging with an empty snapshot changes nothing.
+            prop_assert_eq!(sa.merge(&snapshot_of(&[])), sa);
+            Ok(())
+        },
+    );
+}
+
 /// Names must be `&'static str`, so generated events draw from a pool.
 const NAMES: [&str; 4] = ["request", "execute", "queue_wait", "flush"];
 

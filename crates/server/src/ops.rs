@@ -238,6 +238,7 @@ pub fn execute(op: &Op) -> Result<Json, OpError> {
         | Op::Health
         | Op::Trace
         | Op::Prom
+        | Op::Profile
         | Op::Ping
         | Op::Shutdown
         | Op::Batch(_) => Err(OpError {

@@ -9,6 +9,7 @@
 //!              "id"?: <any json>, "deadline_ms"?: uint }
 //! op       = "explore" | "pareto" | "report" | "codegen" | "batch"
 //!          | "stats" | "health" | "trace" | "prom" | "ping" | "shutdown"
+//!          | "profile"
 //! response = { "ok": true,  "id"?: <echoed>, "cached": bool,
 //!              "coalesced"?: true, "result": <json> }
 //!          | { "ok": false, "id"?: <echoed>,
@@ -36,7 +37,8 @@
 //! `health` evaluates the server's SLO thresholds into
 //! `ok`/`degraded`/`failing`; `trace` drains buffered spans as a Chrome
 //! trace-event document; `prom` returns the Prometheus text exposition
-//! as a JSON string.
+//! as a JSON string; `profile` returns the span-derived self-time
+//! profile as a `datareuse-profile-v1` document.
 //!
 //! `id` is echoed back verbatim and `deadline_ms` bounds how long the
 //! client is willing to wait; neither participates in the cache key —
@@ -63,9 +65,9 @@ pub const MAX_BATCH: usize = 256;
 /// Every wire op name, in grammar order (the same order as
 /// [`op_ordinal`](crate::server) flight details). The doc-drift test
 /// checks each against `docs/SERVING.md`.
-pub const OP_NAMES: [&str; 11] = [
+pub const OP_NAMES: [&str; 12] = [
     "explore", "pareto", "report", "codegen", "stats", "trace", "prom", "ping", "shutdown",
-    "health", "batch",
+    "health", "batch", "profile",
 ];
 
 /// Parameters of an `explore` request (one signal, full sweep).
@@ -187,6 +189,8 @@ pub enum Op {
     Trace,
     /// Prometheus text-format scrape of the metrics registry.
     Prom,
+    /// Span-derived self-time profile (`datareuse-profile-v1`).
+    Profile,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: stop accepting, drain in-flight work, exit.
@@ -207,6 +211,7 @@ impl Op {
                 | Op::Health
                 | Op::Trace
                 | Op::Prom
+                | Op::Profile
                 | Op::Ping
                 | Op::Shutdown
                 | Op::Batch(_)
@@ -225,6 +230,7 @@ impl Op {
             Op::Health => "health",
             Op::Trace => "trace",
             Op::Prom => "prom",
+            Op::Profile => "profile",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
             Op::Batch(_) => "batch",
@@ -379,6 +385,7 @@ impl Request {
             "health" => Op::Health,
             "trace" => Op::Trace,
             "prom" => Op::Prom,
+            "profile" => Op::Profile,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             "batch" => {
@@ -576,7 +583,7 @@ mod tests {
 
     #[test]
     fn control_ops_are_not_cacheable() {
-        for op in ["stats", "health", "trace", "prom", "ping", "shutdown"] {
+        for op in ["stats", "health", "trace", "prom", "profile", "ping", "shutdown"] {
             let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(r.cache_key.is_none(), "{op} must not be cached");
         }

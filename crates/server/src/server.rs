@@ -368,6 +368,7 @@ fn op_ordinal(op: &Op) -> u64 {
         Op::Shutdown => 9,
         Op::Health => 10,
         Op::Batch(_) => 11,
+        Op::Profile => 12,
     }
 }
 
@@ -1201,6 +1202,7 @@ impl EventLoop {
             Op::Health => health_result(&self.shared),
             Op::Trace => chrome_trace_json(&take_trace_events()).to_string(),
             Op::Prom => Json::str(prometheus_text(&datareuse_obs::snapshot())).to_string(),
+            Op::Profile => datareuse_obs::profile_json().to_string(),
             Op::Shutdown => {
                 self.shared.stop();
                 r#""draining""#.to_string()
@@ -1464,6 +1466,49 @@ mod tests {
         );
         assert_eq!(responses[3].get("id").and_then(Json::as_u64), Some(4));
         assert_eq!(responses[4].get("ok").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn profile_op_round_trips_byte_identical_span_trees() {
+        let (addr, handle) = start(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        });
+        let responses = roundtrip(
+            addr,
+            &[
+                r#"{"op":"explore","kernel":"fir","id":1}"#,
+                r#"{"op":"profile","id":2}"#,
+                r#"{"op":"shutdown","id":3}"#,
+            ],
+        );
+        assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(true));
+        let result = responses[1].get("result").expect("profile result");
+        assert_eq!(
+            result.get("schema").and_then(Json::as_str),
+            Some("datareuse-profile-v1")
+        );
+        let rows = result.get("rows").and_then(Json::as_array).expect("rows");
+        assert!(!rows.is_empty(), "explore must have populated the span tree");
+        let mut self_sum = 0u64;
+        let mut root_sum = 0u64;
+        for row in rows {
+            let path = row.get("path").and_then(Json::as_str).unwrap();
+            let total = row.get("total_ns").and_then(Json::as_u64).unwrap();
+            let own = row.get("self_ns").and_then(Json::as_u64).unwrap();
+            assert!(own <= total, "{path}: self {own} exceeds total {total}");
+            self_sum += own;
+            if !path.contains('/') {
+                root_sum += total;
+            }
+        }
+        // Self times partition the cumulative root totals exactly.
+        assert_eq!(self_sum, root_sum);
+        // The document is canonical: reparse → reserialize is
+        // byte-identical, so span trees survive the wire losslessly.
+        let text = result.to_string();
+        assert_eq!(text, Json::parse(&text).unwrap().to_string());
         handle.join().unwrap();
     }
 

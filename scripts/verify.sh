@@ -19,13 +19,14 @@ cargo test -q
 cargo test -q --workspace
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-# Doc-drift gate: the operator runbook (docs/SERVING.md) is checked
-# against the code-side enumerations — wire ops, serve metrics, error
-# codes, query exit codes — so it cannot rot silently. This already ran
-# under `cargo test` above; run it by name so a drift failure is
-# unmistakable in CI output.
+# Doc-drift gate: the operator runbook (docs/SERVING.md) and the
+# metrics reference (docs/OBSERVABILITY.md) are checked against the
+# code-side enumerations — wire ops, the full counter/gauge/histogram
+# registry, error codes, query exit codes — so they cannot rot
+# silently. This already ran under `cargo test` above; run it by name
+# so a drift failure is unmistakable in CI output.
 cargo test -q --test doc_drift
-echo "doc drift gate passed (docs/SERVING.md matches the code)"
+echo "doc drift gate passed (docs/SERVING.md and docs/OBSERVABILITY.md match the code)"
 
 # Serving smoke test: start the daemon on an ephemeral port, prove the
 # second identical query is a cache hit, and check it drains and exits 0
@@ -81,7 +82,10 @@ fi
 sed -e "s|$ADDR|ADDR|" \
     -e 's/  */ /g' \
     -e 's/[0-9][0-9.]*/N/g' \
-    -e 's/[_.:=+*#-]\{1,\}$/SPARK/' "$TOP_FRAME" > "$TOP_FRAME.norm"
+    -e 's/[_.:=+*#-]\{1,\}$/SPARK/' \
+    -e 's/within-noise/VERDICT/' \
+    -e 's/better/VERDICT/' \
+    -e 's/regressed/VERDICT/' "$TOP_FRAME" > "$TOP_FRAME.norm"
 cat > "$TOP_FRAME.golden" <<'EOF'
 datareuse top — ADDR
 requests N errors N timeouts N overloaded N
@@ -92,6 +96,7 @@ req/win SPARK
 pN SPARK
 pN SPARK
 points N
+scorecard pN VERDICT vs baseline (N metrics)
 EOF
 if ! diff -u "$TOP_FRAME.golden" "$TOP_FRAME.norm"; then
     echo "serve smoke: top frame shape drifted from the golden skeleton" >&2
@@ -231,6 +236,37 @@ for group in analytical_vs_simulation batch_and_hierarchy corpus \
     fi
 done
 echo "bench baseline gate passed (benchmarks/BENCH_*.json present)"
+
+# Scorecard regression gate: fold the committed baselines plus a fresh
+# smoke sweep into the roll-up and judge every metric against the
+# committed benchmarks/SCORECARD.json. Exit 7 is the sentinel's
+# regression verdict; any nonzero exit fails tier-1.
+if target/release/datareuse scorecard --baseline benchmarks/SCORECARD.json; then
+    echo "scorecard gate passed (no metric regressed past its noise band)"
+else
+    RC=$?
+    if [ "$RC" -eq 7 ]; then
+        echo "scorecard gate: a metric regressed past its noise band" \
+            "(rebaseline deliberately with --update-baseline)" >&2
+    else
+        echo "scorecard gate: datareuse scorecard failed (exit $RC)" >&2
+    fi
+    exit 1
+fi
+
+# Profiler smoke: --profile-out must write a non-empty collapsed-stack
+# export rooted at the `run` span (the 5% wall-time partition invariant
+# is pinned by crates/cli/tests/cli_gates.rs under `cargo test` above).
+PROFILE_OUT="$(mktemp)"
+target/release/datareuse explore fir --profile-out "$PROFILE_OUT" \
+    > /dev/null 2> /dev/null
+if ! grep -q '^run.* [0-9][0-9]*$' "$PROFILE_OUT"; then
+    echo "profiler smoke: no \`run\`-rooted collapsed stack in --profile-out" >&2
+    cat "$PROFILE_OUT" >&2
+    exit 1
+fi
+rm -f "$PROFILE_OUT"
+echo "profiler smoke passed (collapsed-stack export is run-rooted)"
 
 # Bench-regression guard: re-measure the symbolic-vs-simulation ratio
 # fresh (short budget — this is a regression tripwire, not a baseline)

@@ -181,6 +181,52 @@ fn the_corpus_baseline_sweeps_the_generated_workloads_symbolically() {
 }
 
 #[test]
+fn the_committed_scorecard_covers_every_suite_and_headline_metric() {
+    use datareuse::obs::{Direction, Scorecard};
+    let text = fs::read_to_string(benchmarks_dir().join("SCORECARD.json"))
+        .expect("benchmarks/SCORECARD.json committed (datareuse scorecard --update-baseline)");
+    let doc = Json::parse(&text).expect("SCORECARD.json parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("datareuse-scorecard-v1")
+    );
+    let card = Scorecard::from_json(&doc).expect("scorecard schema");
+    assert!(!card.metrics.is_empty(), "empty scorecard baseline");
+    for m in &card.metrics {
+        assert!(m.value.is_finite() && m.value > 0.0, "{}: bad value {}", m.id, m.value);
+        assert!(m.noise > 0.0, "{}: non-positive noise band", m.id);
+    }
+    // Every committed BENCH suite folds to a suite median, so the
+    // baseline must carry one metric per artifact on disk.
+    for (name, _) in artifacts() {
+        let group = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json");
+        let id = format!("suite_{group}_median_ns");
+        let m = card
+            .metric(&id)
+            .unwrap_or_else(|| panic!("scorecard baseline missing {id}"));
+        assert_eq!(m.direction, Direction::LowerIsBetter, "{id}: wrong direction");
+    }
+    // The headline metrics and the smoke sweep must be pinned too.
+    for id in [
+        "serve_p50_ns",
+        "serve_p99_ns",
+        "serve_cache_speedup",
+        "serve_saturation_rps",
+        "corpus_symbolic_hit_rate",
+        "symbolic_speedup_depth3",
+        "symbolic_speedup_me_small",
+        "smoke_explore_fir_ns",
+        "smoke_explore_me_small_ns",
+        "smoke_symbolic_hit_rate",
+        "smoke_symbolic_agreement",
+    ] {
+        assert!(card.metric(id).is_some(), "scorecard baseline missing {id}");
+    }
+}
+
+#[test]
 fn symbolic_baseline_is_at_least_10x_faster_than_simulation() {
     let artifacts = artifacts();
     let (_, symbolic) = artifacts

@@ -160,11 +160,63 @@ fn the_runbook_is_linked_from_the_readme_and_architecture_docs() {
     for (file, link) in [
         ("README.md", "docs/SERVING.md"),
         ("docs/ARCHITECTURE.md", "SERVING.md"),
+        ("README.md", "docs/OBSERVABILITY.md"),
+        ("docs/SERVING.md", "OBSERVABILITY.md"),
     ] {
         let text = repo_file(file);
         assert!(
             text.contains(link),
-            "{file} does not link to the serving runbook ({link})"
+            "{file} does not link to {link}"
+        );
+    }
+}
+
+#[test]
+fn every_metric_in_code_is_documented_in_the_observability_guide() {
+    // docs/OBSERVABILITY.md is the registry reference: unlike the
+    // serving runbook (which only owes sections to `serve_*` metrics),
+    // it must name every counter, gauge, and histogram the code can
+    // emit, backticked so readers can grep the wire name.
+    let doc = repo_file("docs/OBSERVABILITY.md");
+    let counters = Counter::ALL.iter().map(|c| c.name());
+    let gauges = Gauge::ALL.iter().map(|g| g.name());
+    let hists = Hist::ALL.iter().map(|h| h.name());
+    for name in counters.chain(gauges).chain(hists) {
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "metric `{name}` is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+}
+
+#[test]
+fn the_usage_text_and_observability_guide_cover_the_profiler_and_scorecard() {
+    let cli = repo_file("crates/cli/src/main.rs");
+    let usage_start = cli.find("const USAGE:").expect("usage text present");
+    let usage = &cli[usage_start..cli[usage_start..]
+        .find("\";")
+        .map_or(cli.len(), |e| usage_start + e)];
+    for needle in ["scorecard", "--profile-out", "--update-baseline", "--baseline"] {
+        assert!(
+            usage.contains(needle),
+            "usage text does not mention `{needle}`"
+        );
+    }
+    let doc = repo_file("docs/OBSERVABILITY.md");
+    for needle in [
+        "--profile-out",
+        "datareuse-profile-v1",
+        "datareuse-scorecard-v1",
+        "datareuse-metrics-v2",
+        "datareuse-series-v1",
+        "benchmarks/SCORECARD.json",
+        "--update-baseline",
+        "exit 7",
+        "within-noise",
+    ] {
+        assert!(
+            doc.contains(needle),
+            "docs/OBSERVABILITY.md does not mention `{needle}`"
         );
     }
 }
