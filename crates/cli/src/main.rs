@@ -112,9 +112,9 @@ const USAGE: &str = "usage: datareuse <command> [args]
   explore <kernel> [--array NAME] [--depth N] [--json] [--simulate]
                    [--workingset] [--cross-validate] [--gnuplot FILE]
                    [--explain FILE] [--metrics FILE] [--profile-out FILE]
-                   [--progress]
+                   [--alloc-profile FILE] [--progress]
   report  <kernel> [--json] [--explain FILE] [--metrics FILE]
-                   [--profile-out FILE] [--progress]
+                   [--profile-out FILE] [--alloc-profile FILE] [--progress]
   scorecard [--json] [--baseline FILE] [--update-baseline] [--bench-dir DIR]
   orders  <kernel> [--array NAME] [--limit N]
   curve   <kernel> [--array NAME] --sizes 8,64,512 [--policy opt|opt-bypass]
@@ -124,7 +124,8 @@ const USAGE: &str = "usage: datareuse <command> [args]
   serve   [--addr HOST:PORT] [--threads N] [--loops N] [--queue-depth N]
           [--cache-entries N] [--cache-snapshot FILE] [--deadline-ms MS]
           [--metrics FILE] [--trace-out FILE] [--series-out FILE] [--scrape-ms MS]
-          [--slo-p99-ms MS] [--slo-hit-ratio R] [--slo-queue F] [--progress]
+          [--slo-p99-ms MS] [--slo-hit-ratio R] [--slo-queue F]
+          [--profile-out FILE] [--alloc-profile FILE] [--progress]
   query   --addr HOST:PORT <request-json>...
   top     --addr HOST:PORT [--interval-ms MS] [--once] [--ascii]
   bench-serve [--connections N] [--out FILE] [--threads N] [--loops N]
@@ -351,50 +352,63 @@ fn cmd_emit(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// One command's observability lifecycle: `--metrics FILE` and
-/// `--profile-out FILE` enable the registry, `--progress` starts the
-/// live narrator, and a root `run` span brackets the command whenever a
-/// profile was requested so the exported self times partition the
-/// measured wall time. [`Observability::finish`] closes the span and
-/// writes the requested artifacts.
+/// One command's observability lifecycle: `--metrics FILE`,
+/// `--profile-out FILE`, and `--alloc-profile FILE` enable the registry,
+/// `--progress` starts the live narrator, and a root `run` span brackets
+/// the command whenever a profile (time or allocation) was requested so
+/// the exported self weights partition the measured totals.
+/// [`Observability::finish`] closes the span and writes the requested
+/// artifacts.
 struct Observability {
     metrics_path: Option<String>,
     profile_path: Option<String>,
+    alloc_profile_path: Option<String>,
     progress: Option<datareuse_obs::Progress>,
     run_span: Option<datareuse_obs::SpanGuard>,
     started: std::time::Instant,
+    /// Process-wide `bytes_allocated` when the command started; the
+    /// delta at finish is the `alloc: total_bytes N` stderr line.
+    alloc_baseline: u64,
+}
+
+fn path_flag(args: &Args, name: &str) -> Result<Option<String>, CliError> {
+    match args.flag(name) {
+        Some(path) => Ok(Some(path.to_string())),
+        None if args.has(name) => Err(usage(&format!("--{name} expects a file path"))),
+        None => Ok(None),
+    }
 }
 
 fn start_observability(args: &Args) -> Result<Observability, CliError> {
     let metrics_path = args.flag("metrics").map(str::to_string);
-    let profile_path = match args.flag("profile-out") {
-        Some(path) => Some(path.to_string()),
-        None if args.has("profile-out") => {
-            return Err(usage("--profile-out expects a file path"));
-        }
-        None => None,
-    };
-    if metrics_path.is_some() || profile_path.is_some() {
+    let profile_path = path_flag(args, "profile-out")?;
+    let alloc_profile_path = path_flag(args, "alloc-profile")?;
+    if metrics_path.is_some() || profile_path.is_some() || alloc_profile_path.is_some() {
         datareuse_obs::set_metrics_enabled(true);
     }
-    let run_span = profile_path.is_some().then(|| datareuse_obs::span("run"));
+    let run_span = (profile_path.is_some() || alloc_profile_path.is_some())
+        .then(|| datareuse_obs::span("run"));
     let progress = args
         .has("progress")
         .then(|| datareuse_obs::Progress::start(std::time::Duration::from_secs(1)));
     Ok(Observability {
         metrics_path,
         profile_path,
+        alloc_profile_path,
         progress,
         run_span,
         started: std::time::Instant::now(),
+        alloc_baseline: datareuse_obs::alloc_snapshot().bytes_allocated,
     })
 }
 
 impl Observability {
     /// Stops the narrator, closes the root `run` span, and writes the
-    /// profile and metrics artifacts if they were requested. The
-    /// `profile: wall_ns N` stderr line is the wall time the collapsed
-    /// stacks' self times must sum back to (pinned by the CLI gates).
+    /// profile, allocation-profile, and metrics artifacts if they were
+    /// requested. The `profile: wall_ns N` and `alloc: total_bytes N`
+    /// stderr lines are the totals the collapsed stacks' (and
+    /// memprofile rows') self weights must sum back to (pinned by the
+    /// CLI gates).
     fn finish(mut self) -> Result<(), String> {
         self.progress.take();
         self.run_span.take();
@@ -404,6 +418,16 @@ impl Observability {
             std::fs::write(path, datareuse_obs::collapsed_stacks())
                 .map_err(|e| format!("cannot write profile to `{path}`: {e}"))?;
             eprintln!("profile (collapsed stacks) written to {path}");
+        }
+        if let Some(path) = &self.alloc_profile_path {
+            let total_bytes = datareuse_obs::alloc_snapshot()
+                .bytes_allocated
+                .saturating_sub(self.alloc_baseline);
+            eprintln!("alloc: total_bytes {total_bytes}");
+            let doc = datareuse_obs::memprofile_json().to_string();
+            std::fs::write(path, doc + "\n")
+                .map_err(|e| format!("cannot write alloc profile to `{path}`: {e}"))?;
+            eprintln!("alloc profile (datareuse-memprofile-v1) written to {path}");
         }
         if let Some(path) = &self.metrics_path {
             write_metrics(path)?;
@@ -844,26 +868,35 @@ fn read_bench_artifacts(dir: &str) -> Result<Vec<(String, Json)>, CliError> {
 }
 
 /// Runs the fresh smoke sweep the scorecard folds in alongside the
-/// committed artifacts: explore latency for two pinned kernels, the
-/// sweep's symbolic-profile hit rate, and agreement between the
-/// analytical `C_tot` and the independent trace length. Recorded
-/// through the process-global smoke registry so `reset_metrics` owns
-/// the state like every other observability surface.
+/// committed artifacts: explore latency and allocation for two pinned
+/// kernels, the sweep's symbolic-profile hit rate, agreement between
+/// the analytical `C_tot` and the independent trace length, the
+/// simulation-vs-symbolic allocation ratio, and the serving loop's
+/// steady-state live heap. Recorded through the process-global smoke
+/// registry so `reset_metrics` owns the state like every other
+/// observability surface.
 fn scorecard_smoke_sweep() -> Result<(), CliError> {
     use datareuse_obs::{Counter, Direction, Metric, NOISE_RATE, NOISE_SMOKE};
     datareuse_obs::set_metrics_enabled(true);
     let opts = ExploreOptions::default();
     let hits_before = datareuse_obs::counter_value(Counter::SymbolicHits);
     let falls_before = datareuse_obs::counter_value(Counter::SimFallbacks);
+    let alloc_bytes = || datareuse_obs::alloc_snapshot().bytes_allocated;
     let mut agree = true;
+    let mut fir_symbolic_bytes = 1.0f64;
     for name in ["fir", "me-small"] {
         let program = load_kernel(name)?;
         let array =
             default_array(&program).ok_or_else(|| format!("{name}: no read accesses"))?;
         let started = std::time::Instant::now();
+        let bytes_before = alloc_bytes();
         let ex = explore_signal_explained(&program, &array, &opts, None)
             .map_err(|e| format!("{name}: {e}"))?;
         let elapsed = (started.elapsed().as_nanos() as f64).max(1.0);
+        let explore_bytes = (alloc_bytes().saturating_sub(bytes_before) as f64).max(1.0);
+        if name == "fir" {
+            fir_symbolic_bytes = explore_bytes;
+        }
         agree &= read_addresses(&program, &array).len() as u64 == ex.c_tot;
         datareuse_obs::record_smoke_metric(Metric::new(
             format!("smoke_explore_{}_ns", name.replace('-', "_")),
@@ -871,7 +904,38 @@ fn scorecard_smoke_sweep() -> Result<(), CliError> {
             NOISE_SMOKE,
             Direction::LowerIsBetter,
         ));
+        // Bytes-per-explore: process-wide allocation traffic of one
+        // symbolic exploration. The whole point of the closed-form path
+        // is to stay allocation-lean; creeping buffers regress here.
+        datareuse_obs::record_smoke_metric(Metric::new(
+            format!("smoke_alloc_{}_bytes", name.replace('-', "_")),
+            explore_bytes,
+            NOISE_SMOKE,
+            Direction::LowerIsBetter,
+        ));
     }
+    // Simulation-vs-symbolic allocation ratio on fir: how many bytes one
+    // Belady trace-simulation point allocates per byte the closed-form
+    // exploration allocates. Higher is better — the symbolic path
+    // getting relatively heavier (ratio shrinking) is the regression
+    // this metric exists to catch.
+    {
+        let program = load_kernel("fir")?;
+        let array =
+            default_array(&program).ok_or_else(|| "fir: no read accesses".to_string())?;
+        let trace = read_addresses(&program, &array);
+        let bytes_before = alloc_bytes();
+        let curve = ReuseCurve::simulate(&trace, [64u64], CurvePolicy::Optimal);
+        let sim_bytes = (alloc_bytes().saturating_sub(bytes_before) as f64).max(1.0);
+        std::hint::black_box(&curve);
+        datareuse_obs::record_smoke_metric(Metric::new(
+            "smoke_alloc_symbolic_ratio",
+            sim_bytes / fir_symbolic_bytes,
+            NOISE_SMOKE,
+            Direction::HigherIsBetter,
+        ));
+    }
+    smoke_serve_live_bytes()?;
     let hits = datareuse_obs::counter_value(Counter::SymbolicHits) - hits_before;
     let falls = datareuse_obs::counter_value(Counter::SimFallbacks) - falls_before;
     let rate = hits as f64 / ((hits + falls) as f64).max(1.0);
@@ -886,6 +950,43 @@ fn scorecard_smoke_sweep() -> Result<(), CliError> {
         if agree { 1.0 } else { 0.0 },
         NOISE_RATE,
         Direction::HigherIsBetter,
+    ));
+    Ok(())
+}
+
+/// Serve steady-state live heap: bind a loopback server, run a handful
+/// of explore queries through it, and record the process's live bytes
+/// after the drain. A serving loop that retains per-request state (a
+/// leaky cache entry, an unbounded buffer) regresses here.
+fn smoke_serve_live_bytes() -> Result<(), CliError> {
+    use datareuse_obs::{Direction, Metric, NOISE_SMOKE};
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr()?;
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(&addr.to_string())?;
+    for kernel in ["fir", "me-small", "fir"] {
+        let response =
+            client.send_raw(&format!(r#"{{"op":"explore","kernel":"{kernel}"}}"#))?;
+        let doc = Json::parse(&response).map_err(|e| format!("serve smoke: {e}"))?;
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("serve smoke: explore failed: {response}").into());
+        }
+    }
+    client.send_raw(r#"{"op":"shutdown"}"#)?;
+    drop(client);
+    handle
+        .join()
+        .map_err(|_| "serve smoke: server thread panicked".to_string())?
+        .map_err(|e| format!("serve smoke: {e}"))?;
+    datareuse_obs::record_smoke_metric(Metric::new(
+        "smoke_serve_live_bytes",
+        datareuse_obs::alloc_snapshot().live_bytes as f64,
+        NOISE_SMOKE,
+        Direction::LowerIsBetter,
     ));
     Ok(())
 }

@@ -50,12 +50,21 @@ fn fmt_ms(ns: u64) -> String {
     format!("{:.2}ms", ns as f64 / 1e6)
 }
 
+/// Fixed-unit byte formatting: always megabytes with two decimals, so
+/// golden-frame normalization (digits → `N`) is stable regardless of
+/// magnitude.
+fn fmt_mb(bytes: f64) -> String {
+    format!("{:.2}MB", bytes / 1e6)
+}
+
 /// Extracts the per-point series a frame plots: requests per window and
 /// the window p50/p99 of cold-request latency.
 struct SeriesView {
     requests: Vec<u64>,
     p50_ns: Vec<u64>,
     p99_ns: Vec<u64>,
+    alloc_total: Vec<u64>,
+    unix_ms: Vec<u64>,
 }
 
 impl SeriesView {
@@ -64,6 +73,8 @@ impl SeriesView {
             requests: Vec::new(),
             p50_ns: Vec::new(),
             p99_ns: Vec::new(),
+            alloc_total: Vec::new(),
+            unix_ms: Vec::new(),
         };
         let points = stats
             .get("series")
@@ -87,8 +98,30 @@ impl SeriesView {
             view.requests.push(counter("serve_requests"));
             view.p50_ns.push(hist("p50"));
             view.p99_ns.push(hist("p99"));
+            view.alloc_total.push(
+                p.get("gauges")
+                    .and_then(|g| g.get("alloc_bytes_total"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            );
+            view.unix_ms
+                .push(p.get("unix_ms").and_then(Json::as_u64).unwrap_or(0));
         }
         view
+    }
+
+    /// Allocation rate in bytes/second over the last scrape window:
+    /// the `alloc_bytes_total` gauge carries cumulative allocation
+    /// traffic, so diffing the two newest points and dividing by their
+    /// wall-clock gap yields the live rate. Zero until two points exist.
+    fn alloc_rate(&self) -> f64 {
+        let n = self.alloc_total.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let bytes = self.alloc_total[n - 1].saturating_sub(self.alloc_total[n - 2]) as f64;
+        let ms = self.unix_ms[n - 1].saturating_sub(self.unix_ms[n - 2]).max(1) as f64;
+        bytes * 1e3 / ms
     }
 }
 
@@ -156,6 +189,19 @@ pub fn render_frame(addr: &str, stats: &Json, ascii: bool, baseline: Option<&Sco
         ));
         out.push_str(&format!("points   {}\n", view.requests.len()));
     }
+    let gauge = |name: &str| {
+        stats
+            .get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    out.push_str(&format!(
+        "memory   live {:>10}   peak {:>10}   alloc {:>10}/s\n",
+        fmt_mb(gauge("alloc_live_bytes") as f64),
+        fmt_mb(gauge("alloc_peak_bytes") as f64),
+        fmt_mb(view.alloc_rate()),
+    ));
     match baseline.and_then(|b| b.metric("serve_p99_ns")) {
         Some(base) => {
             let verdict = Verdict::judge(last_p99 as f64, base.value, base.noise, base.direction);
@@ -170,6 +216,37 @@ pub fn render_frame(addr: &str, stats: &Json, ascii: bool, baseline: Option<&Sco
     out
 }
 
+/// RAII guard for the live dashboard's terminal state. Construction
+/// switches to the alternate screen and hides the cursor; `Drop`
+/// restores both, so a panic mid-redraw (or any early return) cannot
+/// strand the user's terminal on the alternate screen with the cursor
+/// hidden. `--once` never constructs one, which keeps one-shot output
+/// byte-identical to what it was before the guard existed.
+struct TermGuard;
+
+impl TermGuard {
+    /// Enter the alternate screen and hide the cursor, returning the
+    /// guard whose `Drop` undoes both.
+    fn activate() -> TermGuard {
+        print!("\x1b[?1049h\x1b[?25l");
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        TermGuard
+    }
+
+    /// The restore sequence `Drop` writes: leave the alternate screen,
+    /// show the cursor.
+    fn restore_bytes() -> &'static str {
+        "\x1b[?1049l\x1b[?25h"
+    }
+}
+
+impl Drop for TermGuard {
+    fn drop(&mut self) {
+        print!("{}", TermGuard::restore_bytes());
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+    }
+}
+
 /// Drives the dashboard: poll, render, repeat (or once).
 ///
 /// # Errors
@@ -178,6 +255,10 @@ pub fn render_frame(addr: &str, stats: &Json, ascii: bool, baseline: Option<&Sco
 /// error response.
 pub fn run_top(opts: &TopOptions) -> Result<(), String> {
     let mut client = Client::connect(&opts.addr)?;
+    // Live mode owns the terminal for the duration: the guard flips to
+    // the alternate screen now and restores it on every exit path —
+    // error returns and panics included.
+    let _guard = if opts.once { None } else { Some(TermGuard::activate()) };
     loop {
         let response = client.send_raw(r#"{"op":"stats","series":true}"#)?;
         let doc = Json::parse(&response).map_err(|e| format!("malformed stats response: {e}"))?;
@@ -231,9 +312,57 @@ mod tests {
         assert!(frame.contains("hit ratio  75.0%"), "frame:\n{frame}");
         assert!(frame.contains("p99      "), "frame:\n{frame}");
         assert!(frame.contains("points   2"), "frame:\n{frame}");
+        // A document without memory gauges renders an all-zero memory
+        // panel rather than dropping the line.
+        assert!(
+            frame.contains("memory   live     0.00MB   peak     0.00MB   alloc     0.00MB/s"),
+            "frame:\n{frame}"
+        );
         assert!(frame.ends_with("scorecard (no baseline)\n"), "frame:\n{frame}");
         // ASCII frames stay ANSI-free so golden diffs are stable.
         assert!(!frame.contains('\x1b'));
+    }
+
+    #[test]
+    fn the_memory_panel_shows_live_peak_and_the_windowed_alloc_rate() {
+        // Two points one second apart with 5 MB of allocation traffic
+        // between them → a 5.00MB/s rate; live/peak come from the
+        // top-level gauges.
+        let stats = Json::parse(
+            r#"{"gauges":{"alloc_live_bytes":12340000,"alloc_peak_bytes":56780000},
+                "series":{"points":[
+                  {"seq":0,"unix_ms":1000,"counters":{"serve_requests":1},
+                   "gauges":{"alloc_bytes_total":1000000},
+                   "hists":{"serve_latency_cold_ns":{"count":1,"p50":1,"p99":1}}},
+                  {"seq":1,"unix_ms":2000,"counters":{"serve_requests":1},
+                   "gauges":{"alloc_bytes_total":6000000},
+                   "hists":{"serve_latency_cold_ns":{"count":1,"p50":1,"p99":1}}}]}}"#,
+        )
+        .unwrap();
+        let frame = render_frame("x", &stats, true, None);
+        assert!(
+            frame.contains("memory   live    12.34MB   peak    56.78MB   alloc     5.00MB/s"),
+            "frame:\n{frame}"
+        );
+        // Fewer than two points → no window to rate over.
+        let one = Json::parse(
+            r#"{"series":{"points":[
+                {"seq":0,"unix_ms":1000,"counters":{"serve_requests":1},
+                 "gauges":{"alloc_bytes_total":1000000},
+                 "hists":{"serve_latency_cold_ns":{"count":1,"p50":1,"p99":1}}}]}}"#,
+        )
+        .unwrap();
+        let frame = render_frame("x", &one, true, None);
+        assert!(frame.contains("alloc     0.00MB/s"), "frame:\n{frame}");
+    }
+
+    #[test]
+    fn the_terminal_guard_restore_sequence_reenables_the_main_screen_and_cursor() {
+        // The Drop guard must leave the alternate screen and re-show
+        // the cursor — the two sequences `activate` flipped on.
+        let restore = TermGuard::restore_bytes();
+        assert!(restore.contains("\x1b[?1049l"), "leaves alternate screen");
+        assert!(restore.contains("\x1b[?25h"), "re-shows cursor");
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //!   sum back to the command's measured wall time (the `profile:
 //!   wall_ns N` stderr line) within 5% — the partition invariant of the
 //!   span-derived profiler, checked on a real `explore fir` run.
+//! - `--alloc-profile` writes a memprofile whose self-byte rows sum
+//!   back to the command's allocator delta (the `alloc: total_bytes N`
+//!   stderr line) within 5% — the same partition invariant, on the
+//!   bytes column.
 //! - `scorecard` exits 7 (and only 7) when a metric regresses past its
 //!   noise band against the baseline, exits 0 against a matching
 //!   baseline, and writes/reads the `datareuse-scorecard-v1` shape.
@@ -87,6 +91,54 @@ fn profile_out_self_times_sum_to_the_measured_wall_time() {
 }
 
 #[test]
+fn alloc_profile_self_bytes_sum_to_the_allocator_delta() {
+    let scratch = Scratch::new("alloc-profile");
+    let profile = scratch.path("fir.memprofile.json");
+    // Span byte attribution is per-thread (a worker's allocations are
+    // charged to the span the *worker* opens, not the one the spawning
+    // thread holds), while the `alloc: total_bytes` stderr line is the
+    // process-wide delta. Pinning them against each other therefore
+    // needs a single-threaded run.
+    let output = run(bin()
+        .args(["explore", "fir", "--alloc-profile"])
+        .arg(&profile)
+        .env("DATAREUSE_THREADS", "1"));
+    let stderr = stderr_of(&output);
+    assert!(output.status.success(), "explore failed:\n{stderr}");
+    let total_bytes: f64 = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix("alloc: total_bytes "))
+        .expect("stderr reports `alloc: total_bytes N`")
+        .trim()
+        .parse()
+        .expect("numeric byte total");
+    assert!(total_bytes > 0.0, "explore allocates:\n{stderr}");
+    let text = std::fs::read_to_string(&profile).expect("alloc profile written");
+    assert!(
+        text.starts_with(r#"{"schema":"datareuse-memprofile-v1""#),
+        "profile: {text}"
+    );
+    // Sum the self_bytes column by hand — the file is one canonical
+    // JSON line, so a field scan is unambiguous.
+    let mut self_sum = 0.0f64;
+    let mut rows = 0usize;
+    for piece in text.split(r#""self_bytes":"#).skip(1) {
+        let digits: String = piece.chars().take_while(char::is_ascii_digit).collect();
+        self_sum += digits.parse::<f64>().expect("numeric self_bytes");
+        rows += 1;
+    }
+    assert!(rows >= 2, "expected nested rows in:\n{text}");
+    assert!(text.contains(r#""path":"run""#), "root row present:\n{text}");
+    // Self bytes partition the root span's total, and the root span
+    // brackets (nearly) the same region the allocator delta measures.
+    let ratio = self_sum / total_bytes;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "self-bytes sum {self_sum} vs allocator delta {total_bytes} (ratio {ratio:.4}):\n{text}"
+    );
+}
+
+#[test]
 fn profile_out_without_a_path_is_a_usage_error() {
     let output = run(bin().args(["explore", "fir", "--profile-out"]));
     assert_eq!(output.status.code(), Some(2), "stderr: {}", stderr_of(&output));
@@ -147,6 +199,16 @@ fn scorecard_exits_seven_only_on_a_regression() {
     assert!(doc.contains(r#""schema":"datareuse-scorecard-v1""#), "doc: {doc}");
     assert!(doc.contains(r#""id":"suite_tiny_median_ns""#), "doc: {doc}");
     assert!(doc.contains(r#""id":"smoke_explore_fir_ns""#), "doc: {doc}");
+    // The memory half of the card: allocator-derived metrics ride along
+    // with the timing smokes.
+    for id in [
+        "smoke_alloc_fir_bytes",
+        "smoke_alloc_me_small_bytes",
+        "smoke_alloc_symbolic_ratio",
+        "smoke_serve_live_bytes",
+    ] {
+        assert!(doc.contains(&format!(r#""id":"{id}""#)), "missing {id}: {doc}");
+    }
     assert!(doc.contains(r#""verdict":"#), "doc: {doc}");
     assert!(doc.contains(r#""regressed":0"#), "doc: {doc}");
 

@@ -526,6 +526,32 @@ fn identical_concurrent_requests_coalesce_onto_one_computation() {
     let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
     assert_eq!(counter("serve_coalesced"), (K - 1) as u64, "{counters}");
     assert_eq!(counter("serve_cache_misses"), 1, "one computation: {counters}");
+    // memstats breaks the same traffic out for allocation attribution:
+    // one leader actually computed (and allocated); the K-1 followers
+    // copied its bytes. Dividing allocator deltas by `computed` — not by
+    // `requests` — is what keeps bytes-per-explore honest under
+    // coalescing.
+    let memstats = exchange(&server.addr, &[r#"{"op":"memstats"}"#]);
+    let doc = &memstats[0];
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{doc}");
+    let result = doc.get("result").expect("memstats result");
+    assert_eq!(
+        result.get("schema").and_then(Json::as_str),
+        Some("datareuse-memstats-v1")
+    );
+    let serve = result.get("serve").expect("serve section");
+    let serve_num = |name: &str| serve.get(name).and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(serve_num("computed"), 1, "one leader computation: {serve}");
+    assert_eq!(
+        serve_num("coalesced_followers"),
+        (K - 1) as u64,
+        "followers attributed separately so they don't dilute bytes-per-compute: {serve}"
+    );
+    let allocator = result.get("allocator").expect("allocator section");
+    assert!(
+        allocator.get("bytes_allocated").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the leader's exploration allocated: {allocator}"
+    );
     server.shutdown();
 }
 

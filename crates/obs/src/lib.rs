@@ -10,8 +10,16 @@
 //!   candidates generated and pruned, chains enumerated and costed, Pareto
 //!   points kept, Belady evictions, stack-distance samples, working-set
 //!   windows, parallel-sweep items.
-//! - **Spans** ([`span`]) — RAII guards that charge wall time to a
-//!   `/`-joined hierarchical path (`explore/pairs`, `explore/chains`).
+//! - **Spans** ([`span`]) — RAII guards that charge wall time *and*
+//!   bytes allocated in scope to a `/`-joined hierarchical path
+//!   (`explore/pairs`, `explore/chains`).
+//! - **Allocation tracking** ([`alloc_snapshot`], [`thread_alloc_bytes`],
+//!   [`AllocSnapshot`]) — a `#[global_allocator]` wrapper over `System`
+//!   with sharded atomic tallies (alloc/dealloc/realloc counts, bytes
+//!   allocated/freed, live bytes, high-water peak) and a per-thread
+//!   cumulative counter the span layer samples for per-phase
+//!   attribution; surfaced as the `alloc_*` gauges and the
+//!   `datareuse-memprofile-v1` export.
 //! - **Worker load** ([`record_worker_items`]) — items processed per
 //!   `parallel_map` worker, for spotting a load-imbalanced sweep.
 //! - **Latency histograms** ([`Hist`], [`record_hist`], [`Histogram`]) —
@@ -31,7 +39,9 @@
 //!   [`profile_json`]) — derives per-phase cumulative/self-time
 //!   attribution from the span registry and exports it as structured
 //!   rows (`datareuse-profile-v1`) or flamegraph.pl-compatible
-//!   collapsed-stack text.
+//!   collapsed-stack text; [`memprofile_json`] and
+//!   [`collapsed_alloc_stacks`] export the same tree weighted by
+//!   self-allocated bytes (`datareuse-memprofile-v1`).
 //! - **Scorecard** ([`Scorecard`], [`fold_bench_artifacts`],
 //!   [`Verdict`]) — folds committed benchmark artifacts plus a fresh
 //!   smoke sweep into one `datareuse-scorecard-v1` roll-up with
@@ -75,9 +85,10 @@
 //! assert!(json.starts_with("{\"schema\":\"datareuse-metrics-v2\""));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+mod alloc;
 mod explain;
 mod flight;
 mod hist;
@@ -91,6 +102,7 @@ mod span;
 mod timeseries;
 mod tracing;
 
+pub use alloc::{alloc_snapshot, thread_alloc_bytes, AllocSnapshot, TrackingAllocator};
 pub use explain::Explain;
 
 pub use flight::{
@@ -104,7 +116,10 @@ pub use metrics::{
     record_worker_items, reset_metrics, set_metrics_enabled, snapshot, Counter, Gauge,
     LocalCounter, MetricsSnapshot,
 };
-pub use profile::{collapsed_stacks, profile_json, profile_rows, ProfileRow};
+pub use profile::{
+    collapsed_alloc_stacks, collapsed_stacks, memprofile_json, profile_json, profile_rows,
+    ProfileRow,
+};
 pub use progress::Progress;
 pub use prom::prometheus_text;
 pub use scorecard::{

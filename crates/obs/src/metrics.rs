@@ -168,15 +168,21 @@ pub enum Gauge {
     ServeQueueDepth,
     ServeQueueDepthMax,
     ServeOpenConnections,
+    AllocLiveBytes,
+    AllocPeakBytes,
+    AllocBytesTotal,
 }
 
 impl Gauge {
     /// All gauges, in snapshot order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::ThreadsMax,
         Gauge::ServeQueueDepth,
         Gauge::ServeQueueDepthMax,
         Gauge::ServeOpenConnections,
+        Gauge::AllocLiveBytes,
+        Gauge::AllocPeakBytes,
+        Gauge::AllocBytesTotal,
     ];
 
     /// The gauge's stable snapshot key.
@@ -186,6 +192,9 @@ impl Gauge {
             Gauge::ServeQueueDepth => "serve_queue_depth",
             Gauge::ServeQueueDepthMax => "serve_queue_depth_max",
             Gauge::ServeOpenConnections => "serve_open_connections",
+            Gauge::AllocLiveBytes => "alloc_live_bytes",
+            Gauge::AllocPeakBytes => "alloc_peak_bytes",
+            Gauge::AllocBytesTotal => "alloc_bytes_total",
         }
     }
 }
@@ -261,8 +270,18 @@ pub fn gauge_sub(gauge: Gauge, n: u64) {
 }
 
 /// Reads the live value of a gauge (0 when never recorded).
+///
+/// The three `alloc_*` gauges are backed by the tracking allocator, not
+/// the gauge array: they read live from [`crate::alloc_snapshot`] so
+/// every snapshot, Prometheus scrape, and time-series point sees the
+/// current heap state without anything having to "record" it.
 pub fn gauge_value(gauge: Gauge) -> u64 {
-    GAUGES[gauge as usize].load(Ordering::Relaxed)
+    match gauge {
+        Gauge::AllocLiveBytes => crate::alloc_snapshot().live_bytes,
+        Gauge::AllocPeakBytes => crate::alloc_snapshot().peak_bytes,
+        Gauge::AllocBytesTotal => crate::alloc_snapshot().bytes_allocated,
+        _ => GAUGES[gauge as usize].load(Ordering::Relaxed),
+    }
 }
 
 /// Reads the live value of a counter (0 when never recorded).
@@ -288,8 +307,10 @@ pub fn record_worker_items(items: u64) {
 
 /// Clears the entire registry — counters, gauges, spans, worker-load
 /// records, latency histograms, the flight recorder, buffered trace
-/// events, and scorecard smoke-run state — and turns recording (metrics
-/// *and* tracing) off. Clearing the spans also empties the derived
+/// events, scorecard smoke-run state, and the allocator's monotone
+/// accumulators (the live-byte level survives, since that memory is
+/// still resident, and the peak resets to the current live level) — and
+/// turns recording (metrics *and* tracing) off. Clearing the spans also empties the derived
 /// profile ([`crate::profile_rows`] is a pure function of the span
 /// registry). Intended for tests and for reusing a process across
 /// independent runs.
@@ -307,6 +328,7 @@ pub fn reset_metrics() {
         .expect("worker-load registry poisoned")
         .clear();
     crate::span::reset_spans();
+    crate::alloc::reset_alloc();
     crate::hist::reset_hists();
     crate::flight::reset_flight();
     crate::tracing::reset_tracing();
@@ -325,8 +347,9 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// `(name, value)` for every gauge, in [`Gauge::ALL`] order.
     pub gauges: Vec<(&'static str, u64)>,
-    /// `(path, calls, total_ns)` per span path, sorted by path.
-    pub spans: Vec<(String, u64, u64)>,
+    /// `(path, calls, total_ns, total_bytes)` per span path, sorted by
+    /// path.
+    pub spans: Vec<(String, u64, u64, u64)>,
     /// Items processed per parallel worker, in completion order.
     pub worker_items: Vec<u64>,
     /// `(name, snapshot)` for every latency histogram, in
@@ -378,11 +401,12 @@ impl MetricsSnapshot {
             ),
             (
                 "spans",
-                Json::arr(self.spans.iter().map(|(path, calls, ns)| {
+                Json::arr(self.spans.iter().map(|(path, calls, ns, bytes)| {
                     Json::obj([
                         ("path", Json::str(path.clone())),
                         ("calls", Json::UInt(*calls)),
                         ("ns", Json::UInt(*ns)),
+                        ("bytes", Json::UInt(*bytes)),
                     ])
                 })),
             ),
@@ -416,7 +440,7 @@ pub fn snapshot() -> MetricsSnapshot {
             .collect(),
         gauges: Gauge::ALL
             .iter()
-            .map(|&g| (g.name(), GAUGES[g as usize].load(Ordering::Relaxed)))
+            .map(|&g| (g.name(), gauge_value(g)))
             .collect(),
         spans: span_rows(),
         worker_items: WORKER_ITEMS
@@ -649,5 +673,39 @@ mod tests {
         assert!(crate::profile_rows().is_empty());
         assert!(crate::collapsed_stacks().is_empty());
         assert!(crate::smoke_metrics().is_empty());
+    }
+
+    #[test]
+    fn reset_rebases_alloc_peak_to_live_not_zero() {
+        let _guard = test_lock::hold();
+        // Push the high-water mark well above the steady live level,
+        // release it, then reset: the accumulators restart but the peak
+        // must come back as the (nonzero) live level — the memory that
+        // was resident before the reset is still resident after it.
+        let spike = vec![0u8; 32 << 20];
+        let peak_with_spike = crate::alloc_snapshot().peak_bytes;
+        drop(spike);
+        reset_metrics();
+        let after = crate::alloc_snapshot();
+        assert!(
+            after.peak_bytes < peak_with_spike,
+            "reset must drop the 32 MiB spike from the peak: {} -> {}",
+            peak_with_spike,
+            after.peak_bytes
+        );
+        assert!(after.peak_bytes > 0, "peak rebases to live, not zero");
+        assert!(after.peak_bytes >= after.live_bytes);
+        assert!(after.live_bytes > 0, "the test harness itself has a live heap");
+        // Snapshot gauges read through to the allocator.
+        let snap = snapshot();
+        let gauge = |wanted: &str| {
+            snap.gauges
+                .iter()
+                .find(|(name, _)| *name == wanted)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("no gauge {wanted}"))
+        };
+        assert!(gauge("alloc_live_bytes") > 0);
+        assert!(gauge("alloc_peak_bytes") >= gauge("alloc_live_bytes"));
     }
 }

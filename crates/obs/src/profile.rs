@@ -1,29 +1,36 @@
-//! Span-derived self-time profiler.
+//! Span-derived self-time and self-allocation profiler.
 //!
-//! The span registry ([`crate::span`]) aggregates wall time by
-//! `/`-joined hierarchical path (`explore/pairs`, `explore/chains`).
-//! Those totals are *cumulative*: time spent in `explore/pairs` is also
-//! inside `explore`. This module derives the classic profiler view from
-//! them — per-path **self time** (cumulative minus the time attributed
-//! to direct children) — and exports it in two shapes:
+//! The span registry ([`crate::span`]) aggregates wall time *and* bytes
+//! allocated in scope by `/`-joined hierarchical path (`explore/pairs`,
+//! `explore/chains`). Those totals are *cumulative*: time spent (and
+//! bytes allocated) in `explore/pairs` are also inside `explore`. This
+//! module derives the classic profiler view from them — per-path **self
+//! time** and **self bytes** (cumulative minus the amount attributed to
+//! direct children) — and exports it in three shapes:
 //!
 //! - [`profile_rows`] / [`profile_json`]: structured rows (schema
-//!   `datareuse-profile-v1`) for the `profile` serve op and for tests.
-//! - [`collapsed_stacks`]: the collapsed-stack text format consumed by
-//!   `flamegraph.pl` and compatible viewers — one line per path with
-//!   positive self time, `a;b;c SELF_NS`.
+//!   `datareuse-profile-v1`, time columns only for byte-stability of the
+//!   `profile` serve op) for tests and tooling.
+//! - [`memprofile_json`]: the same tree with byte columns (schema
+//!   `datareuse-memprofile-v1`), written by `--alloc-profile`.
+//! - [`collapsed_stacks`] / [`collapsed_alloc_stacks`]: the
+//!   collapsed-stack text format consumed by `flamegraph.pl` and
+//!   compatible viewers — one line per path with positive self weight,
+//!   `a;b;c SELF` (nanoseconds or bytes respectively).
 //!
-//! Self times partition cumulative time: for any span tree, the sum of
-//! the self times of a root and all its descendants equals the root's
-//! cumulative total, so summing every line of a collapsed-stack export
-//! reconstructs total profiled wall time exactly. No extra accumulator
+//! Self weights partition cumulative weights: for any span tree, the sum
+//! of the self values of a root and all its descendants equals the
+//! root's cumulative total — for nanoseconds and for bytes alike — so
+//! summing every line of a collapsed export reconstructs the total
+//! profiled wall time (or allocation) exactly. No extra accumulator
 //! state lives here — the profile is a pure function of the span
 //! registry, so [`crate::reset_metrics`] clearing the spans clears the
 //! profile too.
 
 use crate::json::Json;
 
-/// One aggregated profile row: a span path with cumulative and self time.
+/// One aggregated profile row: a span path with cumulative and self
+/// weights for both wall time and allocated bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfileRow {
     /// `/`-joined span path, e.g. `explore/pairs`.
@@ -34,14 +41,20 @@ pub struct ProfileRow {
     pub total_ns: u64,
     /// Self nanoseconds: cumulative minus direct children's cumulative.
     pub self_ns: u64,
+    /// Cumulative bytes allocated with this path on the stack (by the
+    /// opening thread).
+    pub total_bytes: u64,
+    /// Self bytes: cumulative minus direct children's cumulative.
+    pub self_bytes: u64,
 }
 
 /// Derives profile rows from the live span registry, sorted by path.
 ///
 /// Self time is `total_ns` minus the summed `total_ns` of *direct*
-/// children (paths one `/` segment deeper). Clock jitter can make a
-/// child's recorded total marginally exceed its parent's; self time
-/// saturates at zero rather than going negative.
+/// children (paths one `/` segment deeper), and self bytes likewise.
+/// Clock jitter (or a guard dropped on a foreign thread) can make a
+/// child's recorded total marginally exceed its parent's; self values
+/// saturate at zero rather than going negative.
 ///
 /// # Examples
 ///
@@ -69,37 +82,41 @@ pub fn profile_rows() -> Vec<ProfileRow> {
 }
 
 /// Pure core of [`profile_rows`]: derives rows from `(path, calls,
-/// total_ns)` tuples. Input order does not matter; output is sorted by
-/// path.
-fn rows_from(spans: &[(String, u64, u64)]) -> Vec<ProfileRow> {
+/// total_ns, total_bytes)` tuples. Input order does not matter; output
+/// is sorted by path.
+fn rows_from(spans: &[(String, u64, u64, u64)]) -> Vec<ProfileRow> {
     let mut rows: Vec<ProfileRow> = spans
         .iter()
-        .map(|(path, calls, total_ns)| ProfileRow {
+        .map(|(path, calls, total_ns, total_bytes)| ProfileRow {
             path: path.clone(),
             calls: *calls,
             total_ns: *total_ns,
             self_ns: *total_ns,
+            total_bytes: *total_bytes,
+            self_bytes: *total_bytes,
         })
         .collect();
     rows.sort_by(|a, b| a.path.cmp(&b.path));
-    // Subtract each direct child's cumulative time from its parent's
-    // self time. A direct child of `p` is `p/<segment>` with no further
-    // separator.
-    let totals: Vec<(String, u64)> = rows
+    // Subtract each direct child's cumulative weights from its parent's
+    // self weights. A direct child of `p` is `p/<segment>` with no
+    // further separator.
+    let totals: Vec<(String, u64, u64)> = rows
         .iter()
-        .map(|r| (r.path.clone(), r.total_ns))
+        .map(|r| (r.path.clone(), r.total_ns, r.total_bytes))
         .collect();
     for row in &mut rows {
         let prefix = format!("{}/", row.path);
-        let children: u64 = totals
-            .iter()
-            .filter(|(p, _)| {
-                p.strip_prefix(&prefix)
-                    .is_some_and(|rest| !rest.contains('/'))
-            })
-            .map(|&(_, ns)| ns)
-            .sum();
-        row.self_ns = row.total_ns.saturating_sub(children);
+        let (mut child_ns, mut child_bytes) = (0u64, 0u64);
+        for (p, ns, bytes) in &totals {
+            if p.strip_prefix(&prefix)
+                .is_some_and(|rest| !rest.contains('/'))
+            {
+                child_ns += ns;
+                child_bytes += bytes;
+            }
+        }
+        row.self_ns = row.total_ns.saturating_sub(child_ns);
+        row.self_bytes = row.total_bytes.saturating_sub(child_bytes);
     }
     rows
 }
@@ -113,14 +130,27 @@ fn rows_from(spans: &[(String, u64, u64)]) -> Vec<ProfileRow> {
 /// emitted lines sum to the total profiled wall time (the sum of the
 /// root spans' cumulative totals).
 pub fn collapsed_stacks() -> String {
+    collapsed(profile_rows(), |r| r.self_ns)
+}
+
+/// Renders the allocation profile in collapsed-stack format: one
+/// `a;b;c SELF_BYTES` line per path with positive self-allocated bytes
+/// (sample unit: bytes). The same partition identity holds: the emitted
+/// values sum to the root spans' cumulative allocated bytes.
+pub fn collapsed_alloc_stacks() -> String {
+    collapsed(profile_rows(), |r| r.self_bytes)
+}
+
+fn collapsed(rows: Vec<ProfileRow>, weight: impl Fn(&ProfileRow) -> u64) -> String {
     let mut out = String::new();
-    for row in profile_rows() {
-        if row.self_ns == 0 {
+    for row in rows {
+        let w = weight(&row);
+        if w == 0 {
             continue;
         }
         out.push_str(&row.path.replace('/', ";"));
         out.push(' ');
-        out.push_str(&row.self_ns.to_string());
+        out.push_str(&w.to_string());
         out.push('\n');
     }
     out
@@ -132,6 +162,9 @@ pub fn collapsed_stacks() -> String {
 /// Rows are sorted by path and every field is an unsigned integer, so
 /// the document is canonical: re-parsing and re-serializing it is
 /// byte-identical, which the `profile` serve op's round-trip test pins.
+/// The byte columns deliberately stay out of this schema — they ship in
+/// [`memprofile_json`] — so v1 consumers see the exact bytes they did
+/// before allocation tracking existed.
 pub fn profile_json() -> Json {
     let rows = profile_rows()
         .into_iter()
@@ -150,17 +183,42 @@ pub fn profile_json() -> Json {
     ])
 }
 
+/// Serializes the allocation profile as a `datareuse-memprofile-v1`
+/// document:
+/// `{"schema":"datareuse-memprofile-v1","rows":[{path,calls,total_bytes,self_bytes},…]}`.
+///
+/// Same canonical shape as [`profile_json`] — rows sorted by path, all
+/// unsigned integers — with byte weights instead of nanoseconds. This is
+/// what `--alloc-profile FILE` writes.
+pub fn memprofile_json() -> Json {
+    let rows = profile_rows()
+        .into_iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("path", Json::str(&r.path)),
+                ("calls", Json::UInt(r.calls)),
+                ("total_bytes", Json::UInt(r.total_bytes)),
+                ("self_bytes", Json::UInt(r.self_bytes)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str("datareuse-memprofile-v1")),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn fixed() -> Vec<(String, u64, u64)> {
+    fn fixed() -> Vec<(String, u64, u64, u64)> {
         vec![
-            ("explore".into(), 2, 1_000),
-            ("explore/pairs".into(), 2, 300),
-            ("explore/chains".into(), 2, 500),
-            ("explore/chains/pareto".into(), 4, 200),
-            ("serve".into(), 1, 50),
+            ("explore".into(), 2, 1_000, 10_000),
+            ("explore/pairs".into(), 2, 300, 3_000),
+            ("explore/chains".into(), 2, 500, 5_000),
+            ("explore/chains/pareto".into(), 4, 200, 2_000),
+            ("serve".into(), 1, 50, 500),
         ]
     }
 
@@ -179,6 +237,20 @@ mod tests {
     }
 
     #[test]
+    fn self_bytes_subtract_only_direct_children() {
+        let rows = rows_from(&fixed());
+        let by_path: std::collections::HashMap<&str, u64> = rows
+            .iter()
+            .map(|r| (r.path.as_str(), r.self_bytes))
+            .collect();
+        assert_eq!(by_path["explore"], 10_000 - 3_000 - 5_000);
+        assert_eq!(by_path["explore/chains"], 5_000 - 2_000);
+        assert_eq!(by_path["explore/chains/pareto"], 2_000);
+        assert_eq!(by_path["explore/pairs"], 3_000);
+        assert_eq!(by_path["serve"], 500);
+    }
+
+    #[test]
     fn self_times_partition_root_totals() {
         let rows = rows_from(&fixed());
         let self_sum: u64 = rows.iter().map(|r| r.self_ns).sum();
@@ -191,44 +263,63 @@ mod tests {
     }
 
     #[test]
+    fn self_bytes_partition_root_totals() {
+        let rows = rows_from(&fixed());
+        let self_sum: u64 = rows.iter().map(|r| r.self_bytes).sum();
+        let root_sum: u64 = rows
+            .iter()
+            .filter(|r| !r.path.contains('/'))
+            .map(|r| r.total_bytes)
+            .sum();
+        assert_eq!(self_sum, root_sum);
+    }
+
+    #[test]
     fn sibling_prefixes_are_not_mistaken_for_children() {
         // `explore2` shares a string prefix with `explore` but is not
         // its child; `a/bc` is not a child of `a/b`.
         let rows = rows_from(&[
-            ("explore".into(), 1, 100),
-            ("explore2".into(), 1, 40),
-            ("a/b".into(), 1, 30),
-            ("a/bc".into(), 1, 20),
-            ("a".into(), 1, 60),
+            ("explore".into(), 1, 100, 100),
+            ("explore2".into(), 1, 40, 40),
+            ("a/b".into(), 1, 30, 30),
+            ("a/bc".into(), 1, 20, 20),
+            ("a".into(), 1, 60, 60),
         ]);
-        let by_path: std::collections::HashMap<&str, u64> = rows
+        let by_path: std::collections::HashMap<&str, (u64, u64)> = rows
             .iter()
-            .map(|r| (r.path.as_str(), r.self_ns))
+            .map(|r| (r.path.as_str(), (r.self_ns, r.self_bytes)))
             .collect();
-        assert_eq!(by_path["explore"], 100);
-        assert_eq!(by_path["explore2"], 40);
-        assert_eq!(by_path["a"], 60 - 30 - 20);
-        assert_eq!(by_path["a/b"], 30);
-        assert_eq!(by_path["a/bc"], 20);
+        assert_eq!(by_path["explore"], (100, 100));
+        assert_eq!(by_path["explore2"], (40, 40));
+        assert_eq!(by_path["a"], (60 - 30 - 20, 60 - 30 - 20));
+        assert_eq!(by_path["a/b"], (30, 30));
+        assert_eq!(by_path["a/bc"], (20, 20));
     }
 
     #[test]
     fn grandchildren_do_not_double_subtract() {
         // Only `a/b` is subtracted from `a`; `a/b/c` charges to `a/b`.
         let rows = rows_from(&[
-            ("a".into(), 1, 100),
-            ("a/b".into(), 1, 80),
-            ("a/b/c".into(), 1, 30),
+            ("a".into(), 1, 100, 1_000),
+            ("a/b".into(), 1, 80, 800),
+            ("a/b/c".into(), 1, 30, 300),
         ]);
         assert_eq!(rows[0].self_ns, 20);
         assert_eq!(rows[1].self_ns, 50);
         assert_eq!(rows[2].self_ns, 30);
+        assert_eq!(rows[0].self_bytes, 200);
+        assert_eq!(rows[1].self_bytes, 500);
+        assert_eq!(rows[2].self_bytes, 300);
     }
 
     #[test]
     fn jitter_saturates_instead_of_underflowing() {
-        let rows = rows_from(&[("a".into(), 1, 100), ("a/b".into(), 1, 120)]);
+        // Time: child clock total exceeds the parent's. Bytes: a guard
+        // dropped on a foreign thread records more child bytes than its
+        // parent saw. Both saturate per-column independently.
+        let rows = rows_from(&[("a".into(), 1, 100, 500), ("a/b".into(), 1, 120, 700)]);
         assert_eq!(rows[0].self_ns, 0);
+        assert_eq!(rows[0].self_bytes, 0);
     }
 
     #[test]
@@ -256,6 +347,41 @@ mod tests {
     }
 
     #[test]
+    fn collapsed_alloc_stacks_weighs_lines_by_self_bytes() {
+        use crate::metrics::test_lock;
+        use crate::{reset_metrics, set_metrics_enabled, span};
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                let _buf = vec![0u8; 1 << 20];
+            }
+        }
+        set_metrics_enabled(false);
+        let text = collapsed_alloc_stacks();
+        let inner_line = text
+            .lines()
+            .find(|l| l.starts_with("outer;inner "))
+            .expect("inner line present");
+        let bytes: u64 = inner_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(bytes >= 1 << 20, "inner self bytes below 1 MiB: {bytes}");
+        // Partition identity on the live registry: self bytes across all
+        // lines sum to the roots' cumulative bytes.
+        let self_sum: u64 = profile_rows().iter().map(|r| r.self_bytes).sum();
+        let root_sum: u64 = profile_rows()
+            .iter()
+            .filter(|r| !r.path.contains('/'))
+            .map(|r| r.total_bytes)
+            .sum();
+        assert_eq!(self_sum, root_sum);
+        reset_metrics();
+        assert!(collapsed_alloc_stacks().is_empty());
+    }
+
+    #[test]
     fn profile_json_is_canonical_under_reparse() {
         use crate::metrics::test_lock;
         use crate::{reset_metrics, set_metrics_enabled, span};
@@ -271,6 +397,30 @@ mod tests {
         let reparsed = Json::parse(&text).expect("profile json parses");
         assert_eq!(text, reparsed.to_string());
         assert!(text.starts_with("{\"schema\":\"datareuse-profile-v1\""));
+        // v1 stays time-only: byte columns live in memprofile-v1.
+        assert!(!text.contains("bytes"));
+        reset_metrics();
+    }
+
+    #[test]
+    fn memprofile_json_is_canonical_under_reparse() {
+        use crate::metrics::test_lock;
+        use crate::{reset_metrics, set_metrics_enabled, span};
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("outer");
+            let _buf = vec![0u8; 4096];
+            let _inner = span("inner");
+        }
+        set_metrics_enabled(false);
+        let text = memprofile_json().to_string();
+        let reparsed = Json::parse(&text).expect("memprofile json parses");
+        assert_eq!(text, reparsed.to_string());
+        assert!(text.starts_with("{\"schema\":\"datareuse-memprofile-v1\""));
+        assert!(text.contains("\"total_bytes\""));
+        assert!(text.contains("\"self_bytes\""));
         reset_metrics();
     }
 }

@@ -1,11 +1,18 @@
 //! Hierarchical timed spans.
 //!
 //! A [`SpanGuard`] times the region between its creation and drop and
-//! charges the elapsed nanoseconds to a `/`-joined path built from the
-//! stack of open spans on the current thread (`explore/pairs`,
-//! `explore/chains/pareto`, …). Aggregation is by path: each path gets a
-//! call count and a total duration, which [`crate::snapshot`] reports in
-//! the `spans` section.
+//! charges the elapsed nanoseconds — and the bytes this thread allocated
+//! in between, sampled from [`crate::thread_alloc_bytes`] — to a
+//! `/`-joined path built from the stack of open spans on the current
+//! thread (`explore/pairs`, `explore/chains/pareto`, …). Aggregation is
+//! by path: each path gets a call count, a total duration, and a total
+//! byte count, which [`crate::snapshot`] reports in the `spans` section.
+//! Bytes are cumulative exactly like time: a parent span's bytes include
+//! its same-thread children's, so the profiler can subtract direct
+//! children to obtain self-allocation. Allocations made by *other*
+//! threads (e.g. a parallel sweep's workers) are not charged to the
+//! opening thread's span — they show up in the process-wide
+//! [`crate::alloc_snapshot`] tallies instead.
 //!
 //! When metrics are disabled ([`crate::metrics_enabled`] is false) the
 //! guard is inert: no clock read, no thread-local push, no lock.
@@ -15,8 +22,9 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Aggregated span data: path → (calls, total nanoseconds).
-static SPANS: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+/// Aggregated span data: path → (calls, total nanoseconds, total bytes
+/// allocated in scope by the opening thread).
+static SPANS: Mutex<BTreeMap<String, (u64, u64, u64)>> = Mutex::new(BTreeMap::new());
 
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
@@ -28,6 +36,8 @@ thread_local! {
 pub struct SpanGuard {
     /// `None` when metrics were disabled at creation — drop is a no-op.
     started: Option<Instant>,
+    /// This thread's cumulative allocated bytes when the span opened.
+    bytes_at_open: u64,
 }
 
 /// Opens a timed span named `name`, nested under any spans already open
@@ -48,17 +58,21 @@ pub struct SpanGuard {
 /// }
 /// set_metrics_enabled(false);
 /// let spans = snapshot().spans;
-/// let paths: Vec<&str> = spans.iter().map(|(p, _, _)| p.as_str()).collect();
+/// let paths: Vec<&str> = spans.iter().map(|(p, ..)| p.as_str()).collect();
 /// assert_eq!(paths, ["outer", "outer/inner"]);
-/// assert!(spans.iter().all(|&(_, calls, _)| calls == 1));
+/// assert!(spans.iter().all(|&(_, calls, ..)| calls == 1));
 /// ```
 pub fn span(name: &'static str) -> SpanGuard {
     if !crate::metrics_enabled() {
-        return SpanGuard { started: None };
+        return SpanGuard {
+            started: None,
+            bytes_at_open: 0,
+        };
     }
     STACK.with(|stack| stack.borrow_mut().push(name));
     SpanGuard {
         started: Some(Instant::now()),
+        bytes_at_open: crate::thread_alloc_bytes(),
     }
 }
 
@@ -66,6 +80,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(started) = self.started else { return };
         let elapsed = started.elapsed().as_nanos() as u64;
+        // Saturating: the thread counter is monotone, but guards can be
+        // dropped on a different thread than they were created on.
+        let bytes = crate::thread_alloc_bytes().saturating_sub(self.bytes_at_open);
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = stack.join("/");
@@ -73,20 +90,21 @@ impl Drop for SpanGuard {
             path
         });
         let mut spans = SPANS.lock().expect("span registry poisoned");
-        let entry = spans.entry(path).or_insert((0, 0));
+        let entry = spans.entry(path).or_insert((0, 0, 0));
         entry.0 += 1;
         entry.1 += elapsed;
+        entry.2 += bytes;
     }
 }
 
-/// Copies the aggregated spans as `(path, calls, total_ns)` rows, sorted
-/// by path (the `BTreeMap` order).
-pub(crate) fn span_rows() -> Vec<(String, u64, u64)> {
+/// Copies the aggregated spans as `(path, calls, total_ns, total_bytes)`
+/// rows, sorted by path (the `BTreeMap` order).
+pub(crate) fn span_rows() -> Vec<(String, u64, u64, u64)> {
     SPANS
         .lock()
         .expect("span registry poisoned")
         .iter()
-        .map(|(path, &(calls, ns))| (path.clone(), calls, ns))
+        .map(|(path, &(calls, ns, bytes))| (path.clone(), calls, ns, bytes))
         .collect()
 }
 
@@ -129,11 +147,42 @@ mod tests {
         let rows = snapshot().spans;
         let by_path: std::collections::HashMap<&str, u64> = rows
             .iter()
-            .map(|(path, calls, _)| (path.as_str(), *calls))
+            .map(|(path, calls, ..)| (path.as_str(), *calls))
             .collect();
         assert_eq!(by_path["explore"], 3);
         assert_eq!(by_path["explore/pairs"], 3);
         assert_eq!(by_path["explore/chains"], 3);
+        reset_metrics();
+    }
+
+    #[test]
+    fn spans_charge_bytes_allocated_in_scope_cumulatively() {
+        let _guard = test_lock::hold();
+        reset_metrics();
+        set_metrics_enabled(true);
+        {
+            let _outer = span("outer");
+            let _held = vec![1u8; 1 << 20]; // charged to "outer" only
+            {
+                let _inner = span("inner");
+                let _tmp = vec![2u8; 1 << 20]; // charged to both paths
+            }
+        }
+        set_metrics_enabled(false);
+        let rows = snapshot().spans;
+        let bytes_of = |wanted: &str| {
+            rows.iter()
+                .find(|(path, ..)| path == wanted)
+                .map(|&(_, _, _, bytes)| bytes)
+                .unwrap_or_else(|| panic!("no span row for {wanted}"))
+        };
+        let outer = bytes_of("outer");
+        let inner = bytes_of("outer/inner");
+        assert!(inner >= 1 << 20, "inner missed its 1 MiB: {inner}");
+        assert!(
+            outer >= inner + (1 << 20),
+            "outer ({outer}) must include inner ({inner}) plus its own MiB"
+        );
         reset_metrics();
     }
 

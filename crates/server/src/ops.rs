@@ -239,6 +239,7 @@ pub fn execute(op: &Op) -> Result<Json, OpError> {
         | Op::Trace
         | Op::Prom
         | Op::Profile
+        | Op::Memstats
         | Op::Ping
         | Op::Shutdown
         | Op::Batch(_) => Err(OpError {

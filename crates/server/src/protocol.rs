@@ -9,7 +9,7 @@
 //!              "id"?: <any json>, "deadline_ms"?: uint }
 //! op       = "explore" | "pareto" | "report" | "codegen" | "batch"
 //!          | "stats" | "health" | "trace" | "prom" | "ping" | "shutdown"
-//!          | "profile"
+//!          | "profile" | "memstats"
 //! response = { "ok": true,  "id"?: <echoed>, "cached": bool,
 //!              "coalesced"?: true, "result": <json> }
 //!          | { "ok": false, "id"?: <echoed>,
@@ -38,7 +38,9 @@
 //! `ok`/`degraded`/`failing`; `trace` drains buffered spans as a Chrome
 //! trace-event document; `prom` returns the Prometheus text exposition
 //! as a JSON string; `profile` returns the span-derived self-time
-//! profile as a `datareuse-profile-v1` document.
+//! profile as a `datareuse-profile-v1` document; `memstats` returns the
+//! tracking allocator's tallies plus the serve-side attribution
+//! breakdown as a `datareuse-memstats-v1` document.
 //!
 //! `id` is echoed back verbatim and `deadline_ms` bounds how long the
 //! client is willing to wait; neither participates in the cache key —
@@ -65,9 +67,9 @@ pub const MAX_BATCH: usize = 256;
 /// Every wire op name, in grammar order (the same order as
 /// [`op_ordinal`](crate::server) flight details). The doc-drift test
 /// checks each against `docs/SERVING.md`.
-pub const OP_NAMES: [&str; 12] = [
+pub const OP_NAMES: [&str; 13] = [
     "explore", "pareto", "report", "codegen", "stats", "trace", "prom", "ping", "shutdown",
-    "health", "batch", "profile",
+    "health", "batch", "profile", "memstats",
 ];
 
 /// Parameters of an `explore` request (one signal, full sweep).
@@ -191,6 +193,9 @@ pub enum Op {
     Prom,
     /// Span-derived self-time profile (`datareuse-profile-v1`).
     Profile,
+    /// Tracking-allocator tallies plus serve-side allocation
+    /// attribution (`datareuse-memstats-v1`).
+    Memstats,
     /// Liveness probe.
     Ping,
     /// Graceful shutdown: stop accepting, drain in-flight work, exit.
@@ -212,6 +217,7 @@ impl Op {
                 | Op::Trace
                 | Op::Prom
                 | Op::Profile
+                | Op::Memstats
                 | Op::Ping
                 | Op::Shutdown
                 | Op::Batch(_)
@@ -231,6 +237,7 @@ impl Op {
             Op::Trace => "trace",
             Op::Prom => "prom",
             Op::Profile => "profile",
+            Op::Memstats => "memstats",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
             Op::Batch(_) => "batch",
@@ -386,6 +393,7 @@ impl Request {
             "trace" => Op::Trace,
             "prom" => Op::Prom,
             "profile" => Op::Profile,
+            "memstats" => Op::Memstats,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             "batch" => {
@@ -583,7 +591,9 @@ mod tests {
 
     #[test]
     fn control_ops_are_not_cacheable() {
-        for op in ["stats", "health", "trace", "prom", "profile", "ping", "shutdown"] {
+        for op in [
+            "stats", "health", "trace", "prom", "profile", "memstats", "ping", "shutdown",
+        ] {
             let r = Request::parse_line(&format!(r#"{{"op":"{op}"}}"#)).unwrap();
             assert!(r.cache_key.is_none(), "{op} must not be cached");
         }

@@ -63,6 +63,26 @@ target/release/datareuse query --addr "$ADDR" "$SMOKE_REQ" \
 # Scrape the Prometheus exposition while the daemon is still up.
 target/release/datareuse query --addr "$ADDR" '{"op":"prom"}' > "$SERVE_PROM"
 
+# Memstats smoke: the allocator accounting op must answer inline with
+# the v1 schema, nonzero allocator traffic, and the serve section that
+# splits computed leaders from coalesced followers.
+MEMSTATS="$(mktemp)"
+target/release/datareuse query --addr "$ADDR" '{"op":"memstats"}' > "$MEMSTATS"
+for needle in '"schema":"datareuse-memstats-v1"' '"allocator":' \
+    '"bytes_allocated":' '"live_bytes":' '"peak_bytes":' \
+    '"computed":' '"coalesced_followers":'; do
+    if ! grep -qF "$needle" "$MEMSTATS"; then
+        echo "serve smoke: memstats response lacks $needle" >&2
+        cat "$MEMSTATS" >&2
+        exit 1
+    fi
+done
+if grep -qF '"bytes_allocated":0,' "$MEMSTATS"; then
+    echo "serve smoke: memstats reports a zero-allocation server" >&2
+    exit 1
+fi
+rm -f "$MEMSTATS"
+
 # Health gate: a freshly exercised daemon under default SLOs must grade
 # ok, and the probe contract is the exit code itself (0 ok, 5 degraded,
 # 6 failing) — under `set -e` a degraded/failing grade aborts here.
@@ -96,6 +116,7 @@ req/win SPARK
 pN SPARK
 pN SPARK
 points N
+memory live NMB peak NMB alloc NMB/s
 scorecard pN VERDICT vs baseline (N metrics)
 EOF
 if ! diff -u "$TOP_FRAME.golden" "$TOP_FRAME.norm"; then
@@ -240,8 +261,11 @@ echo "bench baseline gate passed (benchmarks/BENCH_*.json present)"
 # Scorecard regression gate: fold the committed baselines plus a fresh
 # smoke sweep into the roll-up and judge every metric against the
 # committed benchmarks/SCORECARD.json. Exit 7 is the sentinel's
-# regression verdict; any nonzero exit fails tier-1.
-if target/release/datareuse scorecard --baseline benchmarks/SCORECARD.json; then
+# regression verdict; any nonzero exit fails tier-1. The compared
+# document is kept for the memory gates below.
+SCORECARD_DOC="$(mktemp)"
+if target/release/datareuse scorecard --json \
+    --baseline benchmarks/SCORECARD.json > "$SCORECARD_DOC"; then
     echo "scorecard gate passed (no metric regressed past its noise band)"
 else
     RC=$?
@@ -253,6 +277,68 @@ else
     fi
     exit 1
 fi
+
+# Alloc-budget gate: the memory half of the scorecard must exist in
+# both the fresh measurement and the committed baseline — the exit-7
+# check above already judged each one against its noise band, so
+# presence here means allocation budgets are actively enforced.
+for id in smoke_alloc_fir_bytes smoke_alloc_me_small_bytes \
+    smoke_alloc_symbolic_ratio smoke_serve_live_bytes; do
+    if ! grep -qF "\"id\":\"$id\"" "$SCORECARD_DOC"; then
+        echo "alloc-budget gate: fresh scorecard lacks $id" >&2
+        exit 1
+    fi
+    if ! grep -qF "\"id\":\"$id\"" benchmarks/SCORECARD.json; then
+        echo "alloc-budget gate: committed baseline lacks $id" \
+            "(reseed with --update-baseline)" >&2
+        exit 1
+    fi
+done
+echo "alloc-budget gate passed (4 memory metrics measured and baselined)"
+
+# Tracking-overhead gate: the allocator wrapper is always on, so the
+# fir explore smoke measured just above already includes its cost. It
+# must not have pushed the latency past the committed noise band —
+# i.e. the tracking overhead is within measurement noise.
+FIR_VERDICT="$(sed -n \
+    's/.*"id":"smoke_explore_fir_ns"[^}]*"verdict":"\([a-z-]*\)".*/\1/p' \
+    "$SCORECARD_DOC")"
+case "$FIR_VERDICT" in
+    better|within-noise)
+        echo "tracking-overhead gate passed" \
+            "(fir explore with allocator tracking: $FIR_VERDICT)"
+        ;;
+    *)
+        echo "tracking-overhead gate: fir explore smoke verdict is" \
+            "'$FIR_VERDICT' — allocator tracking cost is visible" >&2
+        exit 1
+        ;;
+esac
+rm -f "$SCORECARD_DOC"
+
+# Tamper tripwire: shrinking a committed memory budget must trip the
+# sentinel. Drop the smoke_alloc_fir_bytes baseline to one byte
+# (lower-is-better, so the unchanged measurement now reads as a
+# regression) and require exit code exactly 7.
+TAMPERED="$(mktemp)"
+sed 's/\("id":"smoke_alloc_fir_bytes","value":\)[0-9.eE+-]*/\11/' \
+    benchmarks/SCORECARD.json > "$TAMPERED"
+if ! grep -qF '"value":1,' "$TAMPERED"; then
+    echo "alloc tamper tripwire: could not tamper the baseline value" >&2
+    exit 1
+fi
+set +e
+target/release/datareuse scorecard --baseline "$TAMPERED" \
+    > /dev/null 2> /dev/null
+TAMPER_RC=$?
+set -e
+if [ "$TAMPER_RC" -ne 7 ]; then
+    echo "alloc tamper tripwire: tampered baseline exited $TAMPER_RC," \
+        "expected the regression sentinel's exit 7" >&2
+    exit 1
+fi
+rm -f "$TAMPERED"
+echo "alloc tamper tripwire passed (shrunken byte budget exits 7)"
 
 # Profiler smoke: --profile-out must write a non-empty collapsed-stack
 # export rooted at the `run` span (the 5% wall-time partition invariant
@@ -267,6 +353,30 @@ if ! grep -q '^run.* [0-9][0-9]*$' "$PROFILE_OUT"; then
 fi
 rm -f "$PROFILE_OUT"
 echo "profiler smoke passed (collapsed-stack export is run-rooted)"
+
+# Memory-profiler smoke: --alloc-profile must write a memprofile-v1
+# document rooted at the `run` span with a nonzero byte total (the 5%
+# self-bytes partition invariant is pinned by
+# crates/cli/tests/cli_gates.rs under `cargo test` above).
+ALLOC_OUT="$(mktemp)"
+ALLOC_ERR="$(mktemp)"
+target/release/datareuse explore fir --alloc-profile "$ALLOC_OUT" \
+    > /dev/null 2> "$ALLOC_ERR"
+for needle in '"schema":"datareuse-memprofile-v1"' '"path":"run"' \
+    '"self_bytes":'; do
+    if ! grep -qF "$needle" "$ALLOC_OUT"; then
+        echo "memory-profiler smoke: --alloc-profile output lacks $needle" >&2
+        cat "$ALLOC_OUT" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^alloc: total_bytes [1-9]' "$ALLOC_ERR"; then
+    echo "memory-profiler smoke: no nonzero \`alloc: total_bytes\` line" >&2
+    cat "$ALLOC_ERR" >&2
+    exit 1
+fi
+rm -f "$ALLOC_OUT" "$ALLOC_ERR"
+echo "memory-profiler smoke passed (memprofile export is run-rooted)"
 
 # Bench-regression guard: re-measure the symbolic-vs-simulation ratio
 # fresh (short budget — this is a regression tripwire, not a baseline)

@@ -196,7 +196,13 @@ fn the_usage_text_and_observability_guide_cover_the_profiler_and_scorecard() {
     let usage = &cli[usage_start..cli[usage_start..]
         .find("\";")
         .map_or(cli.len(), |e| usage_start + e)];
-    for needle in ["scorecard", "--profile-out", "--update-baseline", "--baseline"] {
+    for needle in [
+        "scorecard",
+        "--profile-out",
+        "--alloc-profile",
+        "--update-baseline",
+        "--baseline",
+    ] {
         assert!(
             usage.contains(needle),
             "usage text does not mention `{needle}`"
@@ -206,6 +212,14 @@ fn the_usage_text_and_observability_guide_cover_the_profiler_and_scorecard() {
     for needle in [
         "--profile-out",
         "datareuse-profile-v1",
+        "--alloc-profile",
+        "datareuse-memprofile-v1",
+        "memstats",
+        "datareuse-memstats-v1",
+        "smoke_alloc_fir_bytes",
+        "smoke_alloc_me_small_bytes",
+        "smoke_alloc_symbolic_ratio",
+        "smoke_serve_live_bytes",
         "datareuse-scorecard-v1",
         "datareuse-metrics-v2",
         "datareuse-series-v1",
